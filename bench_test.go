@@ -1,0 +1,192 @@
+// Package erebor's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (§9). Each benchmark wraps the corresponding
+// harness experiment and reports the simulated metrics through
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. cmd/erebor-bench prints the same data in
+// the paper's table format.
+package erebor
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+	"github.com/asterisc-release/erebor-go/internal/workloads/graph"
+	"github.com/asterisc-release/erebor-go/internal/workloads/ids"
+	"github.com/asterisc-release/erebor-go/internal/workloads/imgproc"
+	"github.com/asterisc-release/erebor-go/internal/workloads/llm"
+	"github.com/asterisc-release/erebor-go/internal/workloads/retrieval"
+)
+
+// BenchmarkTable3PrivTransitions measures the four privilege-transition
+// round trips (Table 3): EMC, SYSCALL, TDCALL, VMCALL.
+func BenchmarkTable3PrivTransitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.MeasureTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Cycles), r.Name+"-cycles")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4PrivilegedOps measures delegated privileged-operation
+// costs native vs Erebor (Table 4).
+func BenchmarkTable4PrivilegedOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.MeasureTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Ratio(), r.Name+"-x")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8LMBench measures Erebor's overhead on the LMBench system
+// micro-benchmarks (Fig 8).
+func BenchmarkFig8LMBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunFig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Overhead*100, r.Name+"-%")
+			}
+		}
+	}
+}
+
+func fig9Suite() []workloads.Workload {
+	return []workloads.Workload{
+		llm.New(1), imgproc.New(1), retrieval.New(1), graph.New(1), ids.New(1),
+	}
+}
+
+// BenchmarkFig9Workloads measures the real-world workload overheads
+// (Fig 9): Native vs LibOS-only vs full Erebor per program plus geomean.
+func BenchmarkFig9Workloads(b *testing.B) {
+	opt := harness.DefaultScenarioOptions()
+	for i := 0; i < b.N; i++ {
+		var overheads []float64
+		for _, wl := range fig9Suite() {
+			set, err := harness.RunScenarioSet(wl, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row := set.Fig9()
+			overheads = append(overheads, row.Full)
+			if i == 0 {
+				b.ReportMetric(row.Full*100, row.Program+"-%")
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(harness.Geomean(overheads)*100, "geomean-%")
+		}
+	}
+}
+
+// BenchmarkTable6Stats regenerates the per-program execution statistics
+// (Table 6): exit rates, EMC rate, memory, init overhead.
+func BenchmarkTable6Stats(b *testing.B) {
+	opt := harness.DefaultScenarioOptions()
+	for i := 0; i < b.N; i++ {
+		for _, wl := range fig9Suite() {
+			set, err := harness.RunScenarioSet(wl, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row := set.Table6()
+			if i == 0 {
+				b.ReportMetric(row.EMCRate/1000, row.Program+"-kEMC/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Background measures the OpenSSH/Nginx background-server
+// throughput sweep (Fig 10).
+func BenchmarkFig10Background(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunFig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				name := fmt.Sprintf("%s-%dKB-rel", r.Server, r.FileSize/1024)
+				b.ReportMetric(r.Relative, name)
+			}
+		}
+	}
+}
+
+// BenchmarkMemorySharing quantifies §9.2's memory-sharing savings across
+// container counts.
+func BenchmarkMemorySharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{2, 8} {
+			res, err := harness.RunMemShare(llm.New(1), n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(res.SavingsPerSandbox*100, fmt.Sprintf("x%d-savings-%%", n))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEMCvsTDCALL compares intra-kernel gates against a
+// hypothetical hypercall-based monitor.
+func BenchmarkAblationEMCvsTDCALL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := harness.MeasureAblationEMCvsTDCall()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(a.PTEUpdateEMC), "pte-emc-cycles")
+			b.ReportMetric(float64(a.PTEUpdateTDCall), "pte-tdcall-cycles")
+		}
+	}
+}
+
+// BenchmarkAblationBatchedMMU measures the batched-MMU-update optimization
+// on fork (§9.1).
+func BenchmarkAblationBatchedMMU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := harness.MeasureAblationBatchedMMU()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(a.Speedup, "fork-speedup-x")
+		}
+	}
+}
+
+// BenchmarkAblationPadding measures the wire expansion of output padding.
+func BenchmarkAblationPadding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.MeasureAblationPadding(300)
+		if i == 0 {
+			for _, p := range pts {
+				b.ReportMetric(p.Expansion, fmt.Sprintf("pad%d-x", p.Block))
+			}
+		}
+	}
+}

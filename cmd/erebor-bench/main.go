@@ -1,0 +1,210 @@
+// Command erebor-bench regenerates every table and figure of the paper's
+// evaluation (§9) on the simulated platform:
+//
+//	erebor-bench -exp all            # everything
+//	erebor-bench -exp table3        # privilege-transition costs
+//	erebor-bench -exp table4        # privileged-operation costs
+//	erebor-bench -exp fig8          # LMBench overheads
+//	erebor-bench -exp fig9          # real-world workload overheads
+//	erebor-bench -exp table6        # workload execution statistics
+//	erebor-bench -exp fig10         # background server throughput
+//	erebor-bench -exp memshare      # memory-sharing savings
+//
+// -scale grows the workloads (1 = quick, 4 = closer to paper proportions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+	"github.com/asterisc-release/erebor-go/internal/workloads/graph"
+	"github.com/asterisc-release/erebor-go/internal/workloads/ids"
+	"github.com/asterisc-release/erebor-go/internal/workloads/imgproc"
+	"github.com/asterisc-release/erebor-go/internal/workloads/llm"
+	"github.com/asterisc-release/erebor-go/internal/workloads/retrieval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|all")
+	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", strings.ToUpper(name))
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table3", table3)
+	run("table4", table4)
+	run("fig8", fig8)
+	var sets []*harness.ScenarioSet
+	run("fig9", func() error {
+		var err error
+		sets, err = fig9(*scale)
+		return err
+	})
+	run("table6", func() error {
+		if sets == nil {
+			var err error
+			sets, err = runSets(*scale)
+			if err != nil {
+				return err
+			}
+		}
+		return table6(sets)
+	})
+	run("fig10", fig10)
+	run("memshare", func() error { return memshare(*scale) })
+	run("ablations", ablations)
+}
+
+func ablations() error {
+	a, err := harness.MeasureAblationEMCvsTDCall()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EMC vs hypercall monitor:  PTE update via EMC %d cycles, via tdcall %d cycles (%.2fx)\n",
+		a.PTEUpdateEMC, a.PTEUpdateTDCall, float64(a.PTEUpdateTDCall)/float64(a.PTEUpdateEMC))
+	bm, err := harness.MeasureAblationBatchedMMU()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Batched MMU updates:       fork %d -> %d cycles (%.2fx speedup)\n",
+		bm.ForkUnbatched, bm.ForkBatched, bm.Speedup)
+	plain, pre, err := harness.MeasureAblationInterruptGate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("#INT gate under preemption: EMC %d -> %d cycles (+%d)\n", plain, pre, pre-plain)
+	for _, p := range harness.MeasureAblationPadding(300) {
+		fmt.Printf("Output padding block %5d: wire %5d bytes for 300-byte result (%.2fx)\n",
+			p.Block, p.WireBytes, p.Expansion)
+	}
+	return nil
+}
+
+func table3() error {
+	rows, err := harness.MeasureTable3()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %8s %8s      (Table 3: round-trip privilege transitions)\n", "Call", "#Cycle", "Times")
+	for _, r := range rows {
+		fmt.Printf("%-10s %8d %7.2fx\n", r.Name, r.Cycles, r.RelEMC)
+	}
+	return nil
+}
+
+func table4() error {
+	rows, err := harness.MeasureTable4()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %10s %14s      (Table 4: privileged operations, cycles)\n", "Op", "Native", "Erebor")
+	for _, r := range rows {
+		fmt.Printf("%-6s %10d %8d (%5.2fx)\n", r.Name, r.Native, r.Erebor, r.Ratio())
+	}
+	return nil
+}
+
+func fig8() error {
+	rows, err := harness.RunFig8()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %10s %9s %8s %8s   (Fig 8: LMBench)\n",
+		"Bench", "Native", "Erebor", "Overhead", "EMC/op", "EMC/s")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10d %10d %8.1f%% %8.1f %7.2fM\n",
+			r.Name, r.NativeCycles, r.EreborCycles, r.Overhead*100, r.EMCPerOp, r.EMCPerSecond/1e6)
+	}
+	return nil
+}
+
+func suite(scale int) []workloads.Workload {
+	return []workloads.Workload{
+		llm.New(scale), imgproc.New(scale), retrieval.New(scale),
+		graph.New(scale), ids.New(scale),
+	}
+}
+
+func runSets(scale int) ([]*harness.ScenarioSet, error) {
+	opt := harness.DefaultScenarioOptions()
+	var sets []*harness.ScenarioSet
+	for _, wl := range suite(scale) {
+		s, err := harness.RunScenarioSet(wl, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", wl.Name(), err)
+		}
+		sets = append(sets, s)
+	}
+	return sets, nil
+}
+
+func fig9(scale int) ([]*harness.ScenarioSet, error) {
+	sets, err := runSets(scale)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%-10s %10s %10s %10s %10s   (Fig 9: overhead vs native)\n",
+		"Program", "LibOS", "+MMU", "+Exit", "Erebor")
+	var overheads []float64
+	for _, s := range sets {
+		r := s.Fig9()
+		fmt.Printf("%-10s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+			r.Program, r.LibOSOnly*100, r.LibOSMMU*100, r.LibOSExit*100, r.Full*100)
+		overheads = append(overheads, r.Full)
+	}
+	fmt.Printf("%-10s %42.2f%%  (paper: 8.1%%)\n", "geomean", harness.Geomean(overheads)*100)
+	return sets, nil
+}
+
+func table6(sets []*harness.ScenarioSet) error {
+	fmt.Printf("%-10s %7s %7s %7s %7s %9s %8s %8s %8s %8s   (Table 6)\n",
+		"Program", "#PF/s", "#Timer", "#VE/s", "Total", "EMC/s", "Time(s)", "Conf.MB", "Com.MB", "Init.OH")
+	for _, s := range sets {
+		r := s.Table6()
+		fmt.Printf("%-10s %7.0f %7.0f %7.0f %7.0f %9.0f %8.4f %8.1f %8.1f %7.1f%%\n",
+			r.Program, r.PFRate, r.TimerRate, r.VERate, r.TotalRate,
+			r.EMCRate, r.TimeSec, r.ConfinedMB, r.CommonMB, r.InitOverhead*100)
+	}
+	return nil
+}
+
+func fig10() error {
+	rows, err := harness.RunFig10()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %12s %12s %9s   (Fig 10: background servers)\n",
+		"Server", "FileSize", "Native MB/s", "Erebor MB/s", "Relative")
+	for _, r := range rows {
+		fmt.Printf("%-8s %10d %12.1f %12.1f %9.3f\n",
+			r.Server, r.FileSize, r.NativeMBs, r.EreborMBs, r.Relative)
+	}
+	return nil
+}
+
+func memshare(scale int) error {
+	for _, n := range []int{1, 2, 4, 8} {
+		res, err := harness.RunMemShare(llm.New(scale), n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("llama x%-2d shared=%7.1fMB replicated=%7.1fMB savings/sandbox=%5.1f%%\n",
+			n, float64(res.SharedBytes)/(1<<20), float64(res.ReplicatedBytes)/(1<<20),
+			res.SavingsPerSandbox*100)
+	}
+	return nil
+}

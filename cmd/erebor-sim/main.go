@@ -1,0 +1,124 @@
+// Command erebor-sim boots a complete simulated Erebor CVM and runs the
+// artifact's hello-world demo (appendix E2): verified two-stage boot, a
+// sandboxed program, an attested end-to-end secure channel through the
+// untrusted proxy, and session cleanup. It prints every step so the flow
+// of §4-§6 is visible.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "erebor-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("[1] booting TDX guest: firmware + EREBOR-MONITOR measured, kernel verified & loaded")
+	w, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 96})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    boot consumed %.2f ms of simulated time; lockdown engaged\n",
+		costs.CyclesToSeconds(w.BootCycles())*1e3)
+
+	fmt.Println("[2] launching EREBOR-SANDBOX 'helloworld' with a LibOS")
+	c, err := sandbox.Launch(w.K, sandbox.Spec{
+		Name: "helloworld", Owner: mem.OwnerTaskBase + 1,
+		LibOS: libos.Config{HeapPages: 64},
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			buf, n, err := os.ReceiveInput(4096, 8)
+			if err != nil || n == 0 {
+				return
+			}
+			in := make([]byte, n)
+			os.Env.ReadMem(buf, in)
+			// The demo program answers with 0x41..41 ("AA..A"), like the
+			// artifact's helloworld.
+			out := append([]byte("hello from the sandbox! input was: "), in...)
+			out = append(out, ' ')
+			for i := 0; i < 10; i++ {
+				out = append(out, 0x41)
+			}
+			_ = os.SendOutputBytes(out)
+			os.EndSession()
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("[3] remote client: attested handshake through the untrusted proxy")
+	s := harness.NewSession(w)
+	if err := s.Client.Start(); err != nil {
+		return err
+	}
+	s.Pump(2)
+	if err := c.AcceptSession(s.MonTr); err != nil {
+		return err
+	}
+	s.Pump(2)
+	if err := s.Client.Finish(); err != nil {
+		return err
+	}
+	fmt.Println("    quote verified: measurement matches the open-source monitor build")
+
+	fmt.Println("[4] sending confidential input over the channel")
+	if err := s.Client.Send([]byte("secret prompt")); err != nil {
+		return err
+	}
+	s.Pump(2)
+
+	w.K.Schedule()
+	if berr := c.BootErr(); berr != nil {
+		return berr
+	}
+	s.Pump(2)
+
+	reply, err := s.Client.Recv()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[5] client received: %q\n", reply)
+
+	for i, f := range s.Proxy.Seen {
+		_ = i
+		if containsSub(f, []byte("secret prompt")) {
+			return fmt.Errorf("SECURITY VIOLATION: proxy observed plaintext")
+		}
+	}
+	fmt.Printf("    proxy relayed %d frames, all ciphertext\n", len(s.Proxy.Seen))
+
+	info, _ := c.Info()
+	fmt.Printf("[6] session ended: sandbox destroyed=%v, confined memory scrubbed\n", info.Destroyed)
+	fmt.Printf("    monitor stats: EMCs=%d sandbox-exits=%d quotes=%d\n",
+		w.Mon.Stats.EMCs, w.Mon.Stats.SandboxExits, w.Mon.Stats.QuotesIssued)
+	return nil
+}
+
+func containsSub(hay, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,323 @@
+// Package erebor is the public API of the Erebor reproduction: a drop-in
+// sandbox architecture for confidential virtual machines (EuroSys '25).
+//
+// The package wraps the simulated platform (internal/...) behind the three
+// concepts a service provider or client touches:
+//
+//   - Platform: a booted CVM with EREBOR-MONITOR in control (or a native
+//     baseline CVM for comparison).
+//   - Container: an EREBOR-SANDBOX running the provider's program on a
+//     LibOS, with confined memory and optional shared common datasets.
+//   - Client: a remote party that attests the monitor and exchanges
+//     confidential data over a padded, encrypted channel relayed by an
+//     untrusted proxy.
+//
+// Minimal flow:
+//
+//	p, _ := erebor.NewPlatform(erebor.PlatformConfig{MemMB: 96})
+//	p.PublishCommon("model", modelBytes)
+//	c, _ := p.Launch(erebor.ContainerConfig{
+//		Name: "svc", HeapPages: 256, Commons: []string{"model"},
+//		Main: func(r *erebor.Runtime) {
+//			in, _ := r.ReceiveInput(4096)
+//			r.SendOutput(process(in))
+//			r.EndSession()
+//		},
+//	})
+//	cl, _ := p.Connect(c)
+//	cl.Send(secret)
+//	p.Run()
+//	reply, _ := cl.Recv()
+package erebor
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+)
+
+// PlatformConfig sizes a platform.
+type PlatformConfig struct {
+	// MemMB is the CVM's physical memory (default 128).
+	MemMB uint64
+	// Baseline boots a native CVM without the monitor (for comparisons).
+	Baseline bool
+	// PlainGuest boots a non-TD guest (§10 compatibility mode).
+	PlainGuest bool
+	// PadBlock overrides the channel padding granularity.
+	PadBlock int
+	// ExitRateLimit, if non-zero, enables the §11 exit-rate covert-channel
+	// mitigation (max sandbox exits per simulated second).
+	ExitRateLimit uint64
+	// OutputQuantumCycles, if non-zero, quantizes output release times.
+	OutputQuantumCycles uint64
+}
+
+// Platform is a booted simulated CVM.
+type Platform struct {
+	w         *harness.World
+	nextOwner mem.Owner
+}
+
+// NewPlatform boots a platform: firmware and monitor are measured, the
+// kernel image is verified and loaded, and lockdown engages (unless
+// Baseline is set).
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	mode := kernel.ModeErebor
+	if cfg.Baseline {
+		mode = kernel.ModeNative
+	}
+	w, err := harness.NewWorld(harness.WorldConfig{
+		Mode: mode, MemMB: cfg.MemMB, PadBlock: cfg.PadBlock, PlainGuest: cfg.PlainGuest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if w.Mon != nil {
+		w.Mon.ExitRateLimit = cfg.ExitRateLimit
+		w.Mon.OutputQuantum = cfg.OutputQuantumCycles
+	}
+	return &Platform{w: w, nextOwner: mem.OwnerTaskBase + 1}, nil
+}
+
+// PublishCommon registers a shared read-only dataset (an ML model, a
+// database) available to containers that list it in Commons. Under the
+// monitor it becomes a common region backed by one physical copy; on a
+// baseline platform it is published as a host file.
+func (p *Platform) PublishCommon(name string, data []byte) error {
+	return sandbox.CreateCommon(p.w.K, name, data)
+}
+
+// Runtime is the in-sandbox API handed to a container's Main.
+type Runtime struct {
+	c  *sandbox.Container
+	os *libos.OS
+}
+
+// ReceiveInput waits (bounded) for the next client message and returns a
+// copy. Returns nil when no input arrives.
+func (r *Runtime) ReceiveInput(maxBytes int) ([]byte, error) {
+	buf, n, err := r.os.ReceiveInput(maxBytes, 16)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]byte, n)
+	r.os.Env.ReadMem(buf, out)
+	return out, nil
+}
+
+// SendOutput hands a result to the monitor for padded, encrypted delivery.
+func (r *Runtime) SendOutput(data []byte) error {
+	return r.os.SendOutputBytes(data)
+}
+
+// EndSession terminates the client session; the monitor scrubs all
+// confined memory.
+func (r *Runtime) EndSession() { r.os.EndSession() }
+
+// Alloc carves confined memory from the pre-declared heap.
+func (r *Runtime) Alloc(n int) (paging.Addr, error) { return r.os.Alloc(n) }
+
+// Read copies confined/common memory into a Go buffer.
+func (r *Runtime) Read(va paging.Addr, buf []byte) { r.os.Env.ReadMem(va, buf) }
+
+// Write stores a Go buffer into confined memory.
+func (r *Runtime) Write(va paging.Addr, data []byte) { r.os.Env.WriteMem(va, data) }
+
+// CommonBase returns the base address of an attached common region.
+func (r *Runtime) CommonBase(name string) (paging.Addr, bool) {
+	va, ok := r.c.CommonVAs[name]
+	return va, ok
+}
+
+// Charge accounts compute cycles against the virtual clock (one unit per
+// simulated instruction bundle; see internal/costs).
+func (r *Runtime) Charge(cycles uint64) { r.os.Env.Charge(cycles) }
+
+// LibOS exposes the full library-OS surface (files, threads, locks).
+func (r *Runtime) LibOS() *libos.OS { return r.os }
+
+// ContainerConfig describes a sandbox to launch.
+type ContainerConfig struct {
+	Name string
+	// HeapPages sizes the confined heap (default 256).
+	HeapPages uint64
+	// Commons lists published datasets to attach read-only.
+	Commons []string
+	// MaxThreads bounds the LibOS thread pool.
+	MaxThreads int
+	// Main runs inside the sandbox.
+	Main func(r *Runtime)
+}
+
+// Container is a launched EREBOR-SANDBOX.
+type Container struct {
+	inner *sandbox.Container
+}
+
+// Launch starts a container. Its Main begins executing at the next Run.
+func (p *Platform) Launch(cfg ContainerConfig) (*Container, error) {
+	if cfg.Main == nil {
+		return nil, errors.New("erebor: ContainerConfig.Main is required")
+	}
+	if cfg.HeapPages == 0 {
+		cfg.HeapPages = 256
+	}
+	owner := p.nextOwner
+	p.nextOwner++
+	var refs []sandbox.CommonRef
+	for _, name := range cfg.Commons {
+		refs = append(refs, sandbox.CommonRef{Name: name})
+	}
+	inner, err := sandbox.Launch(p.w.K, sandbox.Spec{
+		Name:    cfg.Name,
+		Owner:   owner,
+		LibOS:   libos.Config{HeapPages: cfg.HeapPages, MaxThreads: cfg.MaxThreads},
+		Commons: refs,
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			cfg.Main(&Runtime{c: c, os: os})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Container{inner: inner}, nil
+}
+
+// Status is a container's externally visible state.
+type Status struct {
+	Destroyed     bool
+	KillReason    string
+	DataInstalled bool
+	ConfinedPages uint64
+	Exits         uint64
+}
+
+// Status returns the monitor's view of the container (zero Status on a
+// baseline platform).
+func (c *Container) Status() Status {
+	info, ok := c.inner.Info()
+	if !ok {
+		return Status{}
+	}
+	return Status{
+		Destroyed: info.Destroyed, KillReason: info.KillReason,
+		DataInstalled: info.DataInstalled, ConfinedPages: info.ConfinedPages,
+		Exits: info.Exits,
+	}
+}
+
+// Err reports a LibOS boot or common-attachment failure.
+func (c *Container) Err() error { return c.inner.BootErr() }
+
+// Client is a remote client bound to one container through an attested
+// channel relayed by the untrusted in-CVM proxy.
+type Client struct {
+	session *harness.Session
+}
+
+// Connect performs the attested handshake: the client verifies the quote
+// (signature, boot measurement, handshake binding) before any data moves.
+// Only available with the monitor (attestation needs the tdcall owner).
+func (p *Platform) Connect(c *Container) (*Client, error) {
+	if p.w.Mon == nil {
+		return nil, errors.New("erebor: Connect requires the monitor (not a baseline platform)")
+	}
+	s := harness.NewSession(p.w)
+	if err := s.Client.Start(); err != nil {
+		return nil, err
+	}
+	s.Pump(2)
+	if err := c.inner.AcceptSession(s.MonTr); err != nil {
+		return nil, fmt.Errorf("erebor: session rejected: %w", err)
+	}
+	s.Pump(2)
+	if err := s.Client.Finish(); err != nil {
+		return nil, fmt.Errorf("erebor: attestation failed: %w", err)
+	}
+	return &Client{session: s}, nil
+}
+
+// Send queues one confidential request (padded + encrypted end to end).
+func (cl *Client) Send(data []byte) error {
+	if err := cl.session.Client.Send(data); err != nil {
+		return err
+	}
+	cl.session.Pump(2)
+	return nil
+}
+
+// Recv returns the next response, or an error when none is pending.
+func (cl *Client) Recv() ([]byte, error) {
+	cl.session.Pump(2)
+	return cl.session.Client.Recv()
+}
+
+// WireFrames exposes what the untrusted proxy observed (always
+// ciphertext); tests use it to check for plaintext leaks.
+func (cl *Client) WireFrames() [][]byte { return cl.session.Proxy.Seen }
+
+// Run schedules the platform until every runnable task has finished or
+// blocked (containers waiting for input park between sessions).
+func (p *Platform) Run() { p.w.K.Schedule() }
+
+// PushInput injects a client message without a channel (the DebugFS
+// evaluation path of §7). PopOutputs drains channel-less results.
+func (p *Platform) PushInput(c *Container, data []byte) error {
+	if p.w.Mon == nil {
+		p.w.K.DevEmuPush(data)
+		return nil
+	}
+	return p.w.Mon.QueueClientInput(c.inner.ID, data)
+}
+
+// PopOutputs drains results emitted without a live channel.
+func (p *Platform) PopOutputs() [][]byte {
+	if p.w.Mon == nil {
+		return p.w.K.DevEmuOutputs()
+	}
+	return p.w.Mon.DebugOutputs()
+}
+
+// Stats is a snapshot of platform-wide activity.
+type Stats struct {
+	EMCs          uint64
+	SandboxExits  uint64
+	SandboxKills  uint64
+	QuotesIssued  uint64
+	Syscalls      uint64
+	PageFaults    uint64
+	TimerTicks    uint64
+	VirtualCycles uint64
+}
+
+// Stats snapshots the monitor's and kernel's counters.
+func (p *Platform) Stats() Stats {
+	s := Stats{
+		Syscalls:      p.w.K.Stats.Syscalls,
+		PageFaults:    p.w.K.Stats.PageFaults,
+		TimerTicks:    p.w.K.Stats.TimerTicks,
+		VirtualCycles: p.w.M.Clock.Now(),
+	}
+	if p.w.Mon != nil {
+		s.EMCs = p.w.Mon.Stats.EMCs
+		s.SandboxExits = p.w.Mon.Stats.SandboxExits
+		s.SandboxKills = p.w.Mon.Stats.SandboxKills
+		s.QuotesIssued = p.w.Mon.Stats.QuotesIssued
+	}
+	return s
+}
+
+// Monitor exposes the underlying monitor for advanced use (nil on a
+// baseline platform).
+func (p *Platform) Monitor() *monitor.Monitor { return p.w.Mon }
+
+// World exposes the underlying simulated world for experiments.
+func (p *Platform) World() *harness.World { return p.w }

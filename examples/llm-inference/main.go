@@ -1,0 +1,93 @@
+// LLM inference (the paper's llama.cpp scenario): a transformer model is
+// published once as a shared read-only common region; a client sends a
+// confidential prompt over the attested channel and receives generated
+// tokens. The model is shared; the prompt and KV cache are confined.
+//
+//	go run ./examples/llm-inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+	"github.com/asterisc-release/erebor-go/internal/workloads/llm"
+)
+
+func main() {
+	world, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 160})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := llm.New(1)
+	fmt.Printf("publishing %0.1f MB model as a common region\n",
+		float64(len(model.CommonData()))/(1<<20))
+	if err := sandbox.CreateCommon(world.K, "llama-model", model.CommonData()); err != nil {
+		log.Fatal(err)
+	}
+
+	container, err := sandbox.Launch(world.K, sandbox.Spec{
+		Name:    "llm-service",
+		Owner:   mem.OwnerTaskBase + 1,
+		LibOS:   libos.Config{HeapPages: model.HeapPages() + 64},
+		Commons: []sandbox.CommonRef{{Name: "llama-model"}},
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			buf, n, err := os.ReceiveInput(4096, 8)
+			if err != nil || n == 0 {
+				return
+			}
+			prompt := make([]byte, n)
+			os.Env.ReadMem(buf, prompt)
+			ctx := &workloads.Ctx{
+				E: os.Env, CommonVA: c.CommonVAs["llama-model"], Input: prompt,
+				Alloc: func(sz int) paging.Addr {
+					va, err := os.Alloc(sz)
+					if err != nil {
+						panic(err)
+					}
+					return va
+				},
+			}
+			out := model.Run(ctx)
+			_ = os.SendOutputBytes(out)
+			os.EndSession()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := harness.NewSession(world)
+	must(session.Client.Start())
+	session.Pump(2)
+	must(container.AcceptSession(session.MonTr))
+	session.Pump(2)
+	must(session.Client.Finish())
+
+	prompt := "Translate to French: the hospital records are private."
+	fmt.Printf("client prompt (confidential): %q\n", prompt)
+	must(session.Client.Send([]byte(prompt)))
+	session.Pump(2)
+	world.K.Schedule()
+	session.Pump(2)
+
+	reply, err := session.Client.Recv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inference result: %s\n", reply)
+	fmt.Printf("sandbox exits: %d  monitor calls: %d  (the prompt never left the channel in plaintext)\n",
+		world.Mon.Stats.SandboxExits, world.Mon.Stats.EMCs)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

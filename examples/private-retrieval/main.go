@@ -1,0 +1,99 @@
+// Private information retrieval (the paper's drugbank scenario): an
+// in-memory database shared read-only across sandboxes; each client's query
+// batch stays confined to its own sandbox.
+//
+//	go run ./examples/private-retrieval
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+	"github.com/asterisc-release/erebor-go/internal/workloads/retrieval"
+)
+
+func main() {
+	world, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 160})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl := retrieval.New(1)
+	fmt.Printf("publishing a %.1f MB medical database (%d records) as a common region\n",
+		float64(len(wl.CommonData()))/(1<<20), wl.DB.Records)
+	if err := sandbox.CreateCommon(world.K, wl.Name(), wl.CommonData()); err != nil {
+		log.Fatal(err)
+	}
+
+	container, err := sandbox.Launch(world.K, sandbox.Spec{
+		Name:    "pir-service",
+		Owner:   mem.OwnerTaskBase + 1,
+		LibOS:   libos.Config{HeapPages: wl.HeapPages() + 64},
+		Commons: []sandbox.CommonRef{{Name: wl.Name()}},
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			buf, n, err := os.ReceiveInput(len(wl.Input())+4096, 8)
+			if err != nil || n == 0 {
+				return
+			}
+			queries := make([]byte, n)
+			os.Env.ReadMem(buf, queries)
+			ctx := &workloads.Ctx{
+				E: os.Env, CommonVA: c.CommonVAs[wl.Name()], Input: queries,
+				Alloc: func(sz int) paging.Addr {
+					va, err := os.Alloc(sz)
+					if err != nil {
+						panic(err)
+					}
+					return va
+				},
+			}
+			out := wl.Run(ctx)
+			_ = os.SendOutputBytes(out)
+			os.EndSession()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := harness.NewSession(world)
+	must(session.Client.Start())
+	session.Pump(2)
+	must(container.AcceptSession(session.MonTr))
+	session.Pump(2)
+	must(session.Client.Finish())
+
+	// The client's query batch: which records it looks up is the secret.
+	queries := wl.Input()
+	fmt.Printf("client sends %d confidential lookups\n", binary.LittleEndian.Uint32(queries))
+	must(session.Client.Send(queries))
+	session.Pump(2)
+	world.K.Schedule()
+	session.Pump(2)
+
+	reply, err := session.Client.Recv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrieval summary: %s\n", reply)
+	for _, f := range session.Proxy.Seen {
+		if bytes.Contains(f, queries[:64]) || bytes.Contains(f, reply) {
+			log.Fatal("SECURITY VIOLATION: proxy observed plaintext")
+		}
+	}
+	fmt.Println("the proxy and host saw only fixed-length ciphertext records")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/asterisc-release/erebor-go
+
+go 1.22

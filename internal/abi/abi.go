@@ -1,0 +1,91 @@
+// Package abi defines the syscall ABI shared by the simulated kernel, the
+// LibOS and the monitor's exit-interposition layer: syscall numbers, the
+// register convention, and the Erebor pseudo-device ioctl protocol the
+// LibOS uses for monitor-mediated I/O (§6.3).
+package abi
+
+// Syscall numbers (simulation-local, Linux-flavored).
+const (
+	SysRead uint64 = iota + 1
+	SysWrite
+	SysOpen
+	SysClose
+	SysStat
+	SysMmap
+	SysMunmap
+	SysMprotect
+	SysBrk
+	SysIoctl
+	SysFork
+	SysExit
+	SysGetpid
+	SysGetppid
+	SysClone
+	SysFutex
+	SysSigaction
+	SysKill
+	SysYield
+	SysCPUID // modeled as a syscall-visible op that triggers #VE in a TD
+	SysSendUIPI
+	// SysSend transmits a user buffer through the kernel's network path
+	// (proxy/NIC via GHCI).
+	SysSend
+	// SysRecv receives one network frame into a user buffer.
+	SysRecv
+	// SysSendfile streams n bytes of an open file to the network without
+	// user-space copies.
+	SysSendfile
+	NumSyscalls
+)
+
+// Register convention: RAX = number / return, RDI..R9 = args 1..6 (we use
+// RDI, RSI, RDX, R10 like Linux).
+
+// EreborDevFD is the reserved file descriptor of the Erebor pseudo-device
+// (/dev/erebor). ioctls on it are intercepted by the monitor and never
+// reach the kernel when issued from a sandbox.
+const EreborDevFD uint64 = 1000
+
+// Erebor ioctl commands.
+const (
+	// IoctlInput asks the monitor to install client data into the sandbox
+	// buffer described by an IOPayload. Blocks semantics: returns the
+	// installed size, 0 if no client data is pending.
+	IoctlInput uint64 = 0xE001
+	// IoctlOutput hands processed results to the monitor for padding,
+	// encryption and transmission to the client.
+	IoctlOutput uint64 = 0xE002
+	// IoctlDeclareConfined declares a confined memory range (LibOS loader;
+	// arg registers: RDX = base VA, R10 = page count, R8 = exec flag).
+	IoctlDeclareConfined uint64 = 0xE003
+	// IoctlAttachCommon attaches a named common region (by registered id).
+	IoctlAttachCommon uint64 = 0xE004
+	// IoctlSessionEnd terminates the client session: the monitor zeroes the
+	// sandbox's memory regions (§6.3 cleanup).
+	IoctlSessionEnd uint64 = 0xE005
+)
+
+// IOPayloadSize is the byte size of the LibOS <-> monitor payload struct:
+// {bufVA uint64; size uint64} written little-endian in sandbox memory.
+const IOPayloadSize = 16
+
+// Errno encodes -e as the syscall return value.
+func Errno(e int64) uint64 { return uint64(-e) }
+
+// IsError reports whether a syscall return value encodes an errno.
+func IsError(ret uint64) bool { return int64(ret) < 0 && int64(ret) > -4096 }
+
+// Err extracts the positive errno from an error return.
+func Err(ret uint64) int64 { return -int64(ret) }
+
+// Errno numbers.
+const (
+	EPERMNo  int64 = 1
+	ENOENTNo int64 = 2
+	EBADFNo  int64 = 9
+	ENOMEMNo int64 = 12
+	EFAULTNo int64 = 14
+	EINVALNo int64 = 22
+	ENOSYSNo int64 = 38
+	EAGAINNo int64 = 11
+)

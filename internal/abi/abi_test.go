@@ -1,0 +1,52 @@
+package abi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestErrnoRoundTrip(t *testing.T) {
+	f := func(e int16) bool {
+		if e <= 0 || e >= 4096 {
+			return true
+		}
+		ret := Errno(int64(e))
+		return IsError(ret) && Err(ret) == int64(e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsErrorBoundaries(t *testing.T) {
+	if IsError(0) {
+		t.Fatal("0 is an error")
+	}
+	if IsError(42) {
+		t.Fatal("42 is an error")
+	}
+	if !IsError(Errno(EINVALNo)) {
+		t.Fatal("-EINVAL not an error")
+	}
+	// Large valid values (pointers) are not errors.
+	if IsError(0x7000_0000) {
+		t.Fatal("address misread as error")
+	}
+}
+
+func TestSyscallNumbersAreDistinct(t *testing.T) {
+	nums := []uint64{SysRead, SysWrite, SysOpen, SysClose, SysStat, SysMmap,
+		SysMunmap, SysMprotect, SysBrk, SysIoctl, SysFork, SysExit, SysGetpid,
+		SysGetppid, SysClone, SysFutex, SysSigaction, SysKill, SysYield,
+		SysCPUID, SysSendUIPI, SysSend, SysRecv, SysSendfile}
+	seen := map[uint64]bool{}
+	for _, n := range nums {
+		if n == 0 || n >= NumSyscalls {
+			t.Fatalf("syscall %d out of range", n)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate syscall number %d", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,90 @@
+// Package attest implements CVM remote attestation for the simulation: a
+// per-machine quoting key (standing in for Intel's provisioning-rooted
+// quoting enclave) signs TDREPORTs into quotes, and verifiers check the
+// signature and the expected boot measurement. Erebor's monitor is the
+// only component that can obtain reports (it owns the tdcall choke point),
+// which is what prevents the untrusted OS from impersonating it (claim C5).
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha512"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// Quote is a signed TDREPORT.
+type Quote struct {
+	Report tdx.Report
+	SigR   []byte
+	SigS   []byte
+}
+
+// QuotingKey is the simulated CPU's attestation signing key.
+type QuotingKey struct {
+	priv *ecdsa.PrivateKey
+}
+
+// NewQuotingKey generates a fresh P-384 quoting key.
+func NewQuotingKey() (*QuotingKey, error) {
+	k, err := ecdsa.GenerateKey(elliptic.P384(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: generating quoting key: %w", err)
+	}
+	return &QuotingKey{priv: k}, nil
+}
+
+// Public returns the verification key a client would obtain from the
+// hardware vendor's provisioning service.
+func (q *QuotingKey) Public() *ecdsa.PublicKey { return &q.priv.PublicKey }
+
+func reportDigest(r *tdx.Report) []byte {
+	h := sha512.New384()
+	h.Write(r.MRTD[:])
+	for i := range r.RTMR {
+		h.Write(r.RTMR[i][:])
+	}
+	h.Write(r.ReportData[:])
+	return h.Sum(nil)
+}
+
+// Sign turns a valid TDREPORT into a quote. Reports not produced by the
+// TDX module (Valid()==false, i.e. forged structs) are refused — the
+// hardware would never sign them.
+func (q *QuotingKey) Sign(r *tdx.Report) (*Quote, error) {
+	if r == nil || !r.Valid() {
+		return nil, errors.New("attest: refusing to sign a report not produced by the TDX module")
+	}
+	rr, ss, err := ecdsa.Sign(rand.Reader, q.priv, reportDigest(r))
+	if err != nil {
+		return nil, fmt.Errorf("attest: signing report: %w", err)
+	}
+	return &Quote{Report: *r, SigR: rr.Bytes(), SigS: ss.Bytes()}, nil
+}
+
+// Verify checks the quote signature against pub and, if expectedMRTD is
+// non-nil, that the boot measurement matches. Returns the embedded report.
+func Verify(pub *ecdsa.PublicKey, q *Quote, expectedMRTD *[tdx.MeasurementSize]byte) (*tdx.Report, error) {
+	if q == nil {
+		return nil, errors.New("attest: nil quote")
+	}
+	if !verifyRaw(pub, &q.Report, q.SigR, q.SigS) {
+		return nil, errors.New("attest: quote signature invalid")
+	}
+	if expectedMRTD != nil && q.Report.MRTD != *expectedMRTD {
+		return nil, fmt.Errorf("attest: MRTD mismatch: got %x want %x",
+			q.Report.MRTD[:8], expectedMRTD[:8])
+	}
+	return &q.Report, nil
+}
+
+func verifyRaw(pub *ecdsa.PublicKey, r *tdx.Report, sigR, sigS []byte) bool {
+	rr := new(big.Int).SetBytes(sigR)
+	ss := new(big.Int).SetBytes(sigS)
+	return ecdsa.Verify(pub, reportDigest(r), rr, ss)
+}

@@ -1,0 +1,70 @@
+package costs
+
+import "testing"
+
+// The cost model is calibrated to Tables 3 and 4 of the paper; these tests
+// pin the arithmetic so refactors cannot silently drift the calibration.
+func TestTable3Calibration(t *testing.T) {
+	if EMCEntryGate+EMCExitGate+EMCDispatch != EMCRoundTrip {
+		t.Fatal("EMC gate partition broken")
+	}
+	if SyscallEntry+SyscallExit != SyscallRoundTrip {
+		t.Fatal("syscall partition broken")
+	}
+	if EMCRoundTrip != 1224 || SyscallRoundTrip != 684 || TDCallRoundTrip != 5276 || VMCallRoundTrip != 4031 {
+		t.Fatal("Table 3 constants drifted")
+	}
+}
+
+func TestTable4Calibration(t *testing.T) {
+	want := map[string][2]uint64{
+		"MMU":  {NativePTEWrite, EreborPTEWrite},
+		"CR":   {NativeCRWrite, EreborCRWrite},
+		"SMAP": {NativeSMAP, EreborSMAP},
+		"IDT":  {NativeIDTLoad, EreborIDTLoad},
+		"MSR":  {NativeMSRWrite, EreborMSRWrite},
+		"GHCI": {NativeTDReport, EreborGHCI},
+	}
+	paper := map[string][2]uint64{
+		"MMU": {23, 1345}, "CR": {294, 1593}, "SMAP": {62, 1291},
+		"IDT": {260, 1369}, "MSR": {364, 1613}, "GHCI": {126806, 128081},
+	}
+	for op, got := range want {
+		if got != paper[op] {
+			t.Errorf("%s calibration drifted: %v != %v", op, got, paper[op])
+		}
+	}
+}
+
+func TestCopy(t *testing.T) {
+	if Copy(0) != 0 || Copy(-1) != 0 {
+		t.Fatal("Copy of nothing costs cycles")
+	}
+	if Copy(1) != 1 {
+		t.Fatal("sub-cycle copy not rounded up")
+	}
+	if Copy(4096) != 256 {
+		t.Fatalf("Copy(4096) = %d", Copy(4096))
+	}
+}
+
+func TestWire(t *testing.T) {
+	if Wire(0) != 0 {
+		t.Fatal("Wire(0) != 0")
+	}
+	if Wire(1000) != 1200 {
+		t.Fatalf("Wire(1000) = %d", Wire(1000))
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := CyclesToSeconds(HzPerSecond); got != 1.0 {
+		t.Fatalf("one second of cycles = %f s", got)
+	}
+	if got := PerSecond(100, HzPerSecond/2); got != 200 {
+		t.Fatalf("rate = %f", got)
+	}
+	if PerSecond(5, 0) != 0 {
+		t.Fatal("zero-time rate not zero")
+	}
+}

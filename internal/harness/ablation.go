@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/workloads/lmbench"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out.
+
+// AblationEMCvsTDCall quantifies why Erebor's monitor uses intra-kernel
+// gates instead of a hypercall-based (VMPL/paravisor-style) monitor: the
+// per-delegation transition cost.
+type AblationEMCvsTDCall struct {
+	EMCCycles    uint64
+	TDCallCycles uint64
+	// PTEUpdateEMC / PTEUpdateTDCall: a delegated PTE write under each
+	// transition mechanism.
+	PTEUpdateEMC    uint64
+	PTEUpdateTDCall uint64
+}
+
+// MeasureAblationEMCvsTDCall runs the comparison.
+func MeasureAblationEMCvsTDCall() (*AblationEMCvsTDCall, error) {
+	rows, err := MeasureTable3()
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationEMCvsTDCall{}
+	for _, r := range rows {
+		switch r.Name {
+		case "EMC":
+			out.EMCCycles = r.Cycles
+		case "TDCALL":
+			out.TDCallCycles = r.Cycles
+		}
+	}
+	body := uint64(costs.EreborPTEWriteBody)
+	out.PTEUpdateEMC = out.EMCCycles + body
+	out.PTEUpdateTDCall = out.TDCallCycles + body
+	return out, nil
+}
+
+// AblationBatchedMMU measures the paper's suggested batched-MMU-update
+// optimization (§9.1: "overhead could be lowered if batched MMU update is
+// enabled") on the fork benchmark.
+type AblationBatchedMMU struct {
+	ForkUnbatched uint64 // cycles per fork, one EMC per PTE
+	ForkBatched   uint64 // cycles per fork, one EMC per batch
+	Speedup       float64
+}
+
+// MeasureAblationBatchedMMU runs fork with and without batching.
+func MeasureAblationBatchedMMU() (*AblationBatchedMMU, error) {
+	run := func(batch bool) (uint64, error) {
+		w, err := NewWorld(WorldConfig{Mode: kernel.ModeErebor, MemMB: 64})
+		if err != nil {
+			return 0, err
+		}
+		w.Mon.BatchMMU = batch
+		lmbench.Prepare(w.K)
+		var start, end uint64
+		const iters = 8
+		t, err := w.K.Spawn("fork-ablation", mem.OwnerTaskBase, func(e *kernel.Env) {
+			span := e.Mmap(48*mem.PageSize, true, false)
+			e.Touch(span, 48*mem.PageSize, true)
+			start = w.M.Clock.Now()
+			for i := 0; i < iters; i++ {
+				e.Fork(func(ce *kernel.Env) {})
+				e.YieldCPU()
+			}
+			end = w.M.Clock.Now()
+		})
+		if err != nil {
+			return 0, err
+		}
+		w.K.Schedule()
+		if t.ExitReason != "" {
+			return 0, fmt.Errorf("fork ablation: %s", t.ExitReason)
+		}
+		return (end - start) / iters, nil
+	}
+	un, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationBatchedMMU{
+		ForkUnbatched: un, ForkBatched: ba,
+		Speedup: float64(un) / float64(ba),
+	}, nil
+}
+
+// AblationPadding measures the bandwidth cost of the output-padding
+// covert-channel defense (§6.3) across pad-block sizes.
+type PaddingPoint struct {
+	Block     int
+	Payload   int
+	WireBytes int
+	Expansion float64
+}
+
+// MeasureAblationPadding sends a fixed payload through channels with
+// different padding blocks and reports the wire expansion.
+func MeasureAblationPadding(payload int) []PaddingPoint {
+	var out []PaddingPoint
+	for _, block := range []int{256, 1024, 4096, 16384} {
+		a, b := secchan.NewMemPipe()
+		var wire int
+		a.Tap = func(f []byte) { wire += len(f) }
+		key := make([]byte, 32)
+		cs, _ := secchan.NewConn(a, key, key, block)
+		cr, _ := secchan.NewConn(b, key, key, block)
+		msg := make([]byte, payload)
+		if err := cs.Send(msg); err != nil {
+			continue
+		}
+		if _, err := cr.Recv(); err != nil {
+			continue
+		}
+		out = append(out, PaddingPoint{
+			Block: block, Payload: payload, WireBytes: wire,
+			Expansion: float64(wire) / float64(payload),
+		})
+	}
+	return out
+}
+
+// AblationInterruptGate measures the #INT-gate cost by injecting a
+// preemption into an EMC and comparing with an undisturbed EMC.
+func MeasureAblationInterruptGate() (plain, preempted uint64, err error) {
+	w, err := NewWorld(WorldConfig{Mode: kernel.ModeErebor, MemMB: 32})
+	if err != nil {
+		return 0, 0, err
+	}
+	c := w.Core()
+	const iters = 32
+	start := w.M.Clock.Now()
+	for i := 0; i < iters; i++ {
+		if err := w.Mon.EMCNop(c); err != nil {
+			return 0, 0, err
+		}
+	}
+	plain = (w.M.Clock.Now() - start) / iters
+
+	start = w.M.Clock.Now()
+	for i := 0; i < iters; i++ {
+		w.Mon.SetPreemptHook(func(cc *cpu.Core) {})
+		if err := w.Mon.EMCNop(c); err != nil {
+			return 0, 0, err
+		}
+	}
+	preempted = (w.M.Clock.Now() - start) / iters
+	return plain, preempted, nil
+}

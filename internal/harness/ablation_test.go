@@ -1,0 +1,60 @@
+package harness
+
+import "testing"
+
+func TestAblationEMCvsTDCall(t *testing.T) {
+	a, err := MeasureAblationEMCvsTDCall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("transition: EMC=%d tdcall=%d; delegated PTE write: EMC=%d tdcall=%d",
+		a.EMCCycles, a.TDCallCycles, a.PTEUpdateEMC, a.PTEUpdateTDCall)
+	if a.TDCallCycles <= a.EMCCycles {
+		t.Fatal("tdcall not more expensive than EMC — the intra-kernel design premise fails")
+	}
+	ratio := float64(a.TDCallCycles) / float64(a.EMCCycles)
+	if ratio < 3.0 || ratio > 6.0 {
+		t.Errorf("tdcall/EMC = %.2fx outside the paper's ~4.3x band", ratio)
+	}
+}
+
+func TestAblationBatchedMMU(t *testing.T) {
+	a, err := MeasureAblationBatchedMMU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fork: unbatched=%d batched=%d speedup=%.2fx", a.ForkUnbatched, a.ForkBatched, a.Speedup)
+	if a.Speedup <= 1.0 {
+		t.Fatal("batching did not help fork (paper §9.1 expects it to)")
+	}
+}
+
+func TestAblationPadding(t *testing.T) {
+	points := MeasureAblationPadding(300)
+	if len(points) == 0 {
+		t.Fatal("no measurements")
+	}
+	prev := 0.0
+	for _, p := range points {
+		t.Logf("pad=%5d wire=%6d expansion=%.2fx", p.Block, p.WireBytes, p.Expansion)
+		if p.Expansion < 1.0 {
+			t.Fatal("padding shrank the payload?")
+		}
+		if p.Expansion < prev {
+			t.Fatal("expansion should grow with block size for small payloads")
+		}
+		prev = p.Expansion
+	}
+}
+
+func TestAblationInterruptGate(t *testing.T) {
+	plain, preempted, err := MeasureAblationInterruptGate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("EMC plain=%d with-preemption=%d (+%d cycles for the #INT gate path)",
+		plain, preempted, preempted-plain)
+	if preempted <= plain {
+		t.Fatal("preempted EMC not more expensive")
+	}
+}

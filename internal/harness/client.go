@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// Client is a remote client of an Erebor service: it attests the monitor,
+// derives channel keys, and exchanges padded encrypted records. Everything
+// between the client and the monitor (proxy, host network) sees ciphertext
+// only.
+type Client struct {
+	tr         secchan.Transport
+	quotingPub *ecdsa.PublicKey
+	expected   [tdx.MeasurementSize]byte
+
+	hello *secchan.ClientHello
+	priv  *ecdh.PrivateKey
+	conn  *secchan.Conn
+}
+
+// ExpectedMRTD recomputes the boot measurement a client expects: firmware
+// plus the (open-source) monitor image. An impostor cannot produce this
+// measurement without actually booting the real monitor first.
+func ExpectedMRTD(monitorImage []byte) [tdx.MeasurementSize]byte {
+	scratch := tdx.NewModule(nil, nil)
+	scratch.MeasureBoot("firmware", firmware)
+	scratch.MeasureBoot("erebor-monitor", monitorImage)
+	return scratch.MRTD()
+}
+
+// NewClient binds a client to a transport and the hardware vendor's
+// quoting public key.
+func NewClient(tr secchan.Transport, quotingPub *ecdsa.PublicKey, expectedMRTD [tdx.MeasurementSize]byte) *Client {
+	return &Client{tr: tr, quotingPub: quotingPub, expected: expectedMRTD}
+}
+
+// Start sends the client hello.
+func (cl *Client) Start() error {
+	hello, priv, err := secchan.NewClientHello()
+	if err != nil {
+		return err
+	}
+	cl.hello, cl.priv = hello, priv
+	return cl.tr.Send(secchan.EncodeHello(hello))
+}
+
+// Finish consumes the server hello, verifies the quote (signature, MRTD,
+// handshake binding) and derives the record keys.
+func (cl *Client) Finish() error {
+	frame, err := cl.tr.Recv()
+	if err != nil {
+		return fmt.Errorf("client: no server hello: %w", err)
+	}
+	sh, err := secchan.DecodeServerHello(frame)
+	if err != nil {
+		return err
+	}
+	keys, err := secchan.ClientFinish(cl.hello, cl.priv, sh, cl.quotingPub, &cl.expected)
+	if err != nil {
+		return err
+	}
+	conn, err := keys.Conn(cl.tr, 0)
+	if err != nil {
+		return err
+	}
+	cl.conn = conn
+	return nil
+}
+
+// Send transmits one padded encrypted request.
+func (cl *Client) Send(data []byte) error {
+	if cl.conn == nil {
+		return errors.New("client: handshake not finished")
+	}
+	return cl.conn.Send(data)
+}
+
+// Recv receives one response (secchan.ErrEmpty when none pending).
+func (cl *Client) Recv() ([]byte, error) {
+	if cl.conn == nil {
+		return nil, errors.New("client: handshake not finished")
+	}
+	return cl.conn.Recv()
+}
+
+// Session wires a client to a world's monitor through an untrusted
+// in-memory proxy and returns all the moving parts.
+type Session struct {
+	Client *Client
+	Proxy  *secchan.Proxy
+	// MonTr is the monitor-side transport (passed to AcceptSession).
+	MonTr secchan.Transport
+}
+
+// NewSession builds the client <-> proxy <-> monitor plumbing for a world.
+func NewSession(w *World) *Session {
+	clientEnd, proxyOuter := secchan.NewMemPipe()
+	proxyInner, monEnd := secchan.NewMemPipe()
+	pr := &secchan.Proxy{Outer: proxyOuter, Inner: proxyInner}
+	cl := NewClient(clientEnd, w.QK.Public(), ExpectedMRTD(w.Mon.MonitorImage()))
+	return &Session{Client: cl, Proxy: pr, MonTr: monEnd}
+}
+
+// Pump relays pending frames both ways n times.
+func (s *Session) Pump(n int) {
+	for i := 0; i < n; i++ {
+		s.Proxy.PumpOnce()
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/workloads/fileserv"
+)
+
+// Fig10Row is one (server, file-size) point of Fig 10.
+type Fig10Row struct {
+	Server    string
+	FileSize  int
+	NativeMBs float64 // throughput, simulated MB/s
+	EreborMBs float64
+	// Relative is Erebor/Native throughput (the figure's y-axis).
+	Relative float64
+}
+
+// RunFig10 sweeps file sizes for both server profiles under both modes.
+func RunFig10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, p := range []fileserv.Profile{fileserv.OpenSSH, fileserv.Nginx} {
+		for _, size := range fileserv.Sizes {
+			nat, err := runFileServer(p, size, kernel.ModeNative)
+			if err != nil {
+				return nil, err
+			}
+			ere, err := runFileServer(p, size, kernel.ModeErebor)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig10Row{
+				Server: p.Name, FileSize: size,
+				NativeMBs: nat, EreborMBs: ere,
+				Relative: ere / nat,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func runFileServer(p fileserv.Profile, size int, mode kernel.Mode) (float64, error) {
+	memMB := uint64(96)
+	if size >= 4<<20 {
+		memMB = 160
+	}
+	w, err := NewWorld(WorldConfig{Mode: mode, MemMB: memMB})
+	if err != nil {
+		return 0, err
+	}
+	path := fileserv.Prepare(w.K, size)
+	requests := fileserv.RequestsFor(size)
+
+	var start, end uint64
+	var moved int
+	var serveErr error
+	t, err := w.K.Spawn(p.Name, mem.OwnerTaskBase, func(e *kernel.Env) {
+		start = w.M.Clock.Now()
+		moved, serveErr = fileserv.Serve(e, p, path, size, requests)
+		end = w.M.Clock.Now()
+	})
+	if err != nil {
+		return 0, err
+	}
+	w.K.Schedule()
+	if t.ExitReason != "" {
+		return 0, fmt.Errorf("fileserv %s/%d (%s): %s", p.Name, size, mode, t.ExitReason)
+	}
+	if serveErr != nil {
+		return 0, serveErr
+	}
+	if moved != size*requests {
+		return 0, fmt.Errorf("fileserv %s/%d: moved %d of %d bytes", p.Name, size, moved, size*requests)
+	}
+	secs := costs.CyclesToSeconds(end - start)
+	return float64(moved) / (1 << 20) / secs, nil
+}

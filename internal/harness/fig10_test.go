@@ -1,0 +1,36 @@
+package harness
+
+import "testing"
+
+func TestFig10BackgroundServers(t *testing.T) {
+	rows, err := RunFig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perServer := map[string][]Fig10Row{}
+	for _, r := range rows {
+		perServer[r.Server] = append(perServer[r.Server], r)
+		t.Logf("%-8s %8d B  native=%8.1f MB/s  erebor=%8.1f MB/s  relative=%.3f",
+			r.Server, r.FileSize, r.NativeMBs, r.EreborMBs, r.Relative)
+	}
+	for name, rs := range perServer {
+		// Throughput under Erebor must never exceed native, and must
+		// recover for large files (paper: <5% loss at the large end,
+		// max ~18% on small files).
+		small := rs[0]
+		large := rs[len(rs)-1]
+		if small.Relative >= 1.0 {
+			t.Errorf("%s: no overhead on small files (%.3f)", name, small.Relative)
+		}
+		if small.Relative < 0.70 {
+			t.Errorf("%s: small-file loss too extreme: %.3f (paper max ~18%%)", name, small.Relative)
+		}
+		if large.Relative < 0.95 {
+			t.Errorf("%s: large-file relative throughput %.3f below 0.95 (paper <5%% loss)", name, large.Relative)
+		}
+		if small.Relative >= large.Relative {
+			t.Errorf("%s: overhead did not shrink with file size (small %.3f vs large %.3f)",
+				name, small.Relative, large.Relative)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/workloads/lmbench"
+)
+
+// LMBenchResult is one bar of Fig 8.
+type LMBenchResult struct {
+	Name            string
+	NativeCycles    uint64 // per operation
+	EreborCycles    uint64 // per operation
+	Overhead        float64
+	EMCPerOp        float64
+	EMCPerSecond    float64 // EMC rate during the Erebor run
+	EreborRunCycles uint64
+}
+
+// RunFig8 executes the LMBench suite under both modes and returns the
+// Erebor/Native overhead per benchmark.
+func RunFig8() ([]LMBenchResult, error) {
+	var out []LMBenchResult
+	for _, b := range lmbench.Suite() {
+		nat, err := runLMBenchOnce(b, kernel.ModeNative)
+		if err != nil {
+			return nil, err
+		}
+		ere, err := runLMBenchOnce(b, kernel.ModeErebor)
+		if err != nil {
+			return nil, err
+		}
+		r := LMBenchResult{
+			Name:            b.Name,
+			NativeCycles:    nat.cyclesPerOp,
+			EreborCycles:    ere.cyclesPerOp,
+			Overhead:        float64(ere.cyclesPerOp)/float64(nat.cyclesPerOp) - 1,
+			EMCPerOp:        float64(ere.emcs) / float64(b.Iters),
+			EMCPerSecond:    costs.PerSecond(ere.emcs, ere.runCycles),
+			EreborRunCycles: ere.runCycles,
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+type lmRun struct {
+	cyclesPerOp uint64
+	runCycles   uint64
+	emcs        uint64
+}
+
+func runLMBenchOnce(b *lmbench.Bench, mode kernel.Mode) (*lmRun, error) {
+	w, err := NewWorld(WorldConfig{Mode: mode, MemMB: 64})
+	if err != nil {
+		return nil, err
+	}
+	lmbench.Prepare(w.K)
+	var start, end uint64
+	completed := 0
+	var emcStart uint64
+	t, err := w.K.Spawn("lmbench-"+b.Name, mem.OwnerTaskBase, func(e *kernel.Env) {
+		if w.Mon != nil {
+			emcStart = w.Mon.Stats.EMCs
+		}
+		start = w.M.Clock.Now()
+		completed = b.Run(e, b.Iters)
+		end = w.M.Clock.Now()
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.K.Schedule()
+	if t.ExitReason != "" {
+		return nil, fmt.Errorf("lmbench %s (%s): %s", b.Name, mode, t.ExitReason)
+	}
+	if err := lmbench.Validate(b, completed); err != nil {
+		return nil, err
+	}
+	run := &lmRun{runCycles: end - start}
+	run.cyclesPerOp = run.runCycles / uint64(b.Iters)
+	if w.Mon != nil {
+		run.emcs = w.Mon.Stats.EMCs - emcStart
+	}
+	return run, nil
+}

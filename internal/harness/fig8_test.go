@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+func TestFig8LMBench(t *testing.T) {
+	rows, err := RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]LMBenchResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		t.Logf("%-10s native=%7d erebor=%8d  overhead=%6.1f%%  EMC/op=%5.1f EMC/s=%.2fM",
+			r.Name, r.NativeCycles, r.EreborCycles, r.Overhead*100, r.EMCPerOp, r.EMCPerSecond/1e6)
+		if r.Overhead <= 0 {
+			t.Errorf("%s: Erebor not slower than native (%.2f%%)", r.Name, r.Overhead*100)
+		}
+	}
+	// Shape checks from the paper (§9.1): pagefault is the worst bench
+	// (~3.8x native), fork is among the heaviest, plain syscalls modest.
+	pf := byName["pagefault"]
+	for _, r := range rows {
+		if r.Name != "pagefault" && r.Overhead > pf.Overhead {
+			t.Errorf("%s overhead %.1f%% exceeds pagefault's %.1f%%", r.Name, r.Overhead*100, pf.Overhead*100)
+		}
+	}
+	if pf.Overhead < 1.0 || pf.Overhead > 4.0 {
+		t.Errorf("pagefault overhead %.2fx outside the expected 2x-5x band (paper: 3.8x)", pf.Overhead+1)
+	}
+	if byName["fork"].Overhead < byName["null"].Overhead {
+		t.Errorf("fork (%.1f%%) should exceed null syscall (%.1f%%)",
+			byName["fork"].Overhead*100, byName["null"].Overhead*100)
+	}
+	if byName["null"].Overhead > 1.0 {
+		t.Errorf("null-syscall overhead %.1f%% unreasonably high", byName["null"].Overhead*100)
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+)
+
+// MemShareResult quantifies §9.2's memory-sharing claim for one container
+// count: total frames consumed with Erebor's shared common regions versus
+// per-container replication (the unikernel/LibOS-only deployment model).
+type MemShareResult struct {
+	Workload   string
+	Containers int
+
+	SharedBytes     uint64 // Erebor: one common copy + per-sandbox confined
+	ReplicatedBytes uint64 // replication: every container holds the model
+
+	// SavingsPerSandbox is the paper's headline metric: reduction of a
+	// single sandbox's memory footprint thanks to sharing.
+	SavingsPerSandbox float64
+}
+
+// RunMemShare launches n concurrent containers of the workload under both
+// deployment models and measures allocated physical memory.
+func RunMemShare(wl workloads.Workload, n int) (*MemShareResult, error) {
+	shared, err := measureFleet(wl, n, kernel.ModeErebor)
+	if err != nil {
+		return nil, err
+	}
+	repl, err := measureFleet(wl, n, kernel.ModeNative)
+	if err != nil {
+		return nil, err
+	}
+	res := &MemShareResult{
+		Workload: wl.Name(), Containers: n,
+		SharedBytes: shared, ReplicatedBytes: repl,
+	}
+	if repl > 0 {
+		perShared := float64(shared) / float64(n)
+		perRepl := float64(repl) / float64(n)
+		res.SavingsPerSandbox = 1 - perShared/perRepl
+	}
+	return res, nil
+}
+
+// measureFleet runs n containers to completion (sessions left open so
+// memory is still attributed) and returns the frames they consumed.
+func measureFleet(wl workloads.Workload, n int, mode kernel.Mode) (uint64, error) {
+	w, err := NewWorld(WorldConfig{Mode: mode, MemMB: 320})
+	if err != nil {
+		return 0, err
+	}
+	common := wl.CommonData()
+	if common == nil {
+		return 0, fmt.Errorf("memshare: workload %s has no common data", wl.Name())
+	}
+	if err := sandbox.CreateCommon(w.K, wl.Name(), common); err != nil {
+		return 0, err
+	}
+	base := w.Phys.AllocatedFrames()
+	if mode == kernel.ModeErebor {
+		// The shared copy exists once, created above; count it in.
+		base -= (uint64(len(common)) + mem.PageSize - 1) / mem.PageSize
+	}
+
+	input := wl.Input()
+	heap := wl.HeapPages() + 16
+	var containers []*sandbox.Container
+	for i := 0; i < n; i++ {
+		i := i
+		spec := sandbox.Spec{
+			Name:        fmt.Sprintf("%s-%d", wl.Name(), i),
+			Owner:       mem.OwnerTaskBase + mem.Owner(1+i),
+			BudgetPages: heap + 64,
+			LibOS:       libos.Config{HeapPages: heap, MaxThreads: wl.Threads()},
+			Commons:     []sandbox.CommonRef{{Name: wl.Name()}},
+			Main: func(c *sandbox.Container, os *libos.OS) {
+				e := os.Env
+				buf, got, err := os.ReceiveInput(len(input)+4096, 16)
+				if err != nil || got == 0 {
+					return
+				}
+				inBuf := make([]byte, got)
+				e.ReadMem(buf, inBuf)
+				ctx := &workloads.Ctx{
+					E: e, CommonVA: c.CommonVAs[wl.Name()], Input: inBuf,
+					Alloc: func(sz int) paging.Addr {
+						va, aerr := os.Alloc(sz)
+						if aerr != nil {
+							panic(aerr)
+						}
+						return va
+					},
+				}
+				out := wl.Run(ctx)
+				_ = os.SendOutputBytes(out)
+				// Session left open: memory still attributed.
+			},
+		}
+		c, err := sandbox.Launch(w.K, spec)
+		if err != nil {
+			return 0, err
+		}
+		if mode == kernel.ModeErebor {
+			if err := w.Mon.QueueClientInput(c.ID, input); err != nil {
+				return 0, err
+			}
+		} else {
+			w.K.DevEmuPush(input)
+		}
+		containers = append(containers, c)
+	}
+	w.K.Schedule()
+	for _, c := range containers {
+		if berr := c.BootErr(); berr != nil {
+			return 0, fmt.Errorf("memshare container: %w", berr)
+		}
+		if c.Task.ExitReason != "" {
+			return 0, fmt.Errorf("memshare container: %s", c.Task.ExitReason)
+		}
+	}
+	used := w.Phys.AllocatedFrames() - base
+	return used * mem.PageSize, nil
+}

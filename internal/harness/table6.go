@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"math"
+
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+)
+
+// Table6Row is one program row of Table 6: sandbox-exit rates, EMC rate,
+// execution time, memory split and initialization overhead.
+type Table6Row struct {
+	Program string
+
+	PFRate    float64 // page faults / s
+	TimerRate float64 // timer interrupts / s
+	VERate    float64 // virtualization exceptions / s
+	TotalRate float64 // total sandbox exits / s
+
+	EMCRate float64 // Erebor-Monitor-calls / s
+	TimeSec float64 // run time (simulated seconds)
+
+	ConfinedMB float64
+	CommonMB   float64
+
+	InitOverhead float64 // Erebor init vs native init
+}
+
+// Fig9Row is one workload's bar group in Fig 9 (overheads vs native).
+type Fig9Row struct {
+	Program string
+
+	LibOSOnly float64
+	// LibOSMMU / LibOSExit are attribution-based breakdowns: LibOS overhead
+	// plus the monitor cycles attributed to memory isolation / exit
+	// protection respectively (the paper measures these as separate
+	// configurations; the simulation attributes gate cycles by EMC kind).
+	LibOSMMU  float64
+	LibOSExit float64
+	Full      float64
+}
+
+// ScenarioSet bundles the three configuration runs of one workload.
+type ScenarioSet struct {
+	Native *ScenarioResult
+	LibOS  *ScenarioResult
+	Erebor *ScenarioResult
+}
+
+// RunScenarioSet runs one workload under all three configurations.
+func RunScenarioSet(wl workloads.Workload, opt ScenarioOptions) (*ScenarioSet, error) {
+	nat, err := RunScenario(wl, CfgNative, opt)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := RunScenario(wl, CfgLibOSOnly, opt)
+	if err != nil {
+		return nil, err
+	}
+	ere, err := RunScenario(wl, CfgErebor, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioSet{Native: nat, LibOS: lib, Erebor: ere}, nil
+}
+
+// Fig9 computes the overhead bars for one workload.
+func (s *ScenarioSet) Fig9() Fig9Row {
+	nat := float64(s.Native.RunCycles)
+	row := Fig9Row{
+		Program:   s.Native.Workload,
+		LibOSOnly: float64(s.LibOS.RunCycles)/nat - 1,
+		Full:      float64(s.Erebor.RunCycles)/nat - 1,
+	}
+	// Attribute the Erebor-specific extra cycles.
+	mmu := float64(s.Erebor.EMCCyclesMMU)
+	exit := float64(s.Erebor.EMCCyclesExit)
+	row.LibOSMMU = row.LibOSOnly + mmu/nat
+	row.LibOSExit = row.LibOSOnly + exit/nat
+	return row
+}
+
+// Table6 computes the statistics row from the Erebor run (+init overhead
+// vs native).
+func (s *ScenarioSet) Table6() Table6Row {
+	e := s.Erebor
+	row := Table6Row{
+		Program:    e.Workload,
+		PFRate:     e.Rate(e.PageFaults),
+		TimerRate:  e.Rate(e.TimerTicks),
+		VERate:     e.Rate(e.VEExits),
+		TotalRate:  e.Rate(e.SandboxExits),
+		EMCRate:    e.Rate(e.EMCs),
+		TimeSec:    e.RunSeconds(),
+		ConfinedMB: float64(e.ConfinedBytes) / (1 << 20),
+		CommonMB:   float64(e.CommonBytes) / (1 << 20),
+	}
+	if s.Native.InitCycles > 0 {
+		row.InitOverhead = float64(e.InitCycles)/float64(s.Native.InitCycles) - 1
+	}
+	return row
+}
+
+// Geomean computes the geometric mean of (1+overhead) values minus one.
+func Geomean(overheads []float64) float64 {
+	if len(overheads) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, o := range overheads {
+		prod *= 1 + o
+	}
+	return math.Pow(prod, 1/float64(len(overheads))) - 1
+}

@@ -1,0 +1,117 @@
+// Package harness assembles complete simulated platforms (machine + TDX +
+// monitor + kernel) and drives the paper's experiments: it is the code
+// behind cmd/erebor-bench and the repository's table/figure benchmarks.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/attest"
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// World is one fully booted simulated CVM.
+type World struct {
+	Phys *mem.Physical
+	M    *cpu.Machine
+	TDX  *tdx.Module
+	Host *tdx.Host
+	Mon  *monitor.Monitor // nil in native mode
+	K    *kernel.Kernel
+	QK   *attest.QuotingKey
+
+	Mode kernel.Mode
+
+	bootCycles uint64
+}
+
+// WorldConfig sizes a world.
+type WorldConfig struct {
+	Mode  kernel.Mode
+	MemMB uint64
+	// PadBlock overrides the secure channel padding block (0 = default).
+	PadBlock int
+	// PlainGuest boots a normal (non-TD) guest: the paper's §10 paravisor
+	// compatibility experiment — Erebor's features are guest-local, so the
+	// same code must run without TDX (cpuid no longer raises #VE;
+	// attestation has no hardware root).
+	PlainGuest bool
+}
+
+// firmware is the measured boot firmware blob (OVMF stand-in).
+var firmware = func() []byte {
+	fw := make([]byte, 8192)
+	copy(fw, []byte("OVMF open virtual machine firmware (simulated)"))
+	return fw
+}()
+
+// NewWorld boots a complete platform in the requested mode.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if cfg.MemMB == 0 {
+		cfg.MemMB = 128
+	}
+	phys := mem.NewPhysical(cfg.MemMB << 20)
+	m := cpu.NewMachine(phys, 1, !cfg.PlainGuest)
+	host := tdx.NewHost()
+	module := tdx.NewModule(phys, host)
+	m.TDX = module
+	module.MeasureBoot("firmware", firmware)
+
+	w := &World{Phys: phys, M: m, TDX: module, Host: host, Mode: cfg.Mode}
+
+	switch cfg.Mode {
+	case kernel.ModeErebor:
+		qk, err := attest.NewQuotingKey()
+		if err != nil {
+			return nil, err
+		}
+		w.QK = qk
+		mcfg := monitor.DefaultConfig(phys.NumFrames())
+		mcfg.PadBlock = cfg.PadBlock
+		mon, err := monitor.Boot(m, module, qk, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: monitor boot: %w", err)
+		}
+		w.Mon = mon
+		img := kernel.BuildKernelImage(kernel.ImageOptions{Instrumented: true})
+		if _, err := mon.LoadKernel(img); err != nil {
+			return nil, fmt.Errorf("harness: kernel load: %w", err)
+		}
+		k, err := kernel.New(kernel.Config{Machine: m, Mode: kernel.ModeErebor, Monitor: mon, TDX: module})
+		if err != nil {
+			return nil, err
+		}
+		w.K = k
+
+	case kernel.ModeNative:
+		// Reserve the same regions so frame-pool shapes match (the native
+		// kernel uses shared-io for networking too).
+		if _, err := phys.Reserve(monitor.RegionSharedIO, 64); err != nil {
+			return nil, err
+		}
+		k, err := kernel.New(kernel.Config{Machine: m, Mode: kernel.ModeNative, TDX: module})
+		if err != nil {
+			return nil, err
+		}
+		w.K = k
+
+	default:
+		return nil, fmt.Errorf("harness: unknown mode %v", cfg.Mode)
+	}
+	w.bootCycles = m.Clock.Now()
+	return w, nil
+}
+
+// BootCycles returns the cycles consumed by boot (excluded from workload
+// measurements).
+func (w *World) BootCycles() uint64 { return w.bootCycles }
+
+// Core returns the scheduling core.
+func (w *World) Core() *cpu.Core { return w.M.Cores[0] }
+
+// Elapsed returns cycles since boot completed.
+func (w *World) Elapsed() uint64 { return w.M.Clock.Now() - w.bootCycles }

@@ -1,0 +1,323 @@
+// Package image implements the ELF-like kernel image format Erebor's
+// verified boot consumes: named sections with virtual addresses and flags,
+// symbols, and absolute relocations. The monitor (internal/monitor)
+// byte-scans every executable section before loading and performs the
+// relocations itself, mirroring the paper's two-stage boot (§5.1).
+package image
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Magic identifies an encoded image.
+var Magic = [4]byte{'E', 'K', 'I', '1'}
+
+// SectionType classifies a section's protection requirements.
+type SectionType uint8
+
+const (
+	Text   SectionType = iota // executable, read-only (W^X)
+	Rodata                    // read-only data
+	Data                      // read-write, non-executable
+	Bss                       // zero-initialized read-write
+)
+
+func (t SectionType) String() string {
+	return [...]string{"text", "rodata", "data", "bss"}[t]
+}
+
+// Section is one loadable unit.
+type Section struct {
+	Name  string
+	Type  SectionType
+	VAddr uint64
+	// Size is the in-memory size; for Bss, Data is empty and Size rules.
+	Size uint64
+	Data []byte
+}
+
+// Symbol binds a name to a virtual address.
+type Symbol struct {
+	Name  string
+	VAddr uint64
+}
+
+// Reloc is an absolute 64-bit relocation: write resolve(Symbol)+Addend at
+// Section[SectionIdx].Data[Offset:Offset+8].
+type Reloc struct {
+	SectionIdx int
+	Offset     uint64
+	Symbol     string
+	Addend     int64
+}
+
+// Image is a decoded kernel (or module) image.
+type Image struct {
+	Entry    string // entry-point symbol name
+	Sections []Section
+	Symbols  []Symbol
+	Relocs   []Reloc
+}
+
+// Lookup resolves a symbol name.
+func (im *Image) Lookup(name string) (uint64, bool) {
+	for _, s := range im.Symbols {
+		if s.Name == name {
+			return s.VAddr, true
+		}
+	}
+	return 0, false
+}
+
+// Relocate applies every relocation in place (after the loader has decided
+// final addresses; the simulation links images at their stated VAddrs, so
+// resolution is symbol value + addend).
+func (im *Image) Relocate() error {
+	for _, r := range im.Relocs {
+		if r.SectionIdx < 0 || r.SectionIdx >= len(im.Sections) {
+			return fmt.Errorf("image: reloc into missing section %d", r.SectionIdx)
+		}
+		sec := &im.Sections[r.SectionIdx]
+		if sec.Type == Bss {
+			return fmt.Errorf("image: reloc into bss section %q", sec.Name)
+		}
+		if r.Offset+8 > uint64(len(sec.Data)) {
+			return fmt.Errorf("image: reloc at %q+%#x out of range", sec.Name, r.Offset)
+		}
+		v, ok := im.Lookup(r.Symbol)
+		if !ok {
+			return fmt.Errorf("image: undefined symbol %q", r.Symbol)
+		}
+		binary.LittleEndian.PutUint64(sec.Data[r.Offset:], uint64(int64(v)+r.Addend))
+	}
+	return nil
+}
+
+// Validate checks structural invariants: non-overlapping sections, data
+// sizes consistent, entry defined.
+func (im *Image) Validate() error {
+	for i := range im.Sections {
+		s := &im.Sections[i]
+		if s.Type == Bss {
+			if len(s.Data) != 0 {
+				return fmt.Errorf("image: bss section %q carries data", s.Name)
+			}
+		} else if s.Size != uint64(len(s.Data)) {
+			return fmt.Errorf("image: section %q size %d != data %d", s.Name, s.Size, len(s.Data))
+		}
+		for j := 0; j < i; j++ {
+			o := &im.Sections[j]
+			if s.VAddr < o.VAddr+o.Size && o.VAddr < s.VAddr+s.Size {
+				return fmt.Errorf("image: sections %q and %q overlap", s.Name, o.Name)
+			}
+		}
+	}
+	if im.Entry != "" {
+		if _, ok := im.Lookup(im.Entry); !ok {
+			return fmt.Errorf("image: entry symbol %q undefined", im.Entry)
+		}
+	}
+	return nil
+}
+
+// --- serialization ------------------------------------------------------------
+
+func writeStr(w *bytes.Buffer, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	w.Write(n[:])
+	w.WriteString(s)
+}
+
+func writeBytes(w *bytes.Buffer, b []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	w.Write(n[:])
+	w.Write(b)
+}
+
+func writeU64(w *bytes.Buffer, v uint64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], v)
+	w.Write(n[:])
+}
+
+// Encode serializes the image.
+func (im *Image) Encode() []byte {
+	var w bytes.Buffer
+	w.Write(Magic[:])
+	writeStr(&w, im.Entry)
+	writeU64(&w, uint64(len(im.Sections)))
+	for _, s := range im.Sections {
+		writeStr(&w, s.Name)
+		w.WriteByte(byte(s.Type))
+		writeU64(&w, s.VAddr)
+		writeU64(&w, s.Size)
+		writeBytes(&w, s.Data)
+	}
+	writeU64(&w, uint64(len(im.Symbols)))
+	for _, s := range im.Symbols {
+		writeStr(&w, s.Name)
+		writeU64(&w, s.VAddr)
+	}
+	writeU64(&w, uint64(len(im.Relocs)))
+	for _, r := range im.Relocs {
+		writeU64(&w, uint64(r.SectionIdx))
+		writeU64(&w, r.Offset)
+		writeStr(&w, r.Symbol)
+		writeU64(&w, uint64(r.Addend))
+	}
+	return w.Bytes()
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("image: truncated at offset %d (need %d bytes)", r.off, n)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) str() string {
+	nb := r.need(4)
+	if r.err != nil {
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint32(nb))
+	if n > len(r.b)-r.off {
+		r.err = fmt.Errorf("image: string length %d exceeds remaining input", n)
+		return ""
+	}
+	return string(r.need(n))
+}
+
+func (r *reader) bytes() []byte {
+	nb := r.need(4)
+	if r.err != nil {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(nb))
+	if n > len(r.b)-r.off {
+		r.err = fmt.Errorf("image: blob length %d exceeds remaining input", n)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.need(n))
+	return out
+}
+
+func (r *reader) u64() uint64 {
+	b := r.need(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) u8() byte {
+	b := r.need(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Decode parses an encoded image.
+func Decode(b []byte) (*Image, error) {
+	r := &reader{b: b}
+	magic := r.need(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !bytes.Equal(magic, Magic[:]) {
+		return nil, fmt.Errorf("image: bad magic % x", magic)
+	}
+	im := &Image{Entry: r.str()}
+	nsec := r.u64()
+	if r.err == nil && nsec > 1<<16 {
+		return nil, fmt.Errorf("image: unreasonable section count %d", nsec)
+	}
+	for i := uint64(0); i < nsec && r.err == nil; i++ {
+		s := Section{Name: r.str(), Type: SectionType(r.u8()), VAddr: r.u64(), Size: r.u64(), Data: r.bytes()}
+		im.Sections = append(im.Sections, s)
+	}
+	nsym := r.u64()
+	if r.err == nil && nsym > 1<<20 {
+		return nil, fmt.Errorf("image: unreasonable symbol count %d", nsym)
+	}
+	for i := uint64(0); i < nsym && r.err == nil; i++ {
+		im.Symbols = append(im.Symbols, Symbol{Name: r.str(), VAddr: r.u64()})
+	}
+	nrel := r.u64()
+	if r.err == nil && nrel > 1<<20 {
+		return nil, fmt.Errorf("image: unreasonable reloc count %d", nrel)
+	}
+	for i := uint64(0); i < nrel && r.err == nil; i++ {
+		im.Relocs = append(im.Relocs, Reloc{
+			SectionIdx: int(r.u64()), Offset: r.u64(), Symbol: r.str(), Addend: int64(r.u64()),
+		})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// Builder assembles images programmatically.
+type Builder struct {
+	im Image
+}
+
+// NewBuilder starts an image with the given entry symbol (may be "").
+func NewBuilder(entry string) *Builder {
+	return &Builder{im: Image{Entry: entry}}
+}
+
+// Section appends a section and returns its index.
+func (b *Builder) Section(name string, t SectionType, vaddr uint64, data []byte) int {
+	b.im.Sections = append(b.im.Sections, Section{
+		Name: name, Type: t, VAddr: vaddr, Size: uint64(len(data)), Data: append([]byte(nil), data...),
+	})
+	return len(b.im.Sections) - 1
+}
+
+// Bss appends a zero-initialized section.
+func (b *Builder) Bss(name string, vaddr, size uint64) int {
+	b.im.Sections = append(b.im.Sections, Section{Name: name, Type: Bss, VAddr: vaddr, Size: size})
+	return len(b.im.Sections) - 1
+}
+
+// Symbol defines a symbol.
+func (b *Builder) Symbol(name string, vaddr uint64) {
+	b.im.Symbols = append(b.im.Symbols, Symbol{Name: name, VAddr: vaddr})
+}
+
+// Reloc records an abs64 relocation.
+func (b *Builder) Reloc(section int, offset uint64, symbol string, addend int64) {
+	b.im.Relocs = append(b.im.Relocs, Reloc{SectionIdx: section, Offset: offset, Symbol: symbol, Addend: addend})
+}
+
+// Image finalizes and validates the built image.
+func (b *Builder) Image() (*Image, error) {
+	if err := b.im.Validate(); err != nil {
+		return nil, err
+	}
+	im := b.im
+	return &im, nil
+}

@@ -1,0 +1,133 @@
+package image
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func sampleImage(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder("start")
+	ti := b.Section(".text", Text, 0x1000, make([]byte, 64))
+	b.Section(".data", Data, 0x3000, make([]byte, 32))
+	b.Bss(".bss", 0x5000, 128)
+	b.Symbol("start", 0x1000)
+	b.Symbol("table", 0x3000)
+	b.Reloc(ti, 8, "table", 4)
+	im, err := b.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := sampleImage(t)
+	enc := im.Encode()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Entry != "start" || len(dec.Sections) != 3 || len(dec.Symbols) != 2 || len(dec.Relocs) != 1 {
+		t.Fatalf("decoded shape: %+v", dec)
+	}
+	if dec.Sections[0].Name != ".text" || dec.Sections[0].VAddr != 0x1000 {
+		t.Fatalf("section 0: %+v", dec.Sections[0])
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	im := sampleImage(t)
+	if err := im.Relocate(); err != nil {
+		t.Fatal(err)
+	}
+	got := binary.LittleEndian.Uint64(im.Sections[0].Data[8:])
+	if got != 0x3000+4 {
+		t.Fatalf("reloc wrote %#x", got)
+	}
+}
+
+func TestRelocateUndefinedSymbol(t *testing.T) {
+	b := NewBuilder("")
+	ti := b.Section(".text", Text, 0x1000, make([]byte, 16))
+	b.Reloc(ti, 0, "ghost", 0)
+	im, err := b.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Relocate(); err == nil {
+		t.Fatal("undefined symbol relocated")
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	b := NewBuilder("")
+	b.Section(".a", Text, 0x1000, make([]byte, 4096))
+	b.Section(".b", Data, 0x1800, make([]byte, 16))
+	if _, err := b.Image(); err == nil {
+		t.Fatal("overlapping sections accepted")
+	}
+}
+
+func TestValidateRejectsMissingEntry(t *testing.T) {
+	b := NewBuilder("nowhere")
+	b.Section(".text", Text, 0x1000, make([]byte, 8))
+	if _, err := b.Image(); err == nil {
+		t.Fatal("undefined entry accepted")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := Decode([]byte("XXXXjunk")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// Property: truncating an encoded image at any point either still decodes
+// (prefix happens to be valid) or errors — it must never panic.
+func TestDecodeTruncationSafe(t *testing.T) {
+	enc := sampleImage(t).Encode()
+	f := func(cut uint16) bool {
+		n := int(cut) % (len(enc) + 1)
+		defer func() {
+			if recover() != nil {
+				t.Errorf("panic decoding %d-byte prefix", n)
+			}
+		}()
+		_, _ = Decode(enc[:n])
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random byte flips never panic the decoder.
+func TestDecodeCorruptionSafe(t *testing.T) {
+	enc := sampleImage(t).Encode()
+	f := func(pos uint16, val byte) bool {
+		cp := append([]byte(nil), enc...)
+		cp[int(pos)%len(cp)] ^= val | 1
+		defer func() {
+			if recover() != nil {
+				t.Error("panic on corrupted image")
+			}
+		}()
+		_, _ = Decode(cp)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	im := sampleImage(t)
+	if v, ok := im.Lookup("table"); !ok || v != 0x3000 {
+		t.Fatalf("lookup table: %v %v", v, ok)
+	}
+	if _, ok := im.Lookup("missing"); ok {
+		t.Fatal("found missing symbol")
+	}
+}

@@ -1,0 +1,138 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanFindsEachKind(t *testing.T) {
+	for _, kind := range AllKinds {
+		code := append(EmitNop(7), Emit(kind)...)
+		code = append(code, EmitNop(5)...)
+		matches := Scan(code)
+		if len(matches) != 1 {
+			t.Fatalf("%v: %d matches", kind, len(matches))
+		}
+		if matches[0].Kind != kind || matches[0].Offset != 7 && kind != KindTDCALL {
+			// tdcall reports the 66 prefix offset.
+			if !(kind == KindTDCALL && matches[0].Offset == 7) {
+				t.Fatalf("%v: match %v", kind, matches[0])
+			}
+		}
+	}
+}
+
+func TestScanBenignCodeIsClean(t *testing.T) {
+	var code []byte
+	code = append(code, EmitEndbr64()...)
+	code = append(code, EmitNop(32)...)
+	code = append(code, EmitCallRel32(-5)...)
+	code = append(code, EmitMovImm64(0x1111111111111111)...)
+	code = append(code, EmitCLAC()...) // clac is NOT sensitive
+	code = append(code, EmitRet()...)
+	if m := Scan(code); len(m) != 0 {
+		t.Fatalf("benign code flagged: %v", m)
+	}
+	if !Clean(code) {
+		t.Fatal("Clean disagrees with Scan")
+	}
+}
+
+func TestScanUnaligned(t *testing.T) {
+	// The sensitive bytes straddle an instruction boundary (hidden in an
+	// immediate operand): the byte-level scan must still flag them.
+	imm := uint64(0x0F)<<0 | uint64(0x30)<<8 // "wrmsr" inside mov imm64
+	code := EmitMovImm64(imm)
+	if m := Scan(code); len(m) == 0 {
+		t.Fatal("pattern hidden in immediate not flagged")
+	}
+	if !ContainsImm(imm) {
+		t.Fatal("ContainsImm missed the pattern")
+	}
+	if ContainsImm(0x1111111111111111) {
+		t.Fatal("ContainsImm false positive")
+	}
+}
+
+func TestScanLIDTRequiresMemoryOperand(t *testing.T) {
+	// 0F 01 with mod=11 reg=3 (stac neighborhood) is not lidt.
+	if m := Scan([]byte{0x0F, 0x01, 0xDB}); len(m) != 0 {
+		t.Fatalf("register-form 0F01 flagged as lidt: %v", m)
+	}
+	if m := Scan(EmitLIDT(0)); len(m) != 1 || m[0].Kind != KindLIDT {
+		t.Fatalf("lidt not found: %v", m)
+	}
+}
+
+func TestFindEndbr(t *testing.T) {
+	code := append(EmitEndbr64(), EmitNop(10)...)
+	code = append(code, EmitEndbr64()...)
+	offs := FindEndbr(code)
+	if len(offs) != 2 || offs[0] != 0 || offs[1] != 14 {
+		t.Fatalf("endbr offsets %v", offs)
+	}
+}
+
+// Property: planting any sensitive instruction at any offset in a nop sea
+// is always detected, and the reported offset is within the plant.
+func TestScanPlantProperty(t *testing.T) {
+	f := func(kindIdx uint8, offset uint16) bool {
+		kind := AllKinds[int(kindIdx)%len(AllKinds)]
+		off := int(offset) % 500
+		code := EmitNop(600)
+		plant := Emit(kind)
+		copy(code[off:], plant)
+		for _, m := range Scan(code) {
+			if m.Kind == kind && m.Offset >= off-1 && m.Offset <= off {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scanning is deterministic and Clean is consistent with Scan.
+func TestScanDeterministic(t *testing.T) {
+	f := func(data []byte) bool {
+		a := Scan(data)
+		b := Scan(data)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Kind != b[i].Kind || a[i].Offset != b[i].Offset ||
+				!bytes.Equal(a[i].Bytes, b[i].Bytes) {
+				return false
+			}
+		}
+		return Clean(data) == (len(a) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitEncodings(t *testing.T) {
+	cases := []struct {
+		name string
+		got  []byte
+		want []byte
+	}{
+		{"wrmsr", EmitWRMSR(), []byte{0x0F, 0x30}},
+		{"stac", EmitSTAC(), []byte{0x0F, 0x01, 0xCB}},
+		{"clac", EmitCLAC(), []byte{0x0F, 0x01, 0xCA}},
+		{"tdcall", EmitTDCALL(), []byte{0x66, 0x0F, 0x01, 0xCC}},
+		{"endbr64", EmitEndbr64(), []byte{0xF3, 0x0F, 0x1E, 0xFA}},
+		{"mov-cr0", EmitMovToCR(0), []byte{0x0F, 0x22, 0xC0}},
+		{"mov-cr4", EmitMovToCR(4), []byte{0x0F, 0x22, 0xE0}},
+	}
+	for _, c := range cases {
+		if !bytes.Equal(c.got, c.want) {
+			t.Errorf("%s: % x != % x", c.name, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"github.com/asterisc-release/erebor-go/internal/image"
+	"github.com/asterisc-release/erebor-go/internal/isa"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+)
+
+// ImageOptions controls synthetic kernel-image generation.
+type ImageOptions struct {
+	// Instrumented replaces every sensitive privileged instruction with a
+	// call to the EMC dispatch stub (the paper's §5.1 source
+	// instrumentation). Un-instrumented images must be rejected by the
+	// monitor's verified boot.
+	Instrumented bool
+	// HideInImmediate embeds a sensitive byte pattern inside a mov
+	// immediate — an evasion attempt the byte-level scanner must still
+	// catch (it scans at every offset).
+	HideInImmediate bool
+	// TextKB sizes the synthetic text section.
+	TextKB int
+}
+
+// kernelImageBase is where the synthetic kernel links its sections.
+const kernelImageBase = uint64(monitor.KernelTextBase) + 0x10_0000
+
+// BuildKernelImage generates a synthetic kernel image in the loader format
+// the monitor verifies: a text section full of benign instruction filler
+// with either instrumented EMC call sites or raw sensitive instructions,
+// plus rodata/data/bss sections, symbols and relocations.
+func BuildKernelImage(opt ImageOptions) []byte {
+	if opt.TextKB <= 0 {
+		opt.TextKB = 64
+	}
+	b := image.NewBuilder("kernel_entry")
+
+	var text []byte
+	emit := func(bs ...byte) { text = append(text, bs...) }
+
+	// Entry point.
+	entryOff := uint64(len(text))
+	emit(isa.EmitEndbr64()...)
+	emit(isa.EmitNop(8)...)
+
+	// Privileged-operation sites: where a stock kernel executes sensitive
+	// instructions, the instrumented kernel calls the EMC stub instead.
+	sensitive := [][]byte{
+		isa.EmitMovToCR(0), isa.EmitMovToCR(3), isa.EmitMovToCR(4),
+		isa.EmitWRMSR(), isa.EmitSTAC(), isa.EmitLIDT(0x40), isa.EmitTDCALL(),
+	}
+	siteStride := opt.TextKB * 1024 / (len(sensitive) * 4)
+	nextSite := 0
+	siteIdx := 0
+
+	fill := func() []byte {
+		// Deterministic benign filler: mov imm (sanitized), nops, ret.
+		var f []byte
+		imm := uint64(0x1122334455667788)
+		if isa.ContainsImm(imm) {
+			imm = 0x1111111111111111
+		}
+		f = append(f, isa.EmitMovImm64(imm)...)
+		f = append(f, isa.EmitNop(5)...)
+		f = append(f, isa.EmitRet()...)
+		return f
+	}
+
+	for len(text) < opt.TextKB*1024 {
+		if len(text) >= nextSite {
+			site := sensitive[siteIdx%len(sensitive)]
+			siteIdx++
+			nextSite += siteStride
+			if opt.Instrumented {
+				// call emc_dispatch (rel32 patched by a relocation-free
+				// direct call; the stub lives at the image start).
+				emit(isa.EmitCallRel32(int32(int64(entryOff) - int64(len(text)) - 5))...)
+			} else {
+				emit(site...)
+			}
+			continue
+		}
+		emit(fill()...)
+	}
+	if opt.HideInImmediate {
+		// mov $imm64 whose immediate bytes spell "wrmsr" (0F 30): the
+		// byte-level scanner must flag this even though a disassembler
+		// would treat it as data.
+		emit(0x48, 0xB8, 0x0F, 0x30, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00)
+	}
+
+	textIdx := b.Section(".text", image.Text, kernelImageBase, text)
+	_ = textIdx
+
+	// Read-only data with a relocation pointing back at the entry symbol
+	// (exercises the loader's relocation pass).
+	rodata := make([]byte, 4096)
+	copy(rodata, []byte("erebor-sim synthetic kernel v6.6.0\x00"))
+	roIdx := b.Section(".rodata", image.Rodata, kernelImageBase+0x100_0000, rodata)
+	b.Reloc(roIdx, 64, "kernel_entry", 0)
+
+	data := make([]byte, 8192)
+	dataIdx := b.Section(".data", image.Data, kernelImageBase+0x200_0000, data)
+	b.Reloc(dataIdx, 0, "kernel_entry", 16)
+
+	b.Bss(".bss", kernelImageBase+0x300_0000, 4*4096)
+
+	b.Symbol("kernel_entry", kernelImageBase+entryOff)
+	b.Symbol("emc_dispatch", kernelImageBase+entryOff)
+
+	im, err := b.Image()
+	if err != nil {
+		panic("kernel: building synthetic image: " + err.Error())
+	}
+	return im.Encode()
+}

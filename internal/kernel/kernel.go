@@ -1,0 +1,276 @@
+// Package kernel simulates the CVM guest operating system: tasks and
+// scheduling, syscalls, demand paging, fork, an in-memory VFS, signals, and
+// GHCI-backed proxy networking. It runs in two modes:
+//
+//   - Native: the kernel is fully privileged (the paper's "Native CVM"
+//     baseline). It owns its page tables, IDT, CRs and MSRs and issues
+//     tdcalls directly.
+//   - Erebor: the kernel is deprivileged. Every sensitive operation
+//     (Table 2) is delegated to EREBOR-MONITOR through EMCs, all its
+//     vectors are interposed by the monitor's gates, and SMAP forces user
+//     copies through the monitor.
+//
+// The same kernel logic drives both modes through the privOps interface,
+// so Native-vs-Erebor comparisons measure exactly the delegation cost.
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// Mode selects the privilege configuration.
+type Mode int
+
+const (
+	// ModeNative is a stock CVM kernel (baseline).
+	ModeNative Mode = iota
+	// ModeErebor is the deprivileged kernel under EREBOR-MONITOR.
+	ModeErebor
+)
+
+func (m Mode) String() string {
+	if m == ModeNative {
+		return "native"
+	}
+	return "erebor"
+}
+
+// TimerQuantum is the scheduler tick period in cycles (1 ms at 2.1 GHz).
+const TimerQuantum = 2_100_000
+
+// Stats aggregates kernel-side event counts for the evaluation harness.
+type Stats struct {
+	Syscalls        uint64
+	PageFaults      uint64
+	TimerTicks      uint64
+	ContextSwitches uint64
+	Forks           uint64
+	Signals         uint64
+	VEExits         uint64
+}
+
+// Kernel is the simulated guest OS.
+type Kernel struct {
+	M    *cpu.Machine
+	Mode Mode
+	Mon  *monitor.Monitor // nil in native mode
+	TDX  *tdx.Module
+
+	priv privOps
+
+	idt *cpu.IDT // native mode only
+
+	tasks   map[Pid]*Task
+	runq    []*Task
+	current *Task
+	nextPid Pid
+
+	vfs *VFS
+
+	// Erebor-device emulation for the LibOS-only ablation (native mode
+	// kernel backs /dev/erebor with plain kernel queues — the paper's
+	// DebugFS stand-in).
+	devEmuIn  [][]byte
+	devEmuOut [][]byte
+
+	sliceEnd uint64
+
+	// Syscall plumbing that cannot travel through registers in a Go
+	// simulation: fork/clone child functions and signal handler closures.
+	pendingForkFn     func(e *Env)
+	pendingThreadName string
+	pendingSigHandler func(e *Env, sig int)
+	wantResched       bool
+
+	futexQ map[uint64][]*Task
+
+	// ReclaimPerTick configures memory-pressure reclaim: pages evicted per
+	// timer tick from registered reclaimable regions (0 = off).
+	ReclaimPerTick int
+	reclaimRegions []*reclaimRegion
+	reclaimNext    int
+
+	// sharedIOFrames is the pool of CVM-shared frames used by the network
+	// proxy path.
+	sharedIO []mem.Frame
+
+	Stats Stats
+}
+
+// Config for kernel construction.
+type Config struct {
+	Machine *cpu.Machine
+	Mode    Mode
+	Monitor *monitor.Monitor // required for ModeErebor
+	TDX     *tdx.Module
+}
+
+// New builds and boots a kernel. In Erebor mode the monitor must already
+// have booted and verified/loaded the kernel image; New performs the
+// post-load initialization the loaded kernel's entry point would run
+// (registering vectors and the syscall entry via EMCs). In native mode the
+// kernel claims the hardware interfaces directly.
+func New(cfg Config) (*Kernel, error) {
+	k := &Kernel{
+		M:      cfg.Machine,
+		Mode:   cfg.Mode,
+		Mon:    cfg.Monitor,
+		TDX:    cfg.TDX,
+		tasks:  make(map[Pid]*Task),
+		vfs:    NewVFS(),
+		futexQ: make(map[uint64][]*Task),
+	}
+	switch cfg.Mode {
+	case ModeErebor:
+		if cfg.Monitor == nil {
+			return nil, fmt.Errorf("kernel: Erebor mode requires a booted monitor")
+		}
+		k.priv = &ereborPriv{k: k, mon: cfg.Monitor}
+		if err := k.bootErebor(); err != nil {
+			return nil, err
+		}
+	case ModeNative:
+		k.priv = &nativePriv{k: k}
+		if err := k.bootNative(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("kernel: unknown mode %d", cfg.Mode)
+	}
+	return k, nil
+}
+
+func (k *Kernel) core() *cpu.Core { return k.M.Cores[0] }
+
+// bootErebor registers the kernel's handlers with the monitor via EMCs.
+func (k *Kernel) bootErebor() error {
+	c := k.core()
+	if err := k.Mon.EMCSetSyscallEntry(c, k.syscallEntry); err != nil {
+		return err
+	}
+	for _, v := range []uint8{cpu.VecTimer, cpu.VecIPI, cpu.VecDevice} {
+		if err := k.Mon.EMCSetVector(c, v, k.interruptHandler); err != nil {
+			return err
+		}
+	}
+	for _, v := range []uint8{cpu.VecPF, cpu.VecGP, cpu.VecUD, cpu.VecVE, cpu.VecCP} {
+		if err := k.Mon.EMCSetVector(c, v, k.exceptionHandler); err != nil {
+			return err
+		}
+	}
+	k.Mon.KillNotify = k.onSandboxKilled
+	return nil
+}
+
+// bootNative claims the hardware directly: own IDT, CRs, MSRs, kernel page
+// tables with a direct map.
+func (k *Kernel) bootNative() error {
+	c := k.core()
+	np := k.priv.(*nativePriv)
+	if err := np.buildKernelTables(); err != nil {
+		return err
+	}
+	k.idt = cpu.NewIDT()
+	k.idt.Set(cpu.VecSyscall, k.syscallEntry)
+	for _, v := range []uint8{cpu.VecTimer, cpu.VecIPI, cpu.VecDevice} {
+		k.idt.Set(v, k.interruptHandler)
+	}
+	for _, v := range []uint8{cpu.VecPF, cpu.VecGP, cpu.VecUD, cpu.VecVE, cpu.VecCP} {
+		k.idt.Set(v, k.exceptionHandler)
+	}
+	if t := c.LIDT(k.idt); t != nil {
+		return t
+	}
+	if t := c.WriteCR(cpu.CR0, cpu.CR0WP); t != nil {
+		return t
+	}
+	// A stock kernel still enables SMEP/SMAP (standard hardening); it does
+	// not enable PKS/CET for itself.
+	if t := c.WriteCR(cpu.CR4, cpu.CR4SMEP|cpu.CR4SMAP); t != nil {
+		return t
+	}
+	if t := c.WriteCR(cpu.CR3, uint64(np.kernelTables.Root.Base())); t != nil {
+		return t
+	}
+	if t := c.WriteMSR(cpu.MSRLSTAR, 0xFFFF_8000_0010_0000); t != nil {
+		return t
+	}
+	return nil
+}
+
+// VFS returns the kernel's filesystem (workload setup).
+func (k *Kernel) VFS() *VFS { return k.vfs }
+
+// onSandboxKilled terminates the task hosting a killed sandbox.
+func (k *Kernel) onSandboxKilled(id monitor.SandboxID, reason string) {
+	for _, t := range k.tasks {
+		if t.P.Sandbox == id && t.State != TaskZombie {
+			t.exitLocked(128, "sandbox killed: "+reason)
+		}
+	}
+}
+
+// SpawnSandboxed creates a process and registers its address space as an
+// EREBOR-SANDBOX with the given confined-memory budget. In native mode
+// (LibOS-only ablation) the process is spawned without a sandbox and the
+// Erebor device is kernel-emulated.
+func (k *Kernel) SpawnSandboxed(name string, owner mem.Owner, budgetPages uint64, fn func(e *Env)) (*Task, monitor.SandboxID, error) {
+	t, err := k.Spawn(name, owner, fn)
+	if err != nil {
+		return nil, 0, err
+	}
+	if k.Mode != ModeErebor {
+		return t, 0, nil
+	}
+	sbid, err := k.Mon.EMCCreateSandbox(k.core(), t.P.AS.ASID, budgetPages)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.P.Sandbox = sbid
+	return t, sbid, nil
+}
+
+// AllocSharedIO converts n frames from the shared-io region to CVM-shared
+// for the proxy/network path.
+func (k *Kernel) AllocSharedIO(n int) error {
+	c := k.core()
+	for i := 0; i < n; i++ {
+		f, err := k.M.Phys.AllocRegion(monitor.RegionSharedIO, mem.OwnerDevice)
+		if err != nil {
+			return err
+		}
+		if err := k.priv.MapGPA(c, f, true); err != nil {
+			return err
+		}
+		k.sharedIO = append(k.sharedIO, f)
+	}
+	return nil
+}
+
+// KernelDirectWrite lets kernel code write physical memory through the
+// direct map using the real CPU store path (the path PKS protects). Tests
+// use it to demonstrate PTP/monitor-memory protection.
+func (k *Kernel) KernelDirectWrite(f mem.Frame, off int, data []byte) *cpu.Trap {
+	c := k.core()
+	prevRing := c.Ring
+	c.SetRing(0)
+	defer c.SetRing(prevRing)
+	va := monitor.DirectMapAddr(f) + paging.Addr(off)
+	return c.Store(va, data)
+}
+
+// KernelDirectRead mirrors KernelDirectWrite for loads.
+func (k *Kernel) KernelDirectRead(f mem.Frame, off int, data []byte) *cpu.Trap {
+	c := k.core()
+	prevRing := c.Ring
+	c.SetRing(0)
+	defer c.SetRing(prevRing)
+	va := monitor.DirectMapAddr(f) + paging.Addr(off)
+	return c.Load(va, data)
+}

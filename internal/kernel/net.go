@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// NetSend transmits a frame to the host NIC: the kernel copies the bytes
+// into CVM-shared frames and performs the GHCI vmcall (directly in native
+// mode, via an EMC under Erebor). The host sees the frame in cleartext —
+// which is exactly why Erebor's channel encrypts end-to-end above this.
+func (k *Kernel) NetSend(buf []byte) error {
+	c := k.core()
+	need := (len(buf) + mem.PageSize - 1) / mem.PageSize
+	if need == 0 {
+		need = 1
+	}
+	if len(k.sharedIO) < need {
+		if err := k.AllocSharedIO(need - len(k.sharedIO)); err != nil {
+			return err
+		}
+	}
+	capBytes := len(k.sharedIO) * mem.PageSize
+	if len(buf) > capBytes {
+		return fmt.Errorf("kernel: frame %d bytes exceeds shared-io capacity %d", len(buf), capBytes)
+	}
+	// Copy into the shared frames (the DMA-visible staging area).
+	rem := buf
+	for _, f := range k.sharedIO {
+		if len(rem) == 0 {
+			break
+		}
+		b, err := k.M.Phys.Bytes(f)
+		if err != nil {
+			return err
+		}
+		n := copy(b, rem)
+		rem = rem[n:]
+	}
+	k.M.Clock.Charge(costs.Copy(len(buf)))
+	_, err := k.priv.VMCall(c, tdx.VMCallNetTx, []uint64{uint64(len(buf))}, k.sharedIO, buf)
+	// NIC serialization / client-side receive processing.
+	k.M.Clock.Charge(costs.Wire(len(buf)))
+	return err
+}
+
+// NetRecv pulls one frame from the host NIC, or nil when none is queued.
+func (k *Kernel) NetRecv() ([]byte, error) {
+	c := k.core()
+	ret, err := k.priv.VMCall(c, tdx.VMCallNetRx, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(ret) == 0 || ret[0] == 0 {
+		return nil, nil
+	}
+	data := k.TDX.ConsumeInbound()
+	k.M.Clock.Charge(costs.Copy(len(data)))
+	return data, nil
+}
+
+// NetTransport adapts the kernel's GHCI networking into a
+// secchan.Transport: this is the untrusted proxy's path between the
+// monitor and the outside world (§6.3).
+type NetTransport struct{ K *Kernel }
+
+// Send implements secchan.Transport.
+func (n *NetTransport) Send(frame []byte) error { return n.K.NetSend(frame) }
+
+// Recv implements secchan.Transport.
+func (n *NetTransport) Recv() ([]byte, error) {
+	f, err := n.K.NetRecv()
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, secchan.ErrEmpty
+	}
+	return f, nil
+}

@@ -1,0 +1,654 @@
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/abi"
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/task"
+)
+
+// Pid identifies a task.
+type Pid int
+
+// TaskState is the scheduler state of a task.
+type TaskState int
+
+const (
+	TaskRunnable TaskState = iota
+	TaskBlocked
+	TaskZombie
+)
+
+// VMA is one user virtual-memory area (demand-paged).
+type VMA struct {
+	Start, End paging.Addr
+	Writable   bool
+	Exec       bool
+	// Backing, if set, makes the VMA file-backed: faulted-in pages are
+	// filled from the file at BackingOff + (page - Start), and the VMA
+	// becomes evictable under memory pressure (clean page-cache reclaim).
+	Backing    *File
+	BackingOff int
+}
+
+// Proc is the process state shared by all threads of a thread group.
+type Proc struct {
+	AS      *AddrSpace
+	Owner   mem.Owner
+	Sandbox monitor.SandboxID
+
+	VMAs       []*VMA
+	Brk        paging.Addr
+	BrkStart   paging.Addr
+	MmapCursor paging.Addr
+
+	fds    map[int]*FDesc
+	nextFd int
+
+	sigHandlers map[int]func(e *Env, sig int)
+
+	threads int
+}
+
+// Task is one schedulable thread.
+type Task struct {
+	Pid  Pid
+	PPid Pid
+	Name string
+	P    *Proc
+
+	State      TaskState
+	ExitCode   int
+	ExitReason string
+
+	co            *task.Task
+	pendingResume any
+	pendingSigs   []int
+
+	k *Kernel
+}
+
+func (t *Task) exitLocked(code int, reason string) {
+	if t.State == TaskZombie {
+		return
+	}
+	t.State = TaskZombie
+	t.ExitCode = code
+	t.ExitReason = reason
+	t.P.threads--
+	// If the kill originates while control is inside the coroutine (a
+	// kernel path invoked from task context), the scheduler reaps it at the
+	// next yield instead — Kill here would deadlock.
+	if t.co != nil && !t.co.Finished() && !t.co.Running() {
+		t.co.Kill()
+	}
+}
+
+// reapIfZombie finishes off a task marked zombie while it was running.
+func (t *Task) reapIfZombie() bool {
+	if t.State != TaskZombie {
+		return false
+	}
+	if t.co != nil && !t.co.Finished() && !t.co.Running() {
+		t.co.Kill()
+	}
+	return true
+}
+
+// userLayout constants.
+const (
+	userBrkStart  paging.Addr = 0x0000_0100_0000
+	userMmapStart paging.Addr = 0x0000_7000_0000
+)
+
+// Spawn creates a new process running fn in its own address space.
+func (k *Kernel) Spawn(name string, owner mem.Owner, fn func(e *Env)) (*Task, error) {
+	c := k.core()
+	as, err := k.priv.CreateAS(c, owner)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{
+		AS: as, Owner: owner,
+		Brk: userBrkStart, BrkStart: userBrkStart, MmapCursor: userMmapStart,
+		fds:         make(map[int]*FDesc),
+		nextFd:      3,
+		sigHandlers: make(map[int]func(*Env, int)),
+		threads:     1,
+	}
+	return k.addTask(name, 0, p, fn), nil
+}
+
+func (k *Kernel) addTask(name string, ppid Pid, p *Proc, fn func(e *Env)) *Task {
+	k.nextPid++
+	t := &Task{Pid: k.nextPid, PPid: ppid, Name: name, P: p, k: k}
+	t.co = task.Start(name, func(y *task.Yield) {
+		env := &Env{K: k, T: t, y: y}
+		fn(env)
+	})
+	k.tasks[t.Pid] = t
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// Tasks returns a snapshot of all tasks (harness/tests).
+func (k *Kernel) Tasks() map[Pid]*Task { return k.tasks }
+
+// --- events yielded by user tasks --------------------------------------------
+
+type evSyscall struct {
+	num  uint64
+	args [5]uint64 // RDI, RSI, RDX, R10, R8
+}
+
+type evFault struct {
+	va   paging.Addr
+	kind paging.AccessKind
+}
+
+type evPreempt struct{}
+
+type evExit struct{ code int }
+
+type evCPUID struct{ leaf uint64 }
+
+type evUIPI struct{ target uint64 }
+
+type evVE struct{ detail string }
+
+// --- scheduler ------------------------------------------------------------------
+
+// Runnable reports whether any task can make progress.
+func (k *Kernel) Runnable() bool { return len(k.runq) > 0 }
+
+// Schedule runs tasks round-robin until no task is runnable.
+func (k *Kernel) Schedule() {
+	for len(k.runq) > 0 {
+		t := k.runq[0]
+		k.runq = k.runq[1:]
+		if t.State != TaskRunnable {
+			continue
+		}
+		k.dispatch(t)
+	}
+}
+
+// StepOne dispatches a single task for one slice (tests).
+func (k *Kernel) StepOne() bool {
+	for len(k.runq) > 0 {
+		t := k.runq[0]
+		k.runq = k.runq[1:]
+		if t.State != TaskRunnable {
+			continue
+		}
+		k.dispatch(t)
+		return true
+	}
+	return false
+}
+
+func (k *Kernel) dispatch(t *Task) {
+	c := k.core()
+	k.Stats.ContextSwitches++
+	k.M.Clock.Charge(costs.ContextSwitch)
+	if err := k.priv.SwitchTo(c, t.P.AS); err != nil {
+		t.exitLocked(127, "address-space switch failed: "+err.Error())
+		return
+	}
+	k.current = t
+	k.sliceEnd = k.M.Clock.Now() + TimerQuantum
+	c.SetRing(3)
+	defer c.SetRing(0)
+
+	in := t.pendingResume
+	t.pendingResume = nil
+	for {
+		out, done, err := t.co.Resume(in)
+		in = nil
+		if done {
+			if t.State != TaskZombie {
+				reason := ""
+				if err != nil {
+					reason = err.Error()
+					t.exitLockedNoKill(1, reason)
+				} else {
+					t.exitLockedNoKill(0, "")
+				}
+			}
+			return
+		}
+		switch ev := out.(type) {
+		case evSyscall:
+			k.Stats.Syscalls++
+			c.Regs.GPR[cpu.RAX] = ev.num
+			c.Regs.GPR[cpu.RDI] = ev.args[0]
+			c.Regs.GPR[cpu.RSI] = ev.args[1]
+			c.Regs.GPR[cpu.RDX] = ev.args[2]
+			c.Regs.GPR[cpu.R10] = ev.args[3]
+			c.Regs.GPR[cpu.R8] = ev.args[4]
+			c.Deliver(&cpu.Trap{Vector: cpu.VecSyscall})
+			if t.reapIfZombie() {
+				return
+			}
+			if t.State == TaskBlocked {
+				// Parked (futex); the waker stores the return value.
+				return
+			}
+			in = c.Regs.GPR[cpu.RAX]
+			if k.wantResched {
+				k.wantResched = false
+				t.pendingResume = in
+				k.runq = append(k.runq, t)
+				return
+			}
+
+		case evFault:
+			reason := paging.FaultNotPresent
+			if ev.kind == paging.Write {
+				// The walker distinguishes; the handler re-checks anyway.
+				reason = paging.FaultNotPresent
+			}
+			c.Deliver(&cpu.Trap{
+				Vector: cpu.VecPF,
+				Fault:  &paging.Fault{Reason: reason, Addr: ev.va, Kind: ev.kind},
+			})
+			if t.reapIfZombie() {
+				return
+			}
+
+		case evPreempt:
+			k.Stats.TimerTicks++
+			c.Deliver(&cpu.Trap{Vector: cpu.VecTimer})
+			if t.reapIfZombie() {
+				return
+			}
+			// Round-robin: requeue and pick the next task.
+			t.pendingResume = nil
+			k.runq = append(k.runq, t)
+			return
+
+		case evCPUID:
+			c.Regs.GPR[cpu.RAX] = ev.leaf
+			if k.M.TD {
+				// cpuid in a TD traps to the TDX module, which injects #VE.
+				k.Stats.VEExits++
+				k.TDX.InjectVE(c, "cpuid")
+			} else {
+				// Plain guest: cpuid executes natively.
+				c.Regs.GPR[cpu.RAX] = 0x16
+				c.Regs.GPR[cpu.RBX] = 0x756e6547
+				c.Regs.GPR[cpu.RDX] = 0x49656e69
+				c.Regs.GPR[cpu.RCX] = 0x6c65746e
+			}
+			in = [4]uint64{
+				c.Regs.GPR[cpu.RAX], c.Regs.GPR[cpu.RBX],
+				c.Regs.GPR[cpu.RCX], c.Regs.GPR[cpu.RDX],
+			}
+			if t.reapIfZombie() {
+				return
+			}
+
+		case evUIPI:
+			// senduipi from user mode: hardware checks IA32_UINTR_TT.
+			if trap := c.SendUIPI(ev.target); trap != nil {
+				c.Deliver(trap)
+				if t.reapIfZombie() {
+					return
+				}
+				in = fmt.Errorf("senduipi: %s", trap.Detail)
+			} else {
+				in = nil
+			}
+
+		case evVE:
+			// A virtualization exception raised by guest activity the host
+			// must service (MMIO, forced exits).
+			c.Deliver(&cpu.Trap{Vector: cpu.VecVE, Detail: ev.detail})
+			if t.reapIfZombie() {
+				return
+			}
+
+		case evExit:
+			t.exitLockedNoKill(ev.code, "")
+			// Let the coroutine run to completion (it returns right after
+			// yielding the exit event).
+			for {
+				_, done, _ := t.co.Resume(nil)
+				if done {
+					return
+				}
+			}
+
+		default:
+			panic(fmt.Sprintf("kernel: task %q yielded unknown event %T", t.Name, out))
+		}
+	}
+}
+
+// exitLockedNoKill marks a task zombie without killing the coroutine (used
+// when the coroutine is completing on its own).
+func (t *Task) exitLockedNoKill(code int, reason string) {
+	if t.State == TaskZombie {
+		return
+	}
+	t.State = TaskZombie
+	t.ExitCode = code
+	t.ExitReason = reason
+	t.P.threads--
+}
+
+// wake marks a blocked task runnable with a syscall return value.
+func (k *Kernel) wake(t *Task, ret uint64) {
+	if t.State != TaskBlocked {
+		return
+	}
+	t.State = TaskRunnable
+	t.pendingResume = ret
+	k.runq = append(k.runq, t)
+}
+
+// interruptHandler is the kernel's handler for external interrupts (after
+// the monitor's gate in Erebor mode).
+func (k *Kernel) interruptHandler(c *cpu.Core, t *cpu.Trap) {
+	if t.Vector == cpu.VecTimer && k.ReclaimPerTick > 0 {
+		k.reclaimTick(c)
+	}
+}
+
+// exceptionHandler services faults and kills tasks on unrecoverable traps.
+func (k *Kernel) exceptionHandler(c *cpu.Core, tr *cpu.Trap) {
+	cur := k.current
+	switch tr.Vector {
+	case cpu.VecPF:
+		k.handlePageFault(c, tr, cur)
+	case cpu.VecVE:
+		k.handleVE(c, tr)
+	default:
+		if cur != nil {
+			cur.exitLocked(128+int(tr.Vector), tr.Error())
+		}
+	}
+}
+
+// handlePageFault demand-pages VMA-backed memory.
+func (k *Kernel) handlePageFault(c *cpu.Core, tr *cpu.Trap, cur *Task) {
+	if cur == nil {
+		panic("kernel: page fault with no current task: " + tr.Error())
+	}
+	k.Stats.PageFaults++
+	va := paging.PageBase(tr.Fault.Addr)
+	var vma *VMA
+	for _, v := range cur.P.VMAs {
+		if va >= v.Start && va < v.End {
+			vma = v
+			break
+		}
+	}
+	if vma == nil {
+		if cur.P.Sandbox != 0 && k.Mode == ModeErebor {
+			// Sandbox common-region demand paging: the monitor forwarded
+			// the fault metadata; the kernel accounts for it and requests
+			// the mapping back through an EMC.
+			k.M.Clock.Charge(costs.FaultHandlerBase)
+			err := k.Mon.EMCMapSandboxFault(c, cur.P.AS.ASID, va, tr.Fault.Kind == paging.Write)
+			if err != nil {
+				cur.exitLocked(139, "common mapping denied: "+err.Error())
+			}
+			return
+		}
+		cur.exitLocked(139, fmt.Sprintf("segfault at %#x", tr.Fault.Addr))
+		return
+	}
+	if tr.Fault.Kind == paging.Write && !vma.Writable {
+		cur.exitLocked(139, fmt.Sprintf("write to read-only vma at %#x", tr.Fault.Addr))
+		return
+	}
+	k.M.Clock.Charge(costs.FaultHandlerBase)
+	f, err := k.M.Phys.Alloc(cur.P.Owner)
+	if err != nil {
+		cur.exitLocked(137, "out of memory: "+err.Error())
+		return
+	}
+	if err := k.M.Phys.Zero(f); err != nil {
+		cur.exitLocked(137, err.Error())
+		return
+	}
+	k.M.Clock.Charge(costs.PageZero)
+	if vma.Backing != nil {
+		// File-backed fault: fill the page from the backing store.
+		off := vma.BackingOff + int(va-vma.Start)
+		b, _ := k.M.Phys.Bytes(f)
+		if off < len(vma.Backing.Data) {
+			n := copy(b, vma.Backing.Data[off:])
+			k.M.Clock.Charge(costs.Copy(n))
+		}
+	}
+	if err := k.priv.Map(c, cur.P.AS, va, f, vma.Writable, vma.Exec); err != nil {
+		_ = k.M.Phys.Free(f)
+		cur.exitLocked(139, "mapping denied: "+err.Error())
+		return
+	}
+	// PTE bookkeeping after install (accessed/dirty, LRU): a second PTE
+	// update — trivial natively, a second EMC round under Erebor, which is
+	// why the paper observes ~3.3 EMCs per context switch in fault-heavy
+	// runs (§9.1).
+	if err := k.priv.Protect(c, cur.P.AS, va, vma.Writable, vma.Exec); err != nil {
+		cur.exitLocked(139, "pte update denied: "+err.Error())
+	}
+}
+
+// handleVE services virtualization exceptions for non-sandboxed contexts:
+// the kernel performs the vmcall the host requires (cpuid emulation).
+func (k *Kernel) handleVE(c *cpu.Core, tr *cpu.Trap) {
+	if tr.Detail != "cpuid" {
+		if k.current != nil {
+			k.current.exitLocked(128, "unexpected #VE: "+tr.Detail)
+		}
+		return
+	}
+	leaf := c.Regs.GPR[cpu.RAX]
+	ret, err := k.priv.VMCall(c, 1 /* tdx.VMCallCPUID */, []uint64{leaf}, nil, nil)
+	if err != nil || len(ret) < 4 {
+		return
+	}
+	c.Regs.GPR[cpu.RAX] = ret[0]
+	c.Regs.GPR[cpu.RBX] = ret[1]
+	c.Regs.GPR[cpu.RCX] = ret[2]
+	c.Regs.GPR[cpu.RDX] = ret[3]
+}
+
+// --- Env: the user-side API ------------------------------------------------------
+
+// Env is the handle user task functions use to interact with the simulated
+// machine: syscalls, cycle charging (compute), and memory access through
+// the task's page tables.
+type Env struct {
+	K *Kernel
+	T *Task
+	y *task.Yield
+}
+
+// Charge burns n cycles of user compute, yielding to the scheduler at
+// quantum boundaries.
+func (e *Env) Charge(n uint64) {
+	e.K.M.Clock.Charge(n)
+	e.checkSignals()
+	if e.K.M.Clock.Now() >= e.K.sliceEnd {
+		e.y.Yield(evPreempt{})
+	}
+}
+
+// Syscall issues a system call (up to five arguments) and returns RAX.
+func (e *Env) Syscall(num uint64, args ...uint64) uint64 {
+	var a [5]uint64
+	copy(a[:], args)
+	ret := e.y.Yield(evSyscall{num: num, args: a})
+	e.checkSignals()
+	r, _ := ret.(uint64)
+	return r
+}
+
+// Exit terminates the calling task.
+func (e *Env) Exit(code int) {
+	e.y.Yield(evExit{code: code})
+}
+
+// CPUID executes cpuid (in a TD this traps via #VE, §6.2).
+func (e *Env) CPUID(leaf uint64) [4]uint64 {
+	out := e.y.Yield(evCPUID{leaf: leaf})
+	v, _ := out.([4]uint64)
+	return v
+}
+
+// ForceVE triggers a non-cpuid virtualization exception from user context
+// (MMIO-style VM exit; used by tests probing the C8 kill policy).
+func (e *Env) ForceVE(detail string) {
+	e.y.Yield(evVE{detail: detail})
+}
+
+// SendUIPI attempts a user-mode interrupt (AV3 probe).
+func (e *Env) SendUIPI(target uint64) error {
+	out := e.y.Yield(evUIPI{target: target})
+	if err, ok := out.(error); ok {
+		return err
+	}
+	return nil
+}
+
+func (e *Env) checkSignals() {
+	for len(e.T.pendingSigs) > 0 {
+		sig := e.T.pendingSigs[0]
+		e.T.pendingSigs = e.T.pendingSigs[1:]
+		e.K.Stats.Signals++
+		if h := e.T.P.sigHandlers[sig]; h != nil {
+			e.K.M.Clock.Charge(costs.ExceptionDelivery) // user trampoline cost
+			h(e, sig)
+		}
+	}
+}
+
+// Touch demand-pages [va, va+n) for the given access kind.
+func (e *Env) Touch(va paging.Addr, n int, write bool) {
+	kind := paging.Read
+	if write {
+		kind = paging.Write
+	}
+	end := va + paging.Addr(n)
+	for p := paging.PageBase(va); p < end; p += mem.PageSize {
+		for {
+			pte, _, f := e.T.P.AS.tables.Walk(p)
+			if f == nil && pte.Is(paging.Present) {
+				if !write || pte.Is(paging.Writable) {
+					break
+				}
+			}
+			e.y.Yield(evFault{va: p, kind: kind})
+		}
+	}
+}
+
+// WriteMem stores buf at va through the task's address space with user
+// permissions, faulting pages in as needed.
+func (e *Env) WriteMem(va paging.Addr, buf []byte) {
+	e.Touch(va, len(buf), true)
+	c := e.K.core()
+	if t := c.Store(va, buf); t != nil {
+		// Post-touch store should only fail for permission violations;
+		// surface them as a fault event (the kernel/monitor decides).
+		e.y.Yield(evFault{va: paging.PageBase(t.Fault.Addr), kind: t.Fault.Kind})
+	}
+}
+
+// ReadMem loads len(buf) bytes from va.
+func (e *Env) ReadMem(va paging.Addr, buf []byte) {
+	e.Touch(va, len(buf), false)
+	c := e.K.core()
+	if t := c.Load(va, buf); t != nil {
+		e.y.Yield(evFault{va: paging.PageBase(t.Fault.Addr), kind: t.Fault.Kind})
+	}
+}
+
+// Page returns the backing bytes of the (already touched) page containing
+// va. Compute kernels use it to operate on simulated memory in place; the
+// caller charges cycles for the work it performs.
+func (e *Env) Page(va paging.Addr) []byte {
+	e.Touch(va, 1, false)
+	f, ok := e.T.P.AS.Translate(va)
+	if !ok {
+		panic(fmt.Sprintf("kernel: Page(%#x) not mapped after touch", va))
+	}
+	b, err := e.K.M.Phys.Bytes(f)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// PageW is Page with write intent (faults for write permission).
+func (e *Env) PageW(va paging.Addr) []byte {
+	e.Touch(va, 1, true)
+	f, ok := e.T.P.AS.Translate(va)
+	if !ok {
+		panic(fmt.Sprintf("kernel: PageW(%#x) not mapped after touch", va))
+	}
+	b, err := e.K.M.Phys.Bytes(f)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// --- syscall sugar ----------------------------------------------------------------
+
+// Mmap maps n bytes of anonymous memory and returns its base.
+func (e *Env) Mmap(n int, writable, exec bool) paging.Addr {
+	w, x := uint64(0), uint64(0)
+	if writable {
+		w = 1
+	}
+	if exec {
+		x = 1
+	}
+	return paging.Addr(e.Syscall(abi.SysMmap, uint64(n), w, x))
+}
+
+// MmapFile maps n bytes backed by the open file fd (read-only page-cache
+// mapping; evictable under memory pressure).
+func (e *Env) MmapFile(fd uint64, n int) paging.Addr {
+	return paging.Addr(e.Syscall(abi.SysMmap, uint64(n), 0, 0, fd+1))
+}
+
+// Munmap unmaps [va, va+n).
+func (e *Env) Munmap(va paging.Addr, n int) uint64 {
+	return e.Syscall(abi.SysMunmap, uint64(va), uint64(n))
+}
+
+// Brk grows the heap by n bytes, returning the old break.
+func (e *Env) Brk(n int) paging.Addr {
+	return paging.Addr(e.Syscall(abi.SysBrk, uint64(n)))
+}
+
+// Fork creates a child process with a copy of this address space running
+// childFn. Returns the child pid. (The simulation cannot clone a Go
+// closure's state, so the child's behaviour is supplied explicitly; the
+// *cost* of fork — duplicating the address space through the MMU interface
+// — is fully modeled, which is what the paper measures.)
+func (e *Env) Fork(childFn func(e *Env)) Pid {
+	e.K.pendingForkFn = childFn
+	return Pid(e.Syscall(abi.SysFork))
+}
+
+// SpawnThread creates a thread sharing this process (clone).
+func (e *Env) SpawnThread(name string, fn func(e *Env)) Pid {
+	e.K.pendingForkFn = fn
+	e.K.pendingThreadName = name
+	return Pid(e.Syscall(abi.SysClone))
+}
+
+// Yield gives up the remainder of the time slice.
+func (e *Env) YieldCPU() { e.Syscall(abi.SysYield) }

@@ -1,0 +1,222 @@
+package libos_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+)
+
+// runInSandbox executes fn inside a fresh sandboxed LibOS and returns the
+// container after scheduling completes.
+func runInSandbox(t *testing.T, mode kernel.Mode, heap uint64, fn func(t *testing.T, os *libos.OS)) *sandbox.Container {
+	t.Helper()
+	w, err := harness.NewWorld(harness.WorldConfig{Mode: mode, MemMB: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sandbox.Launch(w.K, sandbox.Spec{
+		Name: "libos-test", Owner: mem.OwnerTaskBase + 1,
+		LibOS: libos.Config{HeapPages: heap},
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			fn(t, os)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.K.VFS().Create("/lib/shared.so", []byte(strings.Repeat("library-code ", 512)))
+	w.K.Schedule()
+	if berr := c.BootErr(); berr != nil {
+		t.Fatalf("boot: %v", berr)
+	}
+	if c.Task.ExitReason != "" {
+		t.Fatalf("task: %s", c.Task.ExitReason)
+	}
+	return c
+}
+
+func TestHeapAllocator(t *testing.T) {
+	runInSandbox(t, kernel.ModeErebor, 32, func(t *testing.T, os *libos.OS) {
+		a, err := os.Alloc(100)
+		if err != nil {
+			t.Errorf("alloc: %v", err)
+			return
+		}
+		b, err := os.Alloc(100)
+		if err != nil || b <= a {
+			t.Errorf("allocator not monotone: %v %v", a, b)
+		}
+		// Alignment.
+		if a%16 != 0 || b%16 != 0 {
+			t.Error("allocations not 16-byte aligned")
+		}
+		// Page allocation is page aligned.
+		p, err := os.AllocPages(2)
+		if err != nil || p%4096 != 0 {
+			t.Errorf("page alloc: %v %v", p, err)
+		}
+		// Exhaustion fails cleanly.
+		if _, err := os.Alloc(os.HeapFree() + 1); err == nil {
+			t.Error("over-allocation succeeded")
+		}
+		// The memory is usable.
+		os.Env.WriteMem(a, []byte("heap data"))
+		var buf [9]byte
+		os.Env.ReadMem(a, buf[:])
+		if string(buf[:]) != "heap data" {
+			t.Errorf("heap readback %q", buf)
+		}
+	})
+}
+
+func TestInMemoryFilesystem(t *testing.T) {
+	runInSandbox(t, kernel.ModeErebor, 64, func(t *testing.T, os *libos.OS) {
+		if err := os.CreateFile("/tmp/scratch", 8192); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := os.FileWrite("/tmp/scratch", 0, []byte("stateless")); err != nil {
+			t.Error(err)
+		}
+		if _, err := os.FileWrite("/tmp/scratch", 4, []byte("FULL")); err != nil {
+			t.Error(err)
+		}
+		buf := make([]byte, 9)
+		n, err := os.FileRead("/tmp/scratch", 0, buf)
+		if err != nil || n != 9 || string(buf) != "statFULLs" {
+			t.Errorf("read %d %q %v", n, buf, err)
+		}
+		if sz, ok := os.FileSize("/tmp/scratch"); !ok || sz != 9 {
+			t.Errorf("size %d %v", sz, ok)
+		}
+		// Capacity is enforced.
+		if _, err := os.FileWrite("/tmp/scratch", 8190, []byte("xyz")); err == nil {
+			t.Error("write past capacity succeeded")
+		}
+		// Missing files error.
+		if _, err := os.FileRead("/tmp/none", 0, buf); err == nil {
+			t.Error("read of missing file succeeded")
+		}
+	})
+}
+
+func TestPreloadFromHostFS(t *testing.T) {
+	// Preload runs pre-data: it pulls host files into confined memory.
+	w, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.K.VFS().Create("/etc/service.conf", []byte("threads=8\nmodel=llama\n"))
+	var got []byte
+	c, err := sandbox.Launch(w.K, sandbox.Spec{
+		Name: "preload", Owner: mem.OwnerTaskBase + 1,
+		LibOS: libos.Config{HeapPages: 32},
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			if err := os.Preload("/etc/service.conf"); err != nil {
+				t.Errorf("preload: %v", err)
+				return
+			}
+			buf := make([]byte, 22)
+			n, err := os.FileRead("/etc/service.conf", 0, buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = buf[:n]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.K.Schedule()
+	if c.BootErr() != nil {
+		t.Fatal(c.BootErr())
+	}
+	if string(got) != "threads=8\nmodel=llama\n" {
+		t.Fatalf("preloaded %q", got)
+	}
+}
+
+func TestSpinlock(t *testing.T) {
+	runInSandbox(t, kernel.ModeErebor, 32, func(t *testing.T, os *libos.OS) {
+		var l libos.Spinlock
+		l.Lock(os.Env)
+		l.Unlock(os.Env)
+		if l.Spins != 0 {
+			t.Error("uncontended lock spun")
+		}
+	})
+}
+
+func TestSpinlockContention(t *testing.T) {
+	w, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l libos.Spinlock
+	order := ""
+	c, err := sandbox.Launch(w.K, sandbox.Spec{
+		Name: "locker", Owner: mem.OwnerTaskBase + 1,
+		LibOS: libos.Config{HeapPages: 32, MaxThreads: 2},
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			e := os.Env
+			l.Lock(e)
+			_ = os.SpawnThread("contender", func(te *kernel.Env) {
+				l.Lock(te)
+				order += "B"
+				l.Unlock(te)
+			})
+			// Hold across a full quantum so the contender really spins.
+			e.Charge(kernel.TimerQuantum + 1000)
+			order += "A"
+			l.Unlock(e)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.K.Schedule()
+	if c.BootErr() != nil {
+		t.Fatal(c.BootErr())
+	}
+	if order != "AB" {
+		t.Fatalf("lock order %q", order)
+	}
+	if l.Spins == 0 {
+		t.Fatal("no contention recorded")
+	}
+}
+
+func TestThreadPoolBounded(t *testing.T) {
+	runInSandbox(t, kernel.ModeErebor, 32, func(t *testing.T, os *libos.OS) {
+		for i := 0; i < 2; i++ {
+			if err := os.SpawnThread("w", func(e *kernel.Env) {}); err != nil {
+				t.Errorf("spawn %d: %v", i, err)
+			}
+		}
+		// MaxThreads defaults to 8; exhaust it.
+		for i := 0; i < 6; i++ {
+			_ = os.SpawnThread("w", func(e *kernel.Env) {})
+		}
+		if err := os.SpawnThread("w", func(e *kernel.Env) {}); err == nil {
+			t.Error("thread pool not bounded")
+		}
+	})
+}
+
+func TestLibOSOnlyMode(t *testing.T) {
+	// The same LibOS runs on a normal CVM without the monitor.
+	runInSandbox(t, kernel.ModeNative, 32, func(t *testing.T, os *libos.OS) {
+		va, err := os.Alloc(4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		os.Env.WriteMem(va, []byte("native libos"))
+	})
+}

@@ -1,0 +1,304 @@
+// Package mem simulates the physical memory of a confidential virtual
+// machine: 4 KiB frames with per-frame metadata (allocation state, owner,
+// CVM private/shared visibility) plus named reserved regions such as the
+// contiguous region Erebor's monitor carves out for sandbox confined memory.
+package mem
+
+import (
+	"fmt"
+)
+
+const (
+	// PageSize is the only supported page size. Erebor's prototype disables
+	// huge pages (§7 of the paper) and so does the simulation.
+	PageSize  = 4096
+	PageShift = 12
+)
+
+// Frame is a physical frame number (pfn).
+type Frame uint64
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// FrameOf returns the frame containing a physical address.
+func FrameOf(a Addr) Frame { return Frame(a >> PageShift) }
+
+// Base returns the first byte address of a frame.
+func (f Frame) Base() Addr { return Addr(f) << PageShift }
+
+// Owner identifies which software component a frame is accounted to.
+type Owner uint32
+
+// Well-known owners. User tasks and sandboxes get owners at or above
+// OwnerTaskBase so that ownership checks can distinguish system frames from
+// per-task frames.
+const (
+	OwnerNone     Owner = 0
+	OwnerFirmware Owner = 1
+	OwnerMonitor  Owner = 2
+	OwnerKernel   Owner = 3
+	OwnerDevice   Owner = 4
+	// OwnerCommon marks frames belonging to Erebor common regions (shared
+	// read-only across sandboxes).
+	OwnerCommon   Owner = 5
+	OwnerTaskBase Owner = 16
+)
+
+func (o Owner) String() string {
+	switch o {
+	case OwnerNone:
+		return "none"
+	case OwnerFirmware:
+		return "firmware"
+	case OwnerMonitor:
+		return "monitor"
+	case OwnerKernel:
+		return "kernel"
+	case OwnerDevice:
+		return "device"
+	case OwnerCommon:
+		return "common"
+	}
+	return fmt.Sprintf("task-%d", uint32(o-OwnerTaskBase))
+}
+
+// FrameMeta is the per-frame simulation metadata.
+type FrameMeta struct {
+	Allocated bool
+	// Shared marks CVM-shared memory: visible to the host and to device
+	// DMA. Private (Shared=false) frames are protected by the TDX module.
+	// Only the TDX module (internal/tdx) flips this, via MapGPA.
+	Shared bool
+	Owner  Owner
+	// Pinned frames may not be reclaimed/swapped (sandbox confined memory).
+	Pinned bool
+	// Region is the name of the reserved region this frame came from, or ""
+	// for the general pool.
+	Region string
+}
+
+// Region is a reserved set of frames with its own allocator. (The real
+// CMA region is physically contiguous; the simulation only needs the
+// reservation and accounting semantics.)
+type Region struct {
+	Name  string
+	Count uint64
+
+	pool []Frame // unallocated frames of this region
+}
+
+// Free frames remaining in the region.
+func (r *Region) Free() int { return len(r.pool) }
+
+// Physical is the machine's physical memory.
+type Physical struct {
+	nframes uint64
+	data    []byte
+	meta    []FrameMeta
+
+	free    []Frame // general-pool free list (LIFO)
+	regions map[string]*Region
+
+	allocated uint64 // currently-allocated frame count (all pools)
+}
+
+// NewPhysical creates a physical memory of size bytes (rounded down to a
+// whole number of frames). All frames start unallocated and CVM-private.
+func NewPhysical(size uint64) *Physical {
+	n := size / PageSize
+	if n == 0 {
+		panic("mem: physical size smaller than one frame")
+	}
+	p := &Physical{
+		nframes: n,
+		data:    make([]byte, n*PageSize),
+		meta:    make([]FrameMeta, n),
+		regions: make(map[string]*Region),
+	}
+	// Populate the free list so that low frames are handed out first, which
+	// keeps traces readable and deterministic.
+	p.free = make([]Frame, 0, n)
+	for i := int64(n) - 1; i >= 0; i-- {
+		p.free = append(p.free, Frame(i))
+	}
+	return p
+}
+
+// NumFrames returns the total number of physical frames.
+func (p *Physical) NumFrames() uint64 { return p.nframes }
+
+// AllocatedFrames returns the number of currently allocated frames.
+func (p *Physical) AllocatedFrames() uint64 { return p.allocated }
+
+// Reserve carves a named region of count frames out of the general pool,
+// preferring the highest-numbered free frames.
+func (p *Physical) Reserve(name string, count uint64) (*Region, error) {
+	if _, ok := p.regions[name]; ok {
+		return nil, fmt.Errorf("mem: region %q already reserved", name)
+	}
+	if count == 0 || count > uint64(len(p.free)) {
+		return nil, fmt.Errorf("mem: cannot reserve %d frames (%d free)", count, len(p.free))
+	}
+	// The free list is ordered descending (Alloc pops low frames from the
+	// tail), so its head holds the highest-numbered frames.
+	taken := append([]Frame(nil), p.free[:count]...)
+	p.free = p.free[count:]
+	r := &Region{Name: name, Count: count, pool: append([]Frame(nil), taken...)}
+	p.regions[name] = r
+	for _, f := range taken {
+		p.meta[f].Region = name
+	}
+	return r, nil
+}
+
+// RegionByName returns a previously reserved region.
+func (p *Physical) RegionByName(name string) (*Region, bool) {
+	r, ok := p.regions[name]
+	return r, ok
+}
+
+// Alloc allocates one frame from the general pool for owner.
+func (p *Physical) Alloc(owner Owner) (Frame, error) {
+	if len(p.free) == 0 {
+		return 0, fmt.Errorf("mem: out of physical memory")
+	}
+	f := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	m := &p.meta[f]
+	m.Allocated = true
+	m.Owner = owner
+	m.Shared = false
+	m.Pinned = false
+	p.allocated++
+	return f, nil
+}
+
+// AllocRegion allocates one frame from the named reserved region.
+func (p *Physical) AllocRegion(name string, owner Owner) (Frame, error) {
+	r, ok := p.regions[name]
+	if !ok {
+		return 0, fmt.Errorf("mem: no region %q", name)
+	}
+	if len(r.pool) == 0 {
+		return 0, fmt.Errorf("mem: region %q exhausted", name)
+	}
+	f := r.pool[len(r.pool)-1]
+	r.pool = r.pool[:len(r.pool)-1]
+	m := &p.meta[f]
+	m.Allocated = true
+	m.Owner = owner
+	m.Shared = false
+	p.allocated++
+	return f, nil
+}
+
+// Free releases a frame back to its pool and zeroes its metadata. The
+// caller is responsible for scrubbing contents if confidentiality requires
+// it (the monitor zeroes sandbox frames explicitly).
+func (p *Physical) Free(f Frame) error {
+	if err := p.check(f); err != nil {
+		return err
+	}
+	m := &p.meta[f]
+	if !m.Allocated {
+		return fmt.Errorf("mem: double free of frame %d", f)
+	}
+	m.Allocated = false
+	m.Owner = OwnerNone
+	m.Pinned = false
+	m.Shared = false
+	p.allocated--
+	if m.Region != "" {
+		p.regions[m.Region].pool = append(p.regions[m.Region].pool, f)
+	} else {
+		p.free = append(p.free, f)
+	}
+	return nil
+}
+
+func (p *Physical) check(f Frame) error {
+	if uint64(f) >= p.nframes {
+		return fmt.Errorf("mem: frame %d out of range (%d frames)", f, p.nframes)
+	}
+	return nil
+}
+
+// Meta returns a copy of the frame's metadata.
+func (p *Physical) Meta(f Frame) (FrameMeta, error) {
+	if err := p.check(f); err != nil {
+		return FrameMeta{}, err
+	}
+	return p.meta[f], nil
+}
+
+// SetOwner reassigns a frame's owner (monitor bookkeeping).
+func (p *Physical) SetOwner(f Frame, o Owner) error {
+	if err := p.check(f); err != nil {
+		return err
+	}
+	p.meta[f].Owner = o
+	return nil
+}
+
+// SetPinned marks a frame pinned or unpinned.
+func (p *Physical) SetPinned(f Frame, pinned bool) error {
+	if err := p.check(f); err != nil {
+		return err
+	}
+	p.meta[f].Pinned = pinned
+	return nil
+}
+
+// SetShared flips CVM private/shared state. Only internal/tdx should call
+// this; it is exported because the TDX module lives in a sibling package.
+func (p *Physical) SetShared(f Frame, shared bool) error {
+	if err := p.check(f); err != nil {
+		return err
+	}
+	p.meta[f].Shared = shared
+	return nil
+}
+
+// Bytes returns the backing slice of one frame. The slice aliases the
+// simulation's physical memory: writes through it are real.
+func (p *Physical) Bytes(f Frame) ([]byte, error) {
+	if err := p.check(f); err != nil {
+		return nil, err
+	}
+	off := uint64(f) * PageSize
+	return p.data[off : off+PageSize : off+PageSize], nil
+}
+
+// ReadPhys copies len(buf) bytes from physical address a.
+func (p *Physical) ReadPhys(a Addr, buf []byte) error {
+	if uint64(a)+uint64(len(buf)) > p.nframes*PageSize {
+		return fmt.Errorf("mem: physical read out of range at %#x", a)
+	}
+	copy(buf, p.data[a:])
+	return nil
+}
+
+// WritePhys copies buf to physical address a.
+func (p *Physical) WritePhys(a Addr, buf []byte) error {
+	if uint64(a)+uint64(len(buf)) > p.nframes*PageSize {
+		return fmt.Errorf("mem: physical write out of range at %#x", a)
+	}
+	copy(p.data[a:], buf)
+	return nil
+}
+
+// Zero clears the contents of a frame.
+func (p *Physical) Zero(f Frame) error {
+	b, err := p.Bytes(f)
+	if err != nil {
+		return err
+	}
+	for i := range b {
+		b[i] = 0
+	}
+	return nil
+}
+
+// FreeFrames returns how many general-pool frames remain unallocated.
+func (p *Physical) FreeFrames() int { return len(p.free) }

@@ -1,0 +1,200 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	p := NewPhysical(64 * PageSize)
+	f, err := p.Alloc(OwnerKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := p.Meta(f)
+	if !meta.Allocated || meta.Owner != OwnerKernel {
+		t.Fatalf("meta after alloc: %+v", meta)
+	}
+	if err := p.Free(f); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ = p.Meta(f)
+	if meta.Allocated || meta.Owner != OwnerNone {
+		t.Fatalf("meta after free: %+v", meta)
+	}
+	if err := p.Free(f); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	p := NewPhysical(4 * PageSize)
+	for i := 0; i < 4; i++ {
+		if _, err := p.Alloc(OwnerKernel); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := p.Alloc(OwnerKernel); err == nil {
+		t.Fatal("allocated beyond capacity")
+	}
+}
+
+func TestReserveTakesHighFrames(t *testing.T) {
+	p := NewPhysical(64 * PageSize)
+	r, err := p.Reserve("top", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 8 || r.Free() != 8 {
+		t.Fatalf("region: count=%d free=%d", r.Count, r.Free())
+	}
+	f, err := p.AllocRegion("top", OwnerMonitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(f) < 56 {
+		t.Fatalf("region frame %d not in the top 8", f)
+	}
+	meta, _ := p.Meta(f)
+	if meta.Region != "top" {
+		t.Fatalf("region tag %q", meta.Region)
+	}
+	// Freeing returns to the region pool, not the general pool.
+	if err := p.Free(f); err != nil {
+		t.Fatal(err)
+	}
+	if r.Free() != 8 {
+		t.Fatalf("region free=%d after return", r.Free())
+	}
+	// General allocations never hand out reserved frames.
+	for {
+		g, err := p.Alloc(OwnerKernel)
+		if err != nil {
+			break
+		}
+		if m, _ := p.Meta(g); m.Region != "" {
+			t.Fatalf("general alloc returned reserved frame %d", g)
+		}
+	}
+}
+
+func TestReserveConflicts(t *testing.T) {
+	p := NewPhysical(16 * PageSize)
+	if _, err := p.Reserve("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reserve("a", 2); err == nil {
+		t.Fatal("duplicate region name accepted")
+	}
+	if _, err := p.Reserve("big", 1000); err == nil {
+		t.Fatal("oversized reservation accepted")
+	}
+}
+
+func TestPhysReadWrite(t *testing.T) {
+	p := NewPhysical(8 * PageSize)
+	data := []byte("hello physical memory")
+	if err := p.WritePhys(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := p.ReadPhys(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("got %q", got)
+	}
+	if err := p.WritePhys(Addr(8*PageSize-2), data); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestBytesAliasesMemory(t *testing.T) {
+	p := NewPhysical(8 * PageSize)
+	f, _ := p.Alloc(OwnerKernel)
+	b, err := p.Bytes(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] = 0xAB
+	var got [1]byte
+	if err := p.ReadPhys(f.Base(), got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Fatal("Bytes slice does not alias physical memory")
+	}
+	if err := p.Zero(f); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Fatal("Zero did not clear the frame")
+	}
+}
+
+func TestSharedPinnedFlags(t *testing.T) {
+	p := NewPhysical(8 * PageSize)
+	f, _ := p.Alloc(OwnerDevice)
+	if err := p.SetShared(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPinned(f, true); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := p.Meta(f)
+	if !m.Shared || !m.Pinned {
+		t.Fatalf("flags: %+v", m)
+	}
+	// Free clears both.
+	_ = p.Free(f)
+	m, _ = p.Meta(f)
+	if m.Shared || m.Pinned {
+		t.Fatalf("flags survive free: %+v", m)
+	}
+}
+
+// Property: frame/address conversions are inverse.
+func TestFrameAddrRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		fr := Frame(n)
+		return FrameOf(fr.Base()) == fr && FrameOf(fr.Base()+PageSize-1) == fr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocation count bookkeeping is exact under alloc/free churn.
+func TestAllocatedCountInvariant(t *testing.T) {
+	p := NewPhysical(128 * PageSize)
+	var live []Frame
+	seq := func(op uint8) bool {
+		if op%3 != 0 || len(live) == 0 {
+			if f, err := p.Alloc(OwnerKernel); err == nil {
+				live = append(live, f)
+			}
+		} else {
+			f := live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := p.Free(f); err != nil {
+				return false
+			}
+		}
+		return p.AllocatedFrames() == uint64(len(live))
+	}
+	if err := quick.Check(seq, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerString(t *testing.T) {
+	cases := map[Owner]string{
+		OwnerNone: "none", OwnerMonitor: "monitor", OwnerKernel: "kernel",
+		OwnerCommon: "common", OwnerTaskBase + 3: "task-3",
+	}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/attest"
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// quoteIssuer binds the monitor + a core into secchan.ReportIssuer.
+type quoteIssuer struct {
+	mon  *Monitor
+	core *cpu.Core
+}
+
+// IssueQuote obtains a TDREPORT via the monitor-exclusive tdcall path and
+// signs it with the simulated CPU quoting key (C5: only the monitor can
+// execute tdcall, so only it can produce quotes).
+func (qi quoteIssuer) IssueQuote(reportData [tdx.ReportDataSize]byte) (*attest.Quote, error) {
+	mon, c := qi.mon, qi.core
+	var quote *attest.Quote
+	err := mon.gate(c, "ghci", func() error {
+		mon.M.Clock.Charge(costs.EreborGHCIBody - costs.NativeTDReport)
+		if _, trap := c.TDCall(tdx.LeafTDReport, nil); trap != nil {
+			return trap
+		}
+		report, err := mon.TDX.GenerateReport(reportData[:])
+		if err != nil {
+			return err
+		}
+		mon.Stats.QuotesIssued++
+		q, err := mon.QK.Sign(report)
+		if err != nil {
+			return err
+		}
+		quote = q
+		return nil
+	})
+	return quote, err
+}
+
+// IssueQuote is the monitor's public attestation entry (used by the
+// handshake and by tests).
+func (mon *Monitor) IssueQuote(c *cpu.Core, reportData [tdx.ReportDataSize]byte) (*attest.Quote, error) {
+	mon.assertBooted()
+	return quoteIssuer{mon, c}.IssueQuote(reportData)
+}
+
+// AcceptSession runs the server side of the attested handshake for a
+// sandbox over tr (a transport whose far side is the untrusted proxy): it
+// reads the client hello, issues the binding quote, sends the server
+// hello, and installs the resulting record connection on the sandbox.
+func (mon *Monitor) AcceptSession(c *cpu.Core, id SandboxID, tr secchan.Transport) error {
+	mon.assertBooted()
+	sb, ok := mon.sandboxes[id]
+	if !ok || sb.destroyed {
+		return denied("accept-session", "no live sandbox %d", id)
+	}
+	if sb.conn != nil {
+		return denied("accept-session", "sandbox %d already has a session", id)
+	}
+	frame, err := tr.Recv()
+	if err != nil {
+		return fmt.Errorf("monitor: no client hello available: %w", err)
+	}
+	hello, err := secchan.DecodeHello(frame)
+	if err != nil {
+		return err
+	}
+	sh, keys, err := secchan.ServerHandshake(hello, quoteIssuer{mon, c})
+	if err != nil {
+		return err
+	}
+	if err := tr.Send(secchan.EncodeServerHello(sh)); err != nil {
+		return err
+	}
+	conn, err := keys.Conn(tr, mon.padBlock)
+	if err != nil {
+		return err
+	}
+	sb.conn = conn
+	return nil
+}
+
+// pumpChannel drains available client records into the sandbox's pending
+// input queue.
+func (mon *Monitor) pumpChannel(sb *sbState) {
+	if sb.conn == nil {
+		return
+	}
+	for {
+		msg, err := sb.conn.Recv()
+		if err != nil {
+			if !errors.Is(err, secchan.ErrEmpty) {
+				// Authentication failure: a tampering proxy/host. Drop the
+				// record; the client will notice the missing response.
+				mon.Stats.SandboxExits += 0
+			}
+			return
+		}
+		sb.pendingInput = append(sb.pendingInput, msg)
+	}
+}
+
+// QueueClientInput lets the harness inject an already-decrypted message
+// (for configurations without a full channel, mirroring the prototype's
+// DebugFS emulation described in §7 of the paper).
+func (mon *Monitor) QueueClientInput(id SandboxID, data []byte) error {
+	sb, ok := mon.sandboxes[id]
+	if !ok || sb.destroyed {
+		return denied("queue-input", "no live sandbox %d", id)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	sb.pendingInput = append(sb.pendingInput, cp)
+	return nil
+}

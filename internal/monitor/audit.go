@@ -1,0 +1,146 @@
+package monitor
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+)
+
+// Audit verifies the monitor's global security invariants over the entire
+// machine state and returns a description of every violation found. It is
+// the executable form of the §8 claims: after any sequence of EMCs the
+// invariants must hold. Tests drive random operation sequences against it;
+// operators can run it as a self-check.
+//
+// Invariants:
+//
+//	I1. Every page-table page is keyed KeyPTP in the direct map (kernel may
+//	    read, never write).
+//	I2. Every monitor frame is keyed KeyMonitor in the direct map (kernel
+//	    may neither read nor write).
+//	I3. W-xor-X: no kernel-half mapping is both writable and executable,
+//	    and kernel-text frames are nowhere writable.
+//	I4. Confined frames are pinned, CVM-private, and mapped in at most one
+//	    address space — the one hosting their owning sandbox.
+//	I5. Sealed common regions have no writable mapping anywhere.
+//	6. Only shared-io frames are CVM-shared.
+//	I7. No monitor or PTP frame is mapped into any user address space.
+func (mon *Monitor) Audit() []string {
+	var v []string
+	report := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	phys := mon.M.Phys
+	n := phys.NumFrames()
+
+	// I1/I2: key assignments in the direct map.
+	for f := range mon.ptps {
+		e, _, fault := mon.kernelTables.Walk(DirectMapAddr(f))
+		if fault != nil {
+			report("I1: PTP frame %d unmapped in direct map", f)
+			continue
+		}
+		if e.Key() != KeyPTP {
+			report("I1: PTP frame %d keyed %d, want %d", f, e.Key(), KeyPTP)
+		}
+	}
+	for f := range mon.monitorFrames {
+		if mon.ptps[f] {
+			continue
+		}
+		e, _, fault := mon.kernelTables.Walk(DirectMapAddr(f))
+		if fault != nil {
+			report("I2: monitor frame %d unmapped in direct map", f)
+			continue
+		}
+		if e.Key() != KeyMonitor {
+			report("I2: monitor frame %d keyed %d, want %d", f, e.Key(), KeyMonitor)
+		}
+	}
+
+	// I3: kernel text never writable through the direct map, and the
+	// kernel-half of the shared tables is W^X.
+	for f := range mon.kernelText {
+		e, _, fault := mon.kernelTables.Walk(DirectMapAddr(f))
+		if fault == nil && e.Is(paging.Writable) {
+			report("I3: kernel-text frame %d writable via direct map", f)
+		}
+	}
+
+	// Per-frame mapping census across all registered address spaces.
+	type mapping struct {
+		asid ASID
+		va   paging.Addr
+		pte  paging.PTE
+	}
+	userMaps := make(map[mem.Frame][]mapping)
+	for asid, as := range mon.addrSpaces {
+		for va, f := range as.userFrames {
+			e, _, fault := as.tables.Walk(va)
+			if fault != nil {
+				continue
+			}
+			userMaps[f] = append(userMaps[f], mapping{asid, va, e})
+		}
+	}
+
+	// I4: confined single-mapping, pinning, privacy.
+	for f, owner := range mon.confinedOwner {
+		meta, err := phys.Meta(f)
+		if err != nil {
+			report("I4: confined frame %d: %v", f, err)
+			continue
+		}
+		if !meta.Pinned {
+			report("I4: confined frame %d not pinned", f)
+		}
+		if meta.Shared {
+			report("I4: confined frame %d is CVM-shared", f)
+		}
+		maps := userMaps[f]
+		if len(maps) > 1 {
+			report("I4: confined frame %d mapped %d times", f, len(maps))
+		}
+		sb := mon.sandboxes[owner]
+		for _, m := range maps {
+			if sb == nil || m.asid != sb.asid {
+				report("I4: confined frame %d mapped outside sandbox %d's address space", f, owner)
+			}
+		}
+	}
+
+	// I5: sealed common regions are read-only everywhere.
+	for name, cr := range mon.commons {
+		if !cr.sealed {
+			continue
+		}
+		for _, f := range cr.frames {
+			for _, m := range userMaps[f] {
+				if m.pte.Is(paging.Writable) {
+					report("I5: sealed region %q frame %d writable at %#x in AS %d", name, f, m.va, m.asid)
+				}
+			}
+		}
+	}
+
+	// I6: only shared-io frames may be CVM-shared.
+	for f := mem.Frame(0); uint64(f) < n; f++ {
+		meta, _ := phys.Meta(f)
+		if meta.Shared && meta.Region != RegionSharedIO {
+			report("I6: frame %d (%s, region %q) is CVM-shared", f, meta.Owner, meta.Region)
+		}
+	}
+
+	// I7: no monitor/PTP frame reachable from user space.
+	for f := range userMaps {
+		if mon.ptps[f] {
+			report("I7: PTP frame %d mapped into user space", f)
+		}
+		if mon.monitorFrames[f] {
+			report("I7: monitor frame %d mapped into user space", f)
+		}
+	}
+	return v
+}

@@ -1,0 +1,140 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+)
+
+func TestAuditCleanAfterBoot(t *testing.T) {
+	mon := bootedMonitor(t)
+	if v := mon.Audit(); len(v) != 0 {
+		t.Fatalf("violations after boot: %v", v)
+	}
+}
+
+// auditFuzzer drives the monitor with a random but well-formed sequence of
+// EMC operations; the security invariants must hold after every step.
+type auditFuzzer struct {
+	mon    *Monitor
+	asids  []ASID
+	sbs    []SandboxID
+	frames []mem.Frame
+	vas    map[ASID]paging.Addr
+	common int
+}
+
+func (f *auditFuzzer) step(op uint8, t *testing.T) {
+	c := f.mon.M.Cores[0]
+	switch op % 8 {
+	case 0: // new address space
+		if len(f.asids) >= 4 {
+			return
+		}
+		asid, err := f.mon.EMCCreateAS(c, mem.OwnerTaskBase+mem.Owner(len(f.asids)))
+		if err != nil {
+			return
+		}
+		f.asids = append(f.asids, asid)
+		f.vas[asid] = 0x10_0000
+	case 1: // new sandbox on a free AS
+		for _, asid := range f.asids {
+			if f.mon.sandboxByAS(asid) == nil {
+				sb, err := f.mon.EMCCreateSandbox(c, asid, 64)
+				if err == nil {
+					f.sbs = append(f.sbs, sb)
+				}
+				return
+			}
+		}
+	case 2: // map an anonymous page into a (non-sandbox) AS
+		if len(f.asids) == 0 {
+			return
+		}
+		asid := f.asids[int(op/8)%len(f.asids)]
+		as := f.mon.addrSpaces[asid]
+		fr, err := f.mon.M.Phys.Alloc(as.owner)
+		if err != nil {
+			return
+		}
+		va := f.vas[asid]
+		f.vas[asid] += mem.PageSize
+		if err := f.mon.EMCMapUser(c, asid, va, fr, MapFlags{Writable: true}); err != nil {
+			_ = f.mon.M.Phys.Free(fr)
+			return
+		}
+		f.frames = append(f.frames, fr)
+	case 3: // declare confined memory
+		if len(f.sbs) == 0 {
+			return
+		}
+		sb := f.sbs[int(op/8)%len(f.sbs)]
+		va := paging.Addr(0x2000_0000) + paging.Addr(int(op)*mem.PageSize*4)
+		_ = f.mon.EMCDeclareConfined(c, sb, va, 2, op%2 == 0)
+	case 4: // create + attach + seal a common region
+		name := string(rune('a' + f.common%20))
+		f.common++
+		if err := f.mon.EMCCommonCreate(c, name, 2); err != nil {
+			return
+		}
+		if len(f.sbs) > 0 {
+			sb := f.sbs[int(op/8)%len(f.sbs)]
+			_ = f.mon.EMCCommonAttach(c, sb, name, paging.Addr(0x4000_0000)+paging.Addr(f.common)*0x10_0000, op%2 == 0)
+			if op%3 == 0 {
+				f.mon.sealCommons(f.mon.sandboxes[sb])
+			}
+		}
+	case 5: // unmap something
+		if len(f.asids) == 0 {
+			return
+		}
+		asid := f.asids[int(op/8)%len(f.asids)]
+		if f.vas[asid] > 0x10_0000 {
+			_ = f.mon.EMCUnmapUser(c, asid, f.vas[asid]-mem.PageSize)
+		}
+	case 6: // fault in a sandbox page via the kernel path
+		if len(f.sbs) == 0 {
+			return
+		}
+		sb := f.sbs[int(op/8)%len(f.sbs)]
+		state := f.mon.sandboxes[sb]
+		for va := range state.confinedLeaf {
+			_ = f.mon.EMCMapSandboxFault(c, state.asid, va, false)
+			break
+		}
+	case 7: // end a sandbox session
+		if len(f.sbs) == 0 || op < 224 {
+			return
+		}
+		sb := f.sbs[0]
+		f.sbs = f.sbs[1:]
+		_ = f.mon.EMCSandboxEnd(c, sb)
+	}
+}
+
+func TestAuditPropertyUnderRandomOps(t *testing.T) {
+	mon := bootedMonitor(t)
+	f := &auditFuzzer{mon: mon, vas: make(map[ASID]paging.Addr)}
+	steps := 0
+	prop := func(op uint8) bool {
+		f.step(op, t)
+		steps++
+		// Auditing every step is O(frames); sample it.
+		if steps%8 != 0 {
+			return true
+		}
+		if v := mon.Audit(); len(v) != 0 {
+			t.Logf("violations after %d steps: %v", steps, v)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if v := mon.Audit(); len(v) != 0 {
+		t.Fatalf("final violations: %v", v)
+	}
+}

@@ -1,0 +1,358 @@
+package monitor
+
+import (
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// MapFlags selects user-mapping permissions.
+type MapFlags struct {
+	Writable bool
+	Exec     bool
+}
+
+// MapReq is one entry of a batched mapping request.
+type MapReq struct {
+	VA    paging.Addr
+	Frame mem.Frame
+	Flags MapFlags
+}
+
+// EMCCreateAS creates a user address space whose kernel half aliases the
+// shared kernel tables (direct map, kernel text, monitor region). The root
+// is registered so CR3 writes can be validated.
+func (mon *Monitor) EMCCreateAS(c *cpu.Core, owner mem.Owner) (ASID, error) {
+	var id ASID
+	err := mon.gate(c, "mmu", func() error {
+		t, err := paging.New(mon.M.Phys, mon.allocPTP)
+		if err != nil {
+			return err
+		}
+		// Share the kernel half: copy PML4 slots 256-511 from the kernel
+		// tables so kernel mappings (and future direct-map updates through
+		// shared lower-level PTPs) are visible in every address space.
+		for i := 256; i < 512; i++ {
+			a := mem.Addr(mon.kernelTables.Root.Base()) + mem.Addr(i*8)
+			e, err := paging.ReadPTE(mon.M.Phys, a)
+			if err != nil {
+				return err
+			}
+			if e.Is(paging.Present) {
+				dst := mem.Addr(t.Root.Base()) + mem.Addr(i*8)
+				if err := paging.WritePTE(mon.M.Phys, dst, e); err != nil {
+					return err
+				}
+			}
+		}
+		mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+		mon.nextASID++
+		id = mon.nextASID
+		as := &asState{id: id, owner: owner, tables: t, userFrames: make(map[paging.Addr]mem.Frame)}
+		mon.addrSpaces[id] = as
+		mon.rootIndex[t.Root] = id
+		return nil
+	})
+	return id, err
+}
+
+// EMCDestroyAS tears down a user address space: unmaps user leaves and
+// unregisters the root. Frames are returned to the kernel's bookkeeping
+// (the kernel owns reclamation of non-confined frames).
+func (mon *Monitor) EMCDestroyAS(c *cpu.Core, asid ASID) error {
+	return mon.gate(c, "mmu", func() error {
+		as, ok := mon.addrSpaces[asid]
+		if !ok {
+			return denied("destroy-as", "unknown address space %d", asid)
+		}
+		if sb := mon.sandboxByAS(asid); sb != nil && !sb.destroyed {
+			return denied("destroy-as", "address space %d hosts live sandbox %d", asid, sb.id)
+		}
+		for va := range as.userFrames {
+			if err := as.tables.Unmap(va); err != nil {
+				return err
+			}
+			mon.Stats.PTEWrites++
+		}
+		mon.M.Clock.Charge(uint64(len(as.userFrames)) * costs.EreborPTEWriteBody)
+		delete(mon.rootIndex, as.tables.Root)
+		delete(mon.addrSpaces, asid)
+		return nil
+	})
+}
+
+// EMCSwitchAS writes CR3 to a registered root (context switch).
+func (mon *Monitor) EMCSwitchAS(c *cpu.Core, asid ASID) error {
+	return mon.gate(c, "cr", func() error {
+		mon.M.Clock.Charge(costs.EreborCRWriteBody - costs.NativeCRWrite)
+		as, ok := mon.addrSpaces[asid]
+		if !ok && asid != 0 {
+			return denied("switch-as", "unknown address space %d", asid)
+		}
+		root := mon.kernelTables.Root
+		if asid != 0 {
+			root = as.tables.Root
+		}
+		if t := c.WriteCR(cpu.CR3, uint64(root.Base())); t != nil {
+			return t
+		}
+		return nil
+	})
+}
+
+// userFramePolicy validates mapping frame f into address space as.
+func (mon *Monitor) userFramePolicy(op string, as *asState, f mem.Frame, flags *MapFlags) error {
+	meta, err := mon.M.Phys.Meta(f)
+	if err != nil {
+		return err
+	}
+	if !meta.Allocated {
+		return denied(op, "frame %d not allocated", f)
+	}
+	if mon.ptps[f] {
+		return denied(op, "frame %d is a page-table page", f)
+	}
+	if mon.monitorFrames[f] || meta.Region == RegionMonitor {
+		return denied(op, "frame %d belongs to the monitor", f)
+	}
+	if mon.kernelText[f] {
+		return denied(op, "frame %d holds kernel text", f)
+	}
+	if owner, confined := mon.confinedOwner[f]; confined {
+		sb := mon.sandboxByAS(as.id)
+		if sb == nil || sb.id != owner {
+			return denied(op, "frame %d is confined to sandbox %d (single-mapping policy)", f, owner)
+		}
+		return nil
+	}
+	if cr := mon.commonOf(f); cr != nil {
+		sb := mon.sandboxByAS(as.id)
+		if sb == nil || !sb.commons[cr.name] {
+			return denied(op, "frame %d belongs to common region %q not attached to this address space", f, cr.name)
+		}
+		if cr.sealed && flags.Writable {
+			return denied(op, "common region %q is sealed read-only", cr.name)
+		}
+		return nil
+	}
+	// Ordinary anonymous frame: must belong to the address space's owner.
+	if meta.Owner != as.owner {
+		return denied(op, "frame %d owned by %s, address space owned by %s", f, meta.Owner, as.owner)
+	}
+	return nil
+}
+
+func leafFor(f mem.Frame, flags MapFlags) paging.PTE {
+	leaf := (paging.Present | paging.User).WithFrame(f)
+	if flags.Writable {
+		leaf |= paging.Writable
+	}
+	if !flags.Exec {
+		leaf |= paging.NX
+	}
+	return leaf
+}
+
+// EMCMapUser installs one user mapping after policy validation.
+func (mon *Monitor) EMCMapUser(c *cpu.Core, asid ASID, va paging.Addr, f mem.Frame, flags MapFlags) error {
+	return mon.gate(c, "mmu", func() error {
+		return mon.mapUserLocked(asid, va, f, flags)
+	})
+}
+
+// EMCMapUserBatch installs many mappings under a single gate crossing (the
+// batched-MMU-update optimization the paper suggests for fork-heavy loads).
+func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error {
+	return mon.gate(c, "mmu", func() error {
+		for _, r := range reqs {
+			if err := mon.mapUserLocked(asid, r.VA, r.Frame, r.Flags); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (mon *Monitor) mapUserLocked(asid ASID, va paging.Addr, f mem.Frame, flags MapFlags) error {
+	mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+	mon.Stats.PTEWrites++
+	as, ok := mon.addrSpaces[asid]
+	if !ok {
+		return denied("map-user", "unknown address space %d", asid)
+	}
+	if va >= UserTop || va < UserBase {
+		return denied("map-user", "va %#x outside user range", va)
+	}
+	if err := mon.userFramePolicy("map-user", as, f, &flags); err != nil {
+		return err
+	}
+	if err := as.tables.Map(va, leafFor(f, flags)); err != nil {
+		return err
+	}
+	as.userFrames[paging.PageBase(va)] = f
+	return nil
+}
+
+// EMCUnmapUser removes a user mapping.
+func (mon *Monitor) EMCUnmapUser(c *cpu.Core, asid ASID, va paging.Addr) error {
+	return mon.gate(c, "mmu", func() error {
+		mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+		mon.Stats.PTEWrites++
+		as, ok := mon.addrSpaces[asid]
+		if !ok {
+			return denied("unmap-user", "unknown address space %d", asid)
+		}
+		if err := as.tables.Unmap(paging.PageBase(va)); err != nil {
+			return err
+		}
+		delete(as.userFrames, paging.PageBase(va))
+		return nil
+	})
+}
+
+// EMCProtectUser rewrites the flags of an existing user mapping (mprotect).
+func (mon *Monitor) EMCProtectUser(c *cpu.Core, asid ASID, va paging.Addr, flags MapFlags) error {
+	return mon.gate(c, "mmu", func() error {
+		mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+		mon.Stats.PTEWrites++
+		as, ok := mon.addrSpaces[asid]
+		if !ok {
+			return denied("protect-user", "unknown address space %d", asid)
+		}
+		f, ok := as.userFrames[paging.PageBase(va)]
+		if !ok {
+			return denied("protect-user", "va %#x not mapped", va)
+		}
+		if err := mon.userFramePolicy("protect-user", as, f, &flags); err != nil {
+			return err
+		}
+		return as.tables.Update(paging.PageBase(va), func(paging.PTE) paging.PTE {
+			return leafFor(f, flags)
+		})
+	})
+}
+
+// EMCReclaimUser lets the kernel's memory-pressure reclaimer unmap one
+// page of a sandbox address space — permitted only for unpinned common
+// region pages (§6.1: common pages are not pinned). Confined pages are
+// pinned and refuse reclamation.
+func (mon *Monitor) EMCReclaimUser(c *cpu.Core, asid ASID, va paging.Addr) error {
+	return mon.gate(c, "mmu", func() error {
+		mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+		mon.Stats.PTEWrites++
+		as, ok := mon.addrSpaces[asid]
+		if !ok {
+			return denied("reclaim-user", "unknown address space %d", asid)
+		}
+		va = paging.PageBase(va)
+		f, ok := as.userFrames[va]
+		if !ok {
+			return denied("reclaim-user", "va %#x not mapped", va)
+		}
+		meta, err := mon.M.Phys.Meta(f)
+		if err != nil {
+			return err
+		}
+		if meta.Pinned {
+			return denied("reclaim-user", "frame %d is pinned (confined memory)", f)
+		}
+		if mon.commonOf(f) == nil {
+			return denied("reclaim-user", "frame %d is not common-region memory", f)
+		}
+		if err := as.tables.Unmap(va); err != nil {
+			return err
+		}
+		delete(as.userFrames, va)
+		return nil
+	})
+}
+
+// TranslateUser walks an address space (monitor-internal and harness use).
+func (mon *Monitor) TranslateUser(asid ASID, va paging.Addr) (mem.Frame, bool) {
+	as, ok := mon.addrSpaces[asid]
+	if !ok {
+		return 0, false
+	}
+	pte, _, f := as.tables.Walk(va)
+	if f != nil || !pte.Is(paging.Present) {
+		return 0, false
+	}
+	return pte.Frame(), true
+}
+
+// ASRoot returns the root frame of an address space (0 = kernel tables).
+func (mon *Monitor) ASRoot(asid ASID) (mem.Frame, bool) {
+	if asid == 0 {
+		return mon.kernelTables.Root, true
+	}
+	as, ok := mon.addrSpaces[asid]
+	if !ok {
+		return 0, false
+	}
+	return as.tables.Root, true
+}
+
+// --- GHCI control (§5.2, §6.1) -----------------------------------------------
+
+// EMCMapGPA converts a frame between CVM-private and CVM-shared. Policy:
+// only frames in the reserved shared-io region may ever become shared, so
+// kernel, monitor, PTP, confined and common memory stay private (device
+// access prevention).
+func (mon *Monitor) EMCMapGPA(c *cpu.Core, f mem.Frame, toShared bool) error {
+	return mon.gate(c, "ghci", func() error {
+		mon.M.Clock.Charge(costs.EreborGHCIBody - costs.NativeTDReport)
+		meta, err := mon.M.Phys.Meta(f)
+		if err != nil {
+			return err
+		}
+		if toShared && meta.Region != RegionSharedIO {
+			return denied("map-gpa", "frame %d outside the shared-io region may not be shared", f)
+		}
+		_, t := c.TDCall(tdx.LeafMapGPA, []uint64{uint64(f), boolTo64(toShared)})
+		if t != nil {
+			return t
+		}
+		return nil
+	})
+}
+
+// EMCVMCall performs a synchronous exit to the host for the kernel (proxy
+// networking, cpuid, MMIO). The payload, if any, must already live in
+// shared frames; the TDX module re-verifies.
+func (mon *Monitor) EMCVMCall(c *cpu.Core, sub uint64, args []uint64, payloadFrames []mem.Frame, payload []byte) ([]uint64, error) {
+	var ret []uint64
+	err := mon.gate(c, "ghci", func() error {
+		mon.M.Clock.Charge(costs.EreborGHCIBody - costs.NativeTDReport)
+		if len(payload) > 0 {
+			if err := mon.TDX.StageSharedBuffer(payloadFrames, payload); err != nil {
+				return err
+			}
+		}
+		r, t := c.TDCall(tdx.LeafVMCall, append([]uint64{sub}, args...))
+		if t != nil {
+			return t
+		}
+		ret = r
+		return nil
+	})
+	return ret, err
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// commonOf returns the common region containing f, if any.
+func (mon *Monitor) commonOf(f mem.Frame) *commonRegion {
+	for _, cr := range mon.commons {
+		if _, ok := cr.frameSet[f]; ok {
+			return cr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,388 @@
+// Package monitor implements EREBOR-MONITOR, the paper's core contribution:
+// a security monitor virtualized out of the CVM's ring 0 via intra-kernel
+// privilege isolation (§5). The monitor owns every sensitive privileged
+// instruction (Table 2), all page-table pages, the IDT, the GHCI/tdcall
+// choke point and the attestation interface; the deprivileged kernel
+// requests sensitive operations through gated EREBOR-MONITOR-CALLs (EMCs).
+//
+// On top of that privilege boundary the monitor enforces the three sandbox
+// properties of §6: resource-efficient memory isolation (confined/common),
+// runtime and exit protection, and secure end-to-end data communication.
+package monitor
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/attest"
+	"github.com/asterisc-release/erebor-go/internal/cet"
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// Protection-key assignments (§5.2).
+const (
+	KeyDefault uint8 = 0 // ordinary kernel memory
+	KeyMonitor uint8 = 1 // monitor code/data/stacks: kernel gets AD+WD
+	KeyPTP     uint8 = 2 // page-table pages: kernel gets WD (read-only)
+)
+
+// Virtual-memory layout (48-bit space; PML4 slot in parentheses).
+const (
+	UserBase       paging.Addr = 0x0000_0000_1000
+	UserTop        paging.Addr = 0x8000_0000_0000 // slots 0-255 are user
+	KernelTextBase paging.Addr = 0x8000_0000_0000 // slot 256
+	DirectMapBase  paging.Addr = 0xC000_0000_0000 // slot 384
+	MonitorBase    paging.Addr = 0xE000_0000_0000 // slot 448
+
+	// EMCEntryAddr is the single endbr64 landing pad in monitor memory: the
+	// start of the EMC entry gate (Fig 5a line 2).
+	EMCEntryAddr = uint64(MonitorBase)
+)
+
+// Reserved physical region names.
+const (
+	RegionMonitor  = "monitor-pool" // monitor image, stacks, PTPs
+	RegionCMA      = "erebor-cma"   // sandbox confined memory (pinned)
+	RegionSharedIO = "shared-io"    // the only frames allowed to become CVM-shared
+)
+
+// NormalPKRS is the kernel's (normal-mode) PKRS: monitor key fully denied,
+// PTP key write-denied, everything else open.
+var NormalPKRS = paging.PKRSSet(paging.PKRSSet(paging.PKRSAllowAll, KeyMonitor, true, true), KeyPTP, false, true)
+
+// MonitorPKRS grants all keys (EMC entry gate, Fig 5a line 10).
+const MonitorPKRS = paging.PKRSAllowAll
+
+// Config sizes the monitor's reserved regions.
+type Config struct {
+	MonitorPoolFrames uint64 // PTPs, monitor image, stacks
+	CMAFrames         uint64 // sandbox confined memory
+	SharedIOFrames    uint64 // device/DMA-visible pool
+	// PadBlock is the secure-channel padding granularity (0 = default).
+	PadBlock int
+}
+
+// DefaultConfig sizes regions for a phys of nframes total frames.
+func DefaultConfig(nframes uint64) Config {
+	return Config{
+		MonitorPoolFrames: nframes / 4,
+		CMAFrames:         nframes / 4,
+		SharedIOFrames:    64,
+	}
+}
+
+// Stats counts monitor activity for the evaluation harness. CyclesByKind
+// attributes the virtual cycles spent inside EMC gates per request class,
+// which the harness uses for the Fig 9 overhead breakdown (memory isolation
+// vs exit protection).
+type Stats struct {
+	EMCs                  uint64
+	EMCByKind             map[string]uint64
+	CyclesByKind          map[string]uint64
+	InterposeCycles       uint64
+	PTEWrites             uint64
+	SyscallInterpositions uint64
+	SandboxExits          uint64
+	SandboxKills          uint64
+	UserCopies            uint64
+	QuotesIssued          uint64
+}
+
+// ASID names an address space registered with the monitor.
+type ASID int
+
+type asState struct {
+	id     ASID
+	owner  mem.Owner
+	tables *paging.Tables
+	// userFrames tracks frames mapped into user space (for teardown).
+	userFrames map[paging.Addr]mem.Frame
+}
+
+// Monitor is the Erebor security monitor.
+type Monitor struct {
+	M   *cpu.Machine
+	TDX *tdx.Module
+	QK  *attest.QuotingKey
+
+	tok cpu.MonitorToken
+	idt *cpu.IDT
+
+	kernelTables *paging.Tables
+	dirmapReady  bool
+
+	ptps          map[mem.Frame]bool
+	monitorFrames map[mem.Frame]bool
+	kernelText    map[mem.Frame]bool // W^X bookkeeping
+
+	addrSpaces map[ASID]*asState
+	nextASID   ASID
+	rootIndex  map[mem.Frame]ASID // registered CR3 roots
+
+	sandboxes    map[SandboxID]*sbState
+	nextSBID     SandboxID
+	commons      map[string]*commonRegion
+	nextCommonID uint64
+
+	// confinedOwner maps each confined frame to the single sandbox allowed
+	// to have it mapped (single-mapping policy, §6.1).
+	confinedOwner map[mem.Frame]SandboxID
+
+	// Kernel-registered callbacks (through EMC SetVector/SetSyscallEntry).
+	kernelVectors [256]cpu.Handler
+	kernelSyscall func(c *cpu.Core, t *cpu.Trap)
+
+	// cpuidCache backs the monitor's cpuid emulation for sandboxes (§6.2).
+	cpuidCache map[uint64][4]uint64
+
+	// sstacks are the per-core supervisor shadow stacks.
+	sstacks []*cet.ShadowStack
+
+	// preemptHook simulates an interrupt injected mid-EMC (tests/bench).
+	preemptHook func(c *cpu.Core)
+
+	// BatchMMU enables the batched-MMU-update ablation: Map requests carry
+	// multiple PTEs under one gate crossing.
+	BatchMMU bool
+
+	// ExitRateLimit, when non-zero, kills any sandbox exceeding this many
+	// software-driven exits per simulated second after data install — the
+	// §11 rate-limiting mitigation for exit-frequency covert channels.
+	ExitRateLimit uint64
+
+	// OutputQuantum, when non-zero, releases sandbox output only at
+	// quantized virtual-time intervals (cycles), closing the §11
+	// input-output interval covert channel.
+	OutputQuantum uint64
+
+	// KillNotify, if set, tells the kernel glue that a sandbox was killed so
+	// the hosting task can be terminated. (The kernel is untrusted: even if
+	// it ignores the notification, the sandbox's memory is already scrubbed
+	// and its exits stay blocked.)
+	KillNotify func(id SandboxID, reason string)
+
+	// padBlock is the secure-channel padding granularity (0 = default).
+	padBlock int
+
+	// nextModuleVA places dynamically loaded kernel code.
+	nextModuleVA uint64
+
+	// debugOut is the DebugFS-emulation output queue used when a sandbox
+	// has no live secure channel (paper §7 evaluation setup).
+	debugOut [][]byte
+
+	Stats Stats
+
+	monitorImage []byte
+	booted       bool
+}
+
+// Boot performs stage one of the verified boot (§5.1): only firmware and
+// the monitor are loaded and measured; the monitor takes ownership of all
+// memory-configuration interfaces, programs the protection keys and CET,
+// and engages lockdown. The kernel is not loaded yet.
+func Boot(m *cpu.Machine, module *tdx.Module, qk *attest.QuotingKey, cfg Config) (*Monitor, error) {
+	mon := &Monitor{
+		M: m, TDX: module, QK: qk,
+		ptps:          make(map[mem.Frame]bool),
+		monitorFrames: make(map[mem.Frame]bool),
+		kernelText:    make(map[mem.Frame]bool),
+		addrSpaces:    make(map[ASID]*asState),
+		rootIndex:     make(map[mem.Frame]ASID),
+		sandboxes:     make(map[SandboxID]*sbState),
+		commons:       make(map[string]*commonRegion),
+		confinedOwner: make(map[mem.Frame]SandboxID),
+		cpuidCache:    make(map[uint64][4]uint64),
+		padBlock:      cfg.PadBlock,
+	}
+	mon.Stats.EMCByKind = make(map[string]uint64)
+	mon.Stats.CyclesByKind = make(map[string]uint64)
+	mon.tok = m.MintMonitorToken()
+
+	phys := m.Phys
+	if _, err := phys.Reserve(RegionSharedIO, cfg.SharedIOFrames); err != nil {
+		return nil, fmt.Errorf("monitor: reserving shared-io: %w", err)
+	}
+	if _, err := phys.Reserve(RegionCMA, cfg.CMAFrames); err != nil {
+		return nil, fmt.Errorf("monitor: reserving CMA: %w", err)
+	}
+	if _, err := phys.Reserve(RegionMonitor, cfg.MonitorPoolFrames); err != nil {
+		return nil, fmt.Errorf("monitor: reserving monitor pool: %w", err)
+	}
+
+	// The monitor image: a synthetic text blob whose only endbr64 is at
+	// offset 0 (the EMC entry gate). Tests scan it to verify the IBT story.
+	mon.monitorImage = buildMonitorText()
+	module.MeasureBoot("erebor-monitor", mon.monitorImage)
+
+	if err := mon.buildKernelTables(); err != nil {
+		return nil, err
+	}
+	if err := mon.mapMonitorImage(); err != nil {
+		return nil, err
+	}
+
+	// Program every core: IDT gates, control bits, PKRS, shadow stacks.
+	mon.idt = cpu.NewIDT()
+	for v := 0; v < 256; v++ {
+		vec := uint8(v)
+		mon.idt.Set(vec, func(c *cpu.Core, t *cpu.Trap) { mon.intGate(c, t) })
+	}
+	m.IBT.MarkEndbr(EMCEntryAddr)
+	m.IBT.Enable()
+	for _, c := range m.Cores {
+		c.RawLIDT(mon.tok, mon.idt)
+		c.RawWriteCR(mon.tok, cpu.CR0, cpu.CR0WP)
+		c.RawWriteCR(mon.tok, cpu.CR4, cpu.CR4SMEP|cpu.CR4SMAP|cpu.CR4PKS|cpu.CR4CET)
+		c.RawWriteCR(mon.tok, cpu.CR3, uint64(mon.kernelTables.Root.Base()))
+		c.RawWriteMSR(mon.tok, cpu.MSRPKRS, uint64(NormalPKRS))
+		c.RawWriteMSR(mon.tok, cpu.MSRLSTAR, EMCEntryAddr) // syscalls land in the monitor first
+		ss := cet.NewShadowStack()
+		ss.Enable()
+		if err := ss.Activate(); err != nil {
+			return nil, err
+		}
+		c.SStack = ss
+		mon.sstacks = append(mon.sstacks, ss)
+	}
+	mon.rootIndex[mon.kernelTables.Root] = 0
+
+	m.EngageLockdown(mon.tok)
+	mon.booted = true
+	return mon, nil
+}
+
+// MonitorImage returns the measured monitor text (clients compute expected
+// MRTD from it; tests scan it).
+func (mon *Monitor) MonitorImage() []byte { return mon.monitorImage }
+
+// KernelTables exposes the kernel address space (read-only use: the kernel
+// walks its own tables freely; writing PTEs requires EMCs).
+func (mon *Monitor) KernelTables() *paging.Tables { return mon.kernelTables }
+
+// allocMonitorFrame takes a monitor-pool frame and keys it to the monitor
+// in the direct map.
+func (mon *Monitor) allocMonitorFrame() (mem.Frame, error) {
+	f, err := mon.M.Phys.AllocRegion(RegionMonitor, mem.OwnerMonitor)
+	if err != nil {
+		return 0, err
+	}
+	mon.monitorFrames[f] = true
+	if mon.dirmapReady {
+		mon.keyDirectMap(f, KeyMonitor)
+	}
+	return f, nil
+}
+
+// allocPTP takes a monitor-pool frame for a page-table page and
+// write-protects it from the kernel via the PTP key.
+func (mon *Monitor) allocPTP() (mem.Frame, error) {
+	f, err := mon.M.Phys.AllocRegion(RegionMonitor, mem.OwnerMonitor)
+	if err != nil {
+		return 0, err
+	}
+	mon.ptps[f] = true
+	if mon.dirmapReady {
+		mon.keyDirectMap(f, KeyPTP)
+	}
+	return f, nil
+}
+
+// DirectMapAddr is the kernel-virtual address of a physical frame.
+func DirectMapAddr(f mem.Frame) paging.Addr {
+	return DirectMapBase + paging.Addr(f.Base())
+}
+
+func (mon *Monitor) keyDirectMap(f mem.Frame, key uint8) {
+	err := mon.kernelTables.Update(DirectMapAddr(f), func(e paging.PTE) paging.PTE {
+		return e.WithKey(key)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("monitor: keying direct map of frame %d: %v", f, err))
+	}
+}
+
+// buildKernelTables constructs the shared kernel address space: a direct
+// map of all physical memory (supervisor RW, NX), with PTP and monitor
+// frames keyed after the fact.
+func (mon *Monitor) buildKernelTables() error {
+	t, err := paging.New(mon.M.Phys, mon.allocPTP)
+	if err != nil {
+		return err
+	}
+	mon.kernelTables = t
+	n := mon.M.Phys.NumFrames()
+	for f := mem.Frame(0); uint64(f) < n; f++ {
+		leaf := (paging.Present | paging.Writable | paging.NX).WithFrame(f)
+		if err := t.Map(DirectMapAddr(f), leaf); err != nil {
+			return fmt.Errorf("monitor: building direct map: %w", err)
+		}
+	}
+	mon.dirmapReady = true
+	// Retroactively key the PTPs that the direct-map build itself created,
+	// and any monitor frames allocated so far.
+	for f := range mon.ptps {
+		mon.keyDirectMap(f, KeyPTP)
+	}
+	for f := range mon.monitorFrames {
+		if !mon.ptps[f] {
+			mon.keyDirectMap(f, KeyMonitor)
+		}
+	}
+	return nil
+}
+
+// mapMonitorImage places the monitor text at MonitorBase (RX, monitor key)
+// and allocates per-core secure stacks (RW, NX, monitor key).
+func (mon *Monitor) mapMonitorImage() error {
+	img := mon.monitorImage
+	for off := 0; off < len(img); off += mem.PageSize {
+		f, err := mon.allocMonitorFrame()
+		if err != nil {
+			return err
+		}
+		b, err := mon.M.Phys.Bytes(f)
+		if err != nil {
+			return err
+		}
+		end := off + mem.PageSize
+		if end > len(img) {
+			end = len(img)
+		}
+		copy(b, img[off:end])
+		leaf := paging.Present.WithFrame(f).WithKey(KeyMonitor) // RX: no Writable, no NX
+		if err := mon.kernelTables.Map(MonitorBase+paging.Addr(off), leaf); err != nil {
+			return err
+		}
+	}
+	// Per-core secure stacks: 4 frames each, mapped after the image.
+	stackBase := MonitorBase + 0x100000
+	for i := range mon.M.Cores {
+		for p := 0; p < 4; p++ {
+			f, err := mon.allocMonitorFrame()
+			if err != nil {
+				return err
+			}
+			va := stackBase + paging.Addr(i*0x10000+p*mem.PageSize)
+			leaf := (paging.Present | paging.Writable | paging.NX).WithFrame(f).WithKey(KeyMonitor)
+			if err := mon.kernelTables.Map(va, leaf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetPreemptHook installs a one-shot interrupt injected during the next EMC
+// (exercises the #INT gate, Fig 5c-right).
+func (mon *Monitor) SetPreemptHook(h func(c *cpu.Core)) { mon.preemptHook = h }
+
+// Token is intentionally NOT exported: the monitor capability never leaves
+// this package.
+func (mon *Monitor) assertBooted() {
+	if !mon.booted {
+		panic("monitor: not booted")
+	}
+}

@@ -1,0 +1,147 @@
+// Package sandbox is the service-provider-facing container runtime: it
+// launches an application inside an EREBOR-SANDBOX with a booted LibOS,
+// wires common regions, and manages client sessions. It is the toolkit
+// layer of the paper's §7 implementation (the Gramine extension +
+// development toolkit).
+package sandbox
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+)
+
+// CommonRef names a common region a container consumes.
+type CommonRef struct {
+	Name string
+	// Writable requests a pre-seal writable attachment (initializer role).
+	Writable bool
+}
+
+// Spec describes a container to launch.
+type Spec struct {
+	Name        string
+	Owner       mem.Owner
+	BudgetPages uint64
+	LibOS       libos.Config
+	Commons     []CommonRef
+	// Main runs inside the sandbox after LibOS boot and common attachment.
+	Main func(c *Container, os *libos.OS)
+}
+
+// Container is a launched sandbox.
+type Container struct {
+	K    *kernel.Kernel
+	Mon  *monitor.Monitor // nil when running LibOS-only
+	Task *kernel.Task
+	ID   monitor.SandboxID
+	Spec Spec
+
+	// CommonVAs maps attached region names to their base addresses inside
+	// the sandbox (empty entries mean the attach fell back to private
+	// replication in LibOS-only mode).
+	CommonVAs map[string]paging.Addr
+
+	bootErr error
+}
+
+// CreateCommon registers and populates a common region (service-provider
+// setup, before any client session). In LibOS-only mode the data is
+// published as a VFS file instead, for containers to load privately.
+func CreateCommon(k *kernel.Kernel, name string, data []byte) error {
+	pages := (uint64(len(data)) + mem.PageSize - 1) / mem.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	if k.Mode != kernel.ModeErebor {
+		k.VFS().Create("/common/"+name, data)
+		return nil
+	}
+	c := k.M.Cores[0]
+	if err := k.Mon.EMCCommonCreate(c, name, pages); err != nil {
+		return err
+	}
+	return k.Mon.EMCPopulateCommon(c, name, 0, data)
+}
+
+// Launch spawns the container task: LibOS boot, common attachment, then
+// the application Main.
+func Launch(k *kernel.Kernel, spec Spec) (*Container, error) {
+	if spec.BudgetPages == 0 {
+		spec.BudgetPages = spec.LibOS.HeapPages + 16
+	}
+	c := &Container{K: k, Mon: k.Mon, Spec: spec, CommonVAs: make(map[string]paging.Addr)}
+	t, id, err := k.SpawnSandboxed(spec.Name, spec.Owner, spec.BudgetPages, func(e *kernel.Env) {
+		os, err := libos.Boot(e, spec.LibOS)
+		if err != nil {
+			c.bootErr = err
+			return
+		}
+		for _, ref := range spec.Commons {
+			if err := c.attachCommon(os, ref); err != nil {
+				c.bootErr = err
+				return
+			}
+		}
+		if spec.Main != nil {
+			spec.Main(c, os)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Task = t
+	c.ID = id
+	return c, nil
+}
+
+func (c *Container) attachCommon(os *libos.OS, ref CommonRef) error {
+	if c.Mon != nil {
+		rid, ok := c.Mon.CommonRegionID(ref.Name)
+		if !ok {
+			return fmt.Errorf("sandbox: unknown common region %q", ref.Name)
+		}
+		pages, _ := c.Mon.CommonPages(ref.Name)
+		base, err := os.AttachCommon(rid, pages, ref.Writable)
+		if err != nil {
+			return err
+		}
+		c.CommonVAs[ref.Name] = base
+		return nil
+	}
+	// LibOS-only fallback: map a private page-cache copy of the dataset
+	// file (full replication; no sharing without the monitor).
+	path := "/common/" + ref.Name
+	va, _, err := os.MapHostFile(path)
+	if err != nil {
+		return fmt.Errorf("sandbox: private fallback for %q: %w", ref.Name, err)
+	}
+	c.CommonVAs[ref.Name] = va
+	return nil
+}
+
+// BootErr reports a LibOS/attachment failure inside the container.
+func (c *Container) BootErr() error { return c.bootErr }
+
+// AcceptSession performs the attested handshake for this container (the
+// monitor side; the client side is harness.Client). No-op without a
+// monitor.
+func (c *Container) AcceptSession(tr secchan.Transport) error {
+	if c.Mon == nil {
+		return fmt.Errorf("sandbox: no monitor (LibOS-only mode); use the kernel device emulation")
+	}
+	return c.Mon.AcceptSession(c.K.M.Cores[0], c.ID, tr)
+}
+
+// Info returns the monitor's view of the sandbox.
+func (c *Container) Info() (monitor.SandboxInfo, bool) {
+	if c.Mon == nil {
+		return monitor.SandboxInfo{}, false
+	}
+	return c.Mon.SandboxInfo(c.ID)
+}

@@ -1,0 +1,116 @@
+package sandbox_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+)
+
+func TestLaunchRunsMain(t *testing.T) {
+	w, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	c, err := sandbox.Launch(w.K, sandbox.Spec{
+		Name: "probe", Owner: mem.OwnerTaskBase + 1,
+		LibOS: libos.Config{HeapPages: 16},
+		Main:  func(c *sandbox.Container, os *libos.OS) { ran = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.K.Schedule()
+	if !ran || c.BootErr() != nil {
+		t.Fatalf("ran=%v err=%v", ran, c.BootErr())
+	}
+	info, ok := c.Info()
+	if !ok || info.ID != c.ID || info.Destroyed {
+		t.Fatalf("info: %+v", info)
+	}
+}
+
+func TestCreateCommonPublishesPerMode(t *testing.T) {
+	// Erebor: monitor region. Native: VFS file fallback.
+	we, _ := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 64})
+	if err := sandbox.CreateCommon(we.K, "ds", []byte("dataset")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := we.Mon.CommonRegionID("ds"); !ok {
+		t.Fatal("region not registered with the monitor")
+	}
+	wn, _ := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeNative, MemMB: 64})
+	if err := sandbox.CreateCommon(wn.K, "ds", []byte("dataset")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wn.K.VFS().Open("/common/ds"); err != nil {
+		t.Fatal("fallback file missing")
+	}
+}
+
+func TestUnknownCommonRefFailsBoot(t *testing.T) {
+	w, _ := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 64})
+	c, err := sandbox.Launch(w.K, sandbox.Spec{
+		Name: "orphan", Owner: mem.OwnerTaskBase + 1,
+		LibOS:   libos.Config{HeapPages: 16},
+		Commons: []sandbox.CommonRef{{Name: "never-created"}},
+		Main:    func(c *sandbox.Container, os *libos.OS) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.K.Schedule()
+	if c.BootErr() == nil {
+		t.Fatal("attach of unknown region did not fail")
+	}
+	if !strings.Contains(c.BootErr().Error(), "never-created") {
+		t.Fatalf("error: %v", c.BootErr())
+	}
+}
+
+func TestTwoContainersShareOneRegion(t *testing.T) {
+	w, _ := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 96})
+	payload := []byte("shared bytes visible to both")
+	if err := sandbox.CreateCommon(w.K, "shared", payload); err != nil {
+		t.Fatal(err)
+	}
+	reads := make([][]byte, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		c, err := sandbox.Launch(w.K, sandbox.Spec{
+			Name: "reader", Owner: mem.OwnerTaskBase + mem.Owner(1+i),
+			LibOS:   libos.Config{HeapPages: 16},
+			Commons: []sandbox.CommonRef{{Name: "shared"}},
+			Main: func(c *sandbox.Container, os *libos.OS) {
+				buf := make([]byte, len(payload))
+				os.Env.ReadMem(c.CommonVAs["shared"], buf)
+				reads[i] = buf
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if c.BootErr() != nil {
+				t.Error(c.BootErr())
+			}
+		}()
+	}
+	w.K.Schedule()
+	for i, r := range reads {
+		if string(r) != string(payload) {
+			t.Fatalf("reader %d saw %q", i, r)
+		}
+	}
+	// Only one physical copy exists: the region frames are owned by the
+	// common pool, not the tenants.
+	pages, _ := w.Mon.CommonPages("shared")
+	if pages != 1 {
+		t.Fatalf("region pages = %d", pages)
+	}
+}

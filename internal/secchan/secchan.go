@@ -1,0 +1,376 @@
+// Package secchan implements Erebor's end-to-end secure data channel
+// (§6.3): an attestation-authenticated key exchange between a remote client
+// and the in-CVM monitor, an AES-256-GCM record layer with fixed-length
+// padding (to hide result sizes, AV3), and transport abstractions including
+// the untrusted in-CVM proxy that relays opaque ciphertext.
+//
+// Crypto is stdlib-only: X25519 (crypto/ecdh) for key agreement, HKDF built
+// from crypto/hmac+sha256, ECDSA quotes from internal/attest.
+package secchan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/attest"
+	"github.com/asterisc-release/erebor-go/internal/tdx"
+)
+
+// DefaultPadBlock is the record padding granularity (§6.3: the monitor pads
+// output to fixed lengths before returning it to the client).
+const DefaultPadBlock = 4096
+
+// --- HKDF (RFC 5869, SHA-256) ------------------------------------------------
+
+// hkdfExtract computes PRK = HMAC(salt, ikm).
+func hkdfExtract(salt, ikm []byte) []byte {
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+// hkdfExpand derives n bytes of keying material from prk and info.
+func hkdfExpand(prk, info []byte, n int) []byte {
+	var out, t []byte
+	var ctr byte
+	for len(out) < n {
+		ctr++
+		m := hmac.New(sha256.New, prk)
+		m.Write(t)
+		m.Write(info)
+		m.Write([]byte{ctr})
+		t = m.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:n]
+}
+
+// DeriveKeys produces the two direction keys from an ECDH shared secret and
+// the handshake transcript.
+func DeriveKeys(shared, transcript []byte) (clientToServer, serverToClient []byte) {
+	prk := hkdfExtract([]byte("erebor-secchan-v1"), shared)
+	km := hkdfExpand(prk, append([]byte("keys|"), transcript...), 64)
+	return km[:32], km[32:]
+}
+
+// --- transport -----------------------------------------------------------------
+
+// Transport moves opaque frames between the two channel ends.
+type Transport interface {
+	Send(frame []byte) error
+	Recv() ([]byte, error)
+}
+
+// MemPipe is an in-memory duplex transport pair.
+type MemPipe struct {
+	in  *[][]byte
+	out *[][]byte
+	// Tap, if set, observes every sent frame (the untrusted proxy/host).
+	Tap func(frame []byte)
+}
+
+// NewMemPipe returns the two connected ends.
+func NewMemPipe() (a, b *MemPipe) {
+	q1 := &[][]byte{}
+	q2 := &[][]byte{}
+	return &MemPipe{in: q1, out: q2}, &MemPipe{in: q2, out: q1}
+}
+
+// Send implements Transport.
+func (p *MemPipe) Send(frame []byte) error {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	if p.Tap != nil {
+		p.Tap(cp)
+	}
+	*p.out = append(*p.out, cp)
+	return nil
+}
+
+// ErrEmpty is returned by non-blocking transports with nothing queued.
+var ErrEmpty = errors.New("secchan: transport empty")
+
+// Recv implements Transport.
+func (p *MemPipe) Recv() ([]byte, error) {
+	if len(*p.in) == 0 {
+		return nil, ErrEmpty
+	}
+	f := (*p.in)[0]
+	*p.in = (*p.in)[1:]
+	return f, nil
+}
+
+// Proxy is the untrusted in-CVM relay: it forwards frames between an
+// outer (client-facing) and inner (monitor-facing) transport and records
+// everything it sees. It has no keys; tests assert it never observes
+// plaintext.
+type Proxy struct {
+	Outer, Inner Transport
+	Seen         [][]byte
+}
+
+// PumpOnce relays one pending frame in each direction, if present.
+func (p *Proxy) PumpOnce() {
+	if f, err := p.Outer.Recv(); err == nil {
+		p.Seen = append(p.Seen, f)
+		_ = p.Inner.Send(f)
+	}
+	if f, err := p.Inner.Recv(); err == nil {
+		p.Seen = append(p.Seen, f)
+		_ = p.Outer.Send(f)
+	}
+}
+
+// --- record layer ----------------------------------------------------------------
+
+// Conn is one authenticated-encryption direction pair over a transport.
+type Conn struct {
+	tr       Transport
+	sealKey  cipher.AEAD
+	openKey  cipher.AEAD
+	sendSeq  uint64
+	recvSeq  uint64
+	PadBlock int
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(blk)
+}
+
+// NewConn builds a connection with the given send/receive keys.
+func NewConn(tr Transport, sendKey, recvKey []byte, padBlock int) (*Conn, error) {
+	sk, err := newAEAD(sendKey)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: send key: %w", err)
+	}
+	rk, err := newAEAD(recvKey)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: recv key: %w", err)
+	}
+	if padBlock <= 0 {
+		padBlock = DefaultPadBlock
+	}
+	return &Conn{tr: tr, sealKey: sk, openKey: rk, PadBlock: padBlock}, nil
+}
+
+func nonceFor(seq uint64) []byte {
+	n := make([]byte, 12)
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n
+}
+
+// Pad frames to a multiple of PadBlock: 4-byte length prefix + payload +
+// zero padding.
+func pad(payload []byte, block int) []byte {
+	raw := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(raw, uint32(len(payload)))
+	copy(raw[4:], payload)
+	total := ((len(raw) + block - 1) / block) * block
+	if total == 0 {
+		total = block
+	}
+	padded := make([]byte, total)
+	copy(padded, raw)
+	return padded
+}
+
+func unpad(raw []byte) ([]byte, error) {
+	if len(raw) < 4 {
+		return nil, errors.New("secchan: record too short")
+	}
+	n := binary.BigEndian.Uint32(raw)
+	if int(n) > len(raw)-4 {
+		return nil, errors.New("secchan: record length prefix corrupt")
+	}
+	return raw[4 : 4+n], nil
+}
+
+// Send pads, seals and transmits one message.
+func (c *Conn) Send(msg []byte) error {
+	padded := pad(msg, c.PadBlock)
+	ct := c.sealKey.Seal(nil, nonceFor(c.sendSeq), padded, nil)
+	c.sendSeq++
+	return c.tr.Send(ct)
+}
+
+// Recv receives, opens and unpads one message.
+func (c *Conn) Recv() ([]byte, error) {
+	ct, err := c.tr.Recv()
+	if err != nil {
+		return nil, err
+	}
+	pt, err := c.openKey.Open(nil, nonceFor(c.recvSeq), ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: record authentication failed: %w", err)
+	}
+	c.recvSeq++
+	return unpad(pt)
+}
+
+// --- attested handshake -------------------------------------------------------------
+
+// ReportDataFor binds the handshake into the attestation report:
+// SHA-256(clientNonce || serverECDHPub), zero-padded to ReportDataSize.
+func ReportDataFor(clientNonce, serverPub []byte) [tdx.ReportDataSize]byte {
+	h := sha256.New()
+	h.Write(clientNonce)
+	h.Write(serverPub)
+	var rd [tdx.ReportDataSize]byte
+	copy(rd[:], h.Sum(nil))
+	return rd
+}
+
+// ClientHello opens the handshake: a fresh nonce and X25519 key.
+type ClientHello struct {
+	Nonce     []byte
+	ClientPub []byte
+}
+
+// ServerHello answers with the monitor's key and the binding quote.
+type ServerHello struct {
+	ServerPub []byte
+	Quote     *attest.Quote
+}
+
+// NewClientHello generates the client's opening message and its ephemeral
+// private key.
+func NewClientHello() (*ClientHello, *ecdh.PrivateKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("secchan: client key: %w", err)
+	}
+	nonce := make([]byte, 32)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, err
+	}
+	return &ClientHello{Nonce: nonce, ClientPub: priv.PublicKey().Bytes()}, priv, nil
+}
+
+// ReportIssuer obtains a quoted report binding reportData; only Erebor's
+// monitor can implement it honestly (tdcall ownership).
+type ReportIssuer interface {
+	IssueQuote(reportData [tdx.ReportDataSize]byte) (*attest.Quote, error)
+}
+
+// ServerHandshake runs the monitor side: given the client hello and an
+// issuer, produce the server hello and the two direction keys.
+func ServerHandshake(hello *ClientHello, issuer ReportIssuer) (*ServerHello, Keys, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, Keys{}, fmt.Errorf("secchan: server key: %w", err)
+	}
+	serverPub := priv.PublicKey().Bytes()
+	quote, err := issuer.IssueQuote(ReportDataFor(hello.Nonce, serverPub))
+	if err != nil {
+		return nil, Keys{}, err
+	}
+	clientPub, err := ecdh.X25519().NewPublicKey(hello.ClientPub)
+	if err != nil {
+		return nil, Keys{}, fmt.Errorf("secchan: client pub: %w", err)
+	}
+	shared, err := priv.ECDH(clientPub)
+	if err != nil {
+		return nil, Keys{}, err
+	}
+	transcript := transcriptOf(hello, serverPub)
+	c2s, s2c := DeriveKeys(shared, transcript)
+	return &ServerHello{ServerPub: serverPub, Quote: quote},
+		Keys{send: s2c, recv: c2s}, nil
+}
+
+// ClientFinish runs the client side: verify the quote (signature, MRTD,
+// report-data binding) and derive keys.
+func ClientFinish(hello *ClientHello, priv *ecdh.PrivateKey, sh *ServerHello,
+	quotingPub *ecdsa.PublicKey, expectedMRTD *[tdx.MeasurementSize]byte) (Keys, error) {
+
+	report, err := attest.Verify(quotingPub, sh.Quote, expectedMRTD)
+	if err != nil {
+		return Keys{}, err
+	}
+	want := ReportDataFor(hello.Nonce, sh.ServerPub)
+	if report.ReportData != want {
+		return Keys{}, errors.New("secchan: attestation does not bind this handshake (replay or impersonation)")
+	}
+	serverPub, err := ecdh.X25519().NewPublicKey(sh.ServerPub)
+	if err != nil {
+		return Keys{}, fmt.Errorf("secchan: server pub: %w", err)
+	}
+	shared, err := priv.ECDH(serverPub)
+	if err != nil {
+		return Keys{}, err
+	}
+	transcript := transcriptOf(hello, sh.ServerPub)
+	c2s, s2c := DeriveKeys(shared, transcript)
+	return Keys{send: c2s, recv: s2c}, nil
+}
+
+// Keys holds the directional record keys derived by a handshake side.
+type Keys struct{ send, recv []byte }
+
+// Conn builds the record-layer connection for this side.
+func (k Keys) Conn(tr Transport, padBlock int) (*Conn, error) {
+	return NewConn(tr, k.send, k.recv, padBlock)
+}
+
+// --- wire encoding of handshake frames ---------------------------------------
+
+// EncodeHello / DecodeHello and EncodeServerHello / DecodeServerHello use
+// JSON: the frames are integrity-protected by the attestation binding, not
+// by the encoding.
+
+// EncodeHello serializes a ClientHello frame.
+func EncodeHello(h *ClientHello) []byte {
+	b, err := json.Marshal(h)
+	if err != nil {
+		panic("secchan: encoding hello: " + err.Error())
+	}
+	return b
+}
+
+// DecodeHello parses a ClientHello frame.
+func DecodeHello(b []byte) (*ClientHello, error) {
+	var h ClientHello
+	if err := json.Unmarshal(b, &h); err != nil {
+		return nil, fmt.Errorf("secchan: bad hello frame: %w", err)
+	}
+	return &h, nil
+}
+
+// EncodeServerHello serializes a ServerHello frame.
+func EncodeServerHello(sh *ServerHello) []byte {
+	b, err := json.Marshal(sh)
+	if err != nil {
+		panic("secchan: encoding server hello: " + err.Error())
+	}
+	return b
+}
+
+// DecodeServerHello parses a ServerHello frame.
+func DecodeServerHello(b []byte) (*ServerHello, error) {
+	var sh ServerHello
+	if err := json.Unmarshal(b, &sh); err != nil {
+		return nil, fmt.Errorf("secchan: bad server hello frame: %w", err)
+	}
+	return &sh, nil
+}
+
+func transcriptOf(hello *ClientHello, serverPub []byte) []byte {
+	t := make([]byte, 0, len(hello.Nonce)+len(hello.ClientPub)+len(serverPub))
+	t = append(t, hello.Nonce...)
+	t = append(t, hello.ClientPub...)
+	t = append(t, serverPub...)
+	return t
+}

@@ -1,0 +1,132 @@
+package task
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestYieldResumeSequence(t *testing.T) {
+	// The first Resume's input is discarded (it only starts the task), so
+	// the i-th Yield receives the (i+1)-th Resume's input.
+	tk := Start("seq", func(y *Yield) {
+		for i := 1; i <= 3; i++ {
+			in := y.Yield(i * 10)
+			if i < 3 && in != i+1 {
+				t.Errorf("resume delivered %v, want %d", in, i+1)
+			}
+		}
+	})
+	for i := 1; i <= 3; i++ {
+		out, done, err := tk.Resume(i)
+		if done || err != nil {
+			t.Fatalf("iteration %d: done=%v err=%v", i, done, err)
+		}
+		if out != i*10 {
+			t.Fatalf("yielded %v, want %d", out, i*10)
+		}
+	}
+	// The first Resume's input is discarded by convention; inputs are
+	// delivered to pending Yields. Final resume finishes the task.
+	_, done, err := tk.Resume(nil)
+	if !done || err != nil {
+		t.Fatalf("final: done=%v err=%v", done, err)
+	}
+	if !tk.Finished() {
+		t.Fatal("not finished")
+	}
+}
+
+func TestResumeAfterFinishIsStable(t *testing.T) {
+	tk := Start("quick", func(y *Yield) {})
+	_, done, _ := tk.Resume(nil)
+	if !done {
+		t.Fatal("not done")
+	}
+	_, done, _ = tk.Resume(nil)
+	if !done {
+		t.Fatal("finished task resumed")
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	tk := Start("boom", func(y *Yield) {
+		y.Yield(nil)
+		panic("exploded")
+	})
+	if _, done, _ := tk.Resume(nil); done {
+		t.Fatal("finished early")
+	}
+	_, done, err := tk.Resume(nil)
+	if !done || err == nil {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	if errors.Is(err, ErrKilled) {
+		t.Fatal("panic reported as kill")
+	}
+}
+
+func TestKillSuspendedTask(t *testing.T) {
+	cleaned := false
+	tk := Start("victim", func(y *Yield) {
+		defer func() { cleaned = true }()
+		for {
+			y.Yield("alive")
+		}
+	})
+	if _, done, _ := tk.Resume(nil); done {
+		t.Fatal("finished early")
+	}
+	tk.Kill()
+	if !tk.Finished() {
+		t.Fatal("kill did not finish the task")
+	}
+	if !errors.Is(tk.Err(), ErrKilled) {
+		t.Fatalf("err = %v", tk.Err())
+	}
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run")
+	}
+	// Killing again is a no-op.
+	tk.Kill()
+}
+
+func TestKillNeverStartedTask(t *testing.T) {
+	tk := Start("unborn", func(y *Yield) { t.Error("ran") })
+	tk.Kill()
+	if !tk.Finished() || !errors.Is(tk.Err(), ErrKilled) {
+		t.Fatalf("state: finished=%v err=%v", tk.Finished(), tk.Err())
+	}
+}
+
+func TestKillWhileRunningPanics(t *testing.T) {
+	var inner *Task
+	inner = Start("self", func(y *Yield) {
+		defer func() {
+			if recover() == nil {
+				t.Error("self-kill did not panic")
+			}
+			// Unwind normally afterwards.
+		}()
+		inner.Kill()
+	})
+	_, done, _ := inner.Resume(nil)
+	if !done {
+		t.Fatal("task not done")
+	}
+}
+
+func TestManySequentialTasks(t *testing.T) {
+	sum := 0
+	for i := 0; i < 100; i++ {
+		i := i
+		tk := Start("worker", func(y *Yield) {
+			sum += i
+		})
+		if _, done, err := tk.Resume(nil); !done || err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

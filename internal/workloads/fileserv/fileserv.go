@@ -1,0 +1,118 @@
+// Package fileserv reproduces the paper's §9.3 background-program study:
+// OpenSSH- and Nginx-style file servers running as ordinary (non-sandboxed)
+// processes while Erebor's system-wide interposition is active. Requests
+// stream files from the VFS through user buffers and out via the GHCI
+// network path; Erebor's costs come from syscall interposition, monitor-
+// emulated user copies and EMC-delegated hypercalls.
+package fileserv
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/abi"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+)
+
+// Server profiles.
+type Profile struct {
+	Name string
+	// FixedRequestCycles models per-request protocol work (connection
+	// accept, framing, auth state) charged in both modes.
+	FixedRequestCycles uint64
+	// CryptoPerByte models per-byte transform cost (SSH encrypts; Nginx
+	// only checksums).
+	CryptoPerByte float64
+	// ChunkBytes is the server's read/send unit.
+	ChunkBytes int
+	// ZeroCopy uses sendfile (no user-space staging) — nginx's static path.
+	ZeroCopy bool
+}
+
+// OpenSSH is the scp-style transfer profile: per-request session setup,
+// user-space encryption, copy-through buffers.
+var OpenSSH = Profile{Name: "openssh", FixedRequestCycles: 26000, CryptoPerByte: 0.75, ChunkBytes: 128 * 1024}
+
+// Nginx is the static-file HTTP profile: lighter request handling and
+// sendfile-style zero-copy transmission.
+var Nginx = Profile{Name: "nginx", FixedRequestCycles: 14000, CryptoPerByte: 0.05, ChunkBytes: 128 * 1024, ZeroCopy: true}
+
+// Sizes is the transferred-file size sweep of Fig 10 (1KB..16MB).
+var Sizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+
+// RequestsFor picks a request count per size keeping runtime bounded.
+func RequestsFor(size int) int {
+	switch {
+	case size <= 16<<10:
+		return 32
+	case size <= 256<<10:
+		return 12
+	case size <= 1<<20:
+		return 6
+	default:
+		return 3
+	}
+}
+
+// Prepare installs a file of the given size.
+func Prepare(k *kernel.Kernel, size int) string {
+	path := fmt.Sprintf("/srv/file-%d", size)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	k.VFS().Create(path, data)
+	return path
+}
+
+// Serve transfers the file `requests` times and returns the bytes moved.
+// It is the body of the server task.
+func Serve(e *kernel.Env, p Profile, path string, size, requests int) (int, error) {
+	scratch := e.Mmap(4096, true, false)
+	e.WriteMem(scratch, []byte(path))
+	buf := e.Mmap(p.ChunkBytes, true, false)
+	e.Touch(buf, p.ChunkBytes, true)
+
+	total := 0
+	for r := 0; r < requests; r++ {
+		e.Charge(p.FixedRequestCycles)
+		fd := e.Syscall(abi.SysOpen, uint64(scratch), uint64(len(path)))
+		if abi.IsError(fd) {
+			return total, fmt.Errorf("fileserv: open %s: errno %d", path, abi.Err(fd))
+		}
+		sz := e.Syscall(abi.SysStat, uint64(scratch), uint64(len(path)))
+		if abi.IsError(sz) {
+			return total, fmt.Errorf("fileserv: stat: errno %d", abi.Err(sz))
+		}
+		remaining := int(sz)
+		for remaining > 0 {
+			n := p.ChunkBytes
+			if n > remaining {
+				n = remaining
+			}
+			var got uint64
+			if p.ZeroCopy {
+				// sendfile: file -> NIC with no user-space staging.
+				got = e.Syscall(abi.SysSendfile, fd, uint64(n))
+				if abi.IsError(got) || got == 0 {
+					return total, fmt.Errorf("fileserv: sendfile failed (%d)", int64(got))
+				}
+				e.Charge(uint64(float64(got) * p.CryptoPerByte))
+			} else {
+				got = e.Syscall(abi.SysRead, fd, uint64(buf), uint64(n))
+				if abi.IsError(got) || got == 0 {
+					return total, fmt.Errorf("fileserv: short read (%d)", int64(got))
+				}
+				// Transform (encrypt) the chunk in user space.
+				e.Charge(uint64(float64(got) * p.CryptoPerByte))
+				sent := e.Syscall(abi.SysSend, uint64(buf), got)
+				if abi.IsError(sent) {
+					return total, fmt.Errorf("fileserv: send errno %d", abi.Err(sent))
+				}
+			}
+			remaining -= int(got)
+			total += int(got)
+		}
+		e.Syscall(abi.SysClose, fd)
+	}
+	return total, nil
+}

@@ -1,0 +1,65 @@
+package fileserv_test
+
+import (
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/workloads/fileserv"
+)
+
+func TestServeMovesAllBytes(t *testing.T) {
+	for _, p := range []fileserv.Profile{fileserv.OpenSSH, fileserv.Nginx} {
+		w, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 96})
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 200 * 1024
+		path := fileserv.Prepare(w.K, size)
+		var moved int
+		var serveErr error
+		tk, err := w.K.Spawn(p.Name, mem.OwnerTaskBase, func(e *kernel.Env) {
+			moved, serveErr = fileserv.Serve(e, p, path, size, 3)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.K.Schedule()
+		if tk.ExitReason != "" || serveErr != nil {
+			t.Fatalf("%s: %s %v", p.Name, tk.ExitReason, serveErr)
+		}
+		if moved != 3*size {
+			t.Fatalf("%s moved %d of %d", p.Name, moved, 3*size)
+		}
+		// Every transmitted byte reached the host NIC.
+		var wire int
+		for _, f := range w.Host.NetOut {
+			wire += len(f)
+		}
+		if wire != 3*size {
+			t.Fatalf("%s: wire bytes %d", p.Name, wire)
+		}
+	}
+}
+
+func TestRequestsForBounded(t *testing.T) {
+	for _, size := range fileserv.Sizes {
+		r := fileserv.RequestsFor(size)
+		if r < 1 || r > 64 {
+			t.Fatalf("RequestsFor(%d) = %d", size, r)
+		}
+		if size*r > 64<<20 {
+			t.Fatalf("size %d x %d requests too large for a test run", size, r)
+		}
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	if !fileserv.Nginx.ZeroCopy || fileserv.OpenSSH.ZeroCopy {
+		t.Fatal("profile copy semantics wrong")
+	}
+	if fileserv.OpenSSH.CryptoPerByte <= fileserv.Nginx.CryptoPerByte {
+		t.Fatal("ssh should pay more crypto per byte")
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestBuildGraphFormat(t *testing.T) {
+	p := Params{Nodes: 100, Edges: 500, Iterations: 3, Shards: 2}
+	g := BuildGraph(p, 1)
+	if len(g) != 12+8*p.Edges {
+		t.Fatalf("size %d", len(g))
+	}
+	if int(binary.LittleEndian.Uint32(g[0:])) != p.Nodes ||
+		int(binary.LittleEndian.Uint32(g[4:])) != p.Edges ||
+		int(binary.LittleEndian.Uint32(g[8:])) != p.Iterations {
+		t.Fatal("header wrong")
+	}
+	for e := 0; e < p.Edges; e++ {
+		s := binary.LittleEndian.Uint32(g[12+8*e:])
+		d := binary.LittleEndian.Uint32(g[16+8*e:])
+		if int(s) >= p.Nodes || int(d) >= p.Nodes {
+			t.Fatalf("edge %d out of range (%d,%d)", e, s, d)
+		}
+	}
+	if !bytes.Equal(g, BuildGraph(p, 1)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestBuildGraphHubSkew(t *testing.T) {
+	// Destination ids are preferential-attachment skewed: low ids should
+	// receive disproportionately many edges.
+	p := Params{Nodes: 1000, Edges: 20000, Iterations: 1, Shards: 2}
+	g := BuildGraph(p, 2)
+	lowIn := 0
+	for e := 0; e < p.Edges; e++ {
+		d := int(binary.LittleEndian.Uint32(g[16+8*e:]))
+		if d < p.Nodes/10 {
+			lowIn++
+		}
+	}
+	// Uniform would give ~10%; the skew should push well above that.
+	if lowIn < p.Edges/5 {
+		t.Fatalf("hub skew missing: %d/%d to low ids", lowIn, p.Edges)
+	}
+}
+
+// pureRank is a reference PageRank over the serialized graph.
+func pureRank(g []byte) (int, float32) {
+	nodes := int(binary.LittleEndian.Uint32(g[0:]))
+	edges := int(binary.LittleEndian.Uint32(g[4:]))
+	iters := int(binary.LittleEndian.Uint32(g[8:]))
+	outDeg := make([]uint32, nodes)
+	type edge struct{ s, d int }
+	es := make([]edge, edges)
+	for e := 0; e < edges; e++ {
+		s := int(binary.LittleEndian.Uint32(g[12+8*e:]))
+		d := int(binary.LittleEndian.Uint32(g[16+8*e:]))
+		es[e] = edge{s, d}
+		outDeg[s]++
+	}
+	ranks := make([]float32, nodes)
+	next := make([]float32, nodes)
+	for i := range ranks {
+		ranks[i] = 1 / float32(nodes)
+	}
+	const damping = 0.85
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float32(nodes)
+		for i := range next {
+			next[i] = base
+		}
+		for _, e := range es {
+			if outDeg[e.s] > 0 {
+				next[e.d] += damping * ranks[e.s] / float32(outDeg[e.s])
+			}
+		}
+		ranks, next = next, ranks
+	}
+	top, topV := 0, float32(0)
+	for i, v := range ranks {
+		if v > topV {
+			top, topV = i, v
+		}
+	}
+	return top, topV
+}
+
+func TestReferenceRankConverges(t *testing.T) {
+	w := New(1)
+	top, topV := pureRank(w.Input())
+	if topV <= 1/float32(w.P.Nodes) {
+		t.Fatalf("top rank %f not above uniform", topV)
+	}
+	// The hub skew makes a low id the winner.
+	if top >= w.P.Nodes/4 {
+		t.Fatalf("top node %d unexpectedly high-id", top)
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w := New(1)
+	if w.Name() != "graphchi" || w.CommonData() != nil {
+		t.Fatal("identity")
+	}
+	if w.HeapPages() < uint64(len(w.Input())/4096) {
+		t.Fatal("heap cannot hold input")
+	}
+}

@@ -1,0 +1,222 @@
+// Package ids reproduces the paper's intrusion-detection scenario
+// (Unicorn): streaming provenance-graph analysis over a client's parsed
+// system log. Events stream through a Weisfeiler-Lehman-style relabeling
+// over each node's neighborhood, feeding a decaying histogram sketch;
+// periodic sketch snapshots are compared against a baseline with a
+// chi-square distance and large deviations are flagged as anomalies.
+// Everything is **confined** memory (corporate logs are the secret).
+package ids
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+)
+
+// Event types in the synthetic provenance stream.
+const (
+	EvExec = iota
+	EvRead
+	EvWrite
+	EvConnect
+	EvSpawn
+	NumEvTypes
+)
+
+// Params of the scaled run.
+type Params struct {
+	Nodes  int // processes/files/sockets in the log
+	Events int
+	Window int // events per sketch snapshot
+}
+
+// BuildLog serializes a synthetic parsed provenance log: header
+// {nodes u32, events u32, window u32, anomalyAt u32} then records of
+// (src u32, dst u32, type u16, pad u16). A burst of anomalous fan-out
+// behaviour is injected at anomalyAt.
+func BuildLog(p Params, seed uint64, anomalyAt int) []byte {
+	r := workloads.NewRng(seed)
+	out := make([]byte, 16+12*p.Events)
+	binary.LittleEndian.PutUint32(out[0:], uint32(p.Nodes))
+	binary.LittleEndian.PutUint32(out[4:], uint32(p.Events))
+	binary.LittleEndian.PutUint32(out[8:], uint32(p.Window))
+	binary.LittleEndian.PutUint32(out[12:], uint32(anomalyAt))
+	for ev := 0; ev < p.Events; ev++ {
+		off := 16 + 12*ev
+		var src, dst, typ int
+		if anomalyAt > 0 && ev >= anomalyAt && ev < anomalyAt+p.Window {
+			// APT-style burst: one process touching many distinct targets.
+			src = 13
+			dst = r.Intn(p.Nodes)
+			typ = EvConnect
+		} else {
+			src = r.Intn(p.Nodes / 8) // few active processes
+			dst = r.Intn(p.Nodes)
+			typ = r.Intn(NumEvTypes)
+		}
+		binary.LittleEndian.PutUint32(out[off:], uint32(src))
+		binary.LittleEndian.PutUint32(out[off+4:], uint32(dst))
+		binary.LittleEndian.PutUint16(out[off+8:], uint16(typ))
+	}
+	return out
+}
+
+// SketchBins is the histogram sketch width.
+const SketchBins = 2048
+
+// Workload is the unicorn scenario.
+type Workload struct {
+	P         Params
+	Seed      uint64
+	AnomalyAt int
+	input     []byte
+}
+
+// New builds the scenario at the given scale.
+func New(scale int) *Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	p := Params{Nodes: 4000 * scale, Events: 40000 * scale, Window: 4000}
+	w := &Workload{P: p, Seed: 5150, AnomalyAt: p.Events / 2}
+	w.input = BuildLog(p, w.Seed, w.AnomalyAt)
+	return w
+}
+
+// Name implements workloads.Workload.
+func (w *Workload) Name() string { return "unicorn" }
+
+// CommonData: none — the analyzer state is all confined.
+func (w *Workload) CommonData() []byte { return nil }
+
+// Input returns the serialized parsed log.
+func (w *Workload) Input() []byte { return w.input }
+
+// HeapPages sizes the confined heap: labels, sketch, log buffer and the
+// per-window snapshot files.
+func (w *Workload) HeapPages() uint64 {
+	windows := uint64(w.P.Events/w.P.Window + 2)
+	snaps := windows * uint64(SketchBins*4+96*1024) / 4096
+	return uint64(len(w.input)/4096) + uint64(w.P.Nodes*4/4096) + snaps + 96
+}
+
+// Threads implements workloads.Workload.
+func (w *Workload) Threads() int { return 8 }
+
+// Run streams the log through the detector and reports flagged windows.
+func (w *Workload) Run(ctx *workloads.Ctx) []byte {
+	e := ctx.E
+	in := ctx.Input
+	if len(in) < 16 {
+		return []byte("bad log")
+	}
+	nodes := int(binary.LittleEndian.Uint32(in[0:]))
+	events := int(binary.LittleEndian.Uint32(in[4:]))
+	window := int(binary.LittleEndian.Uint32(in[8:]))
+	if 16+12*events > len(in) || nodes == 0 || window == 0 {
+		return []byte("truncated log")
+	}
+
+	// Node labels and the sketch live in confined memory.
+	labelsVA := ctx.Alloc(4 * nodes)
+	labels := workloads.NewView(e, labelsVA, 4*nodes)
+	labels.Touch()
+	sketchVA := ctx.Alloc(4 * SketchBins)
+	sketch := workloads.NewView(e, sketchVA, 4*SketchBins)
+	sketch.Touch()
+
+	// Go-side mirrors for arithmetic; writes go back through the views so
+	// the state genuinely resides in confined pages.
+	lab := make([]uint32, nodes)
+	for i := range lab {
+		lab[i] = uint32(i)*2654435761 + 1
+	}
+	bins := make([]float64, SketchBins)
+	var baseline []float64
+
+	flagged := 0
+	var report []byte
+	var b4 [4]byte
+	for ev := 0; ev < events; ev++ {
+		off := 16 + 12*ev
+		src := int(binary.LittleEndian.Uint32(in[off:]))
+		dst := int(binary.LittleEndian.Uint32(in[off+4:]))
+		typ := uint32(binary.LittleEndian.Uint16(in[off+8:]))
+		if src >= nodes || dst >= nodes {
+			continue
+		}
+		// WL-style relabel: destination label absorbs (src label, type).
+		edgeSig := mix(lab[src], typ)
+		nl := mix(lab[dst], edgeSig)
+		lab[dst] = nl
+		binary.LittleEndian.PutUint32(b4[:], nl)
+		labels.CopyIn(4*dst, b4[:])
+		// Histogram over edge signatures: a fan-out burst from one process
+		// concentrates mass in a few bins, which the chi-distance flags.
+		bin := int(edgeSig) & (SketchBins - 1)
+		bins[bin]++
+		e.Charge(40)
+
+		if (ev+1)%window == 0 {
+			ctx.WorkTick()
+			ctx.SyncPoint() // analyzer window barrier
+			labels.Touch()
+			sketch.Touch()
+			// Snapshot: chi-square distance against the baseline.
+			if baseline == nil {
+				baseline = append([]float64(nil), bins...)
+			} else {
+				var chi float64
+				for i := range bins {
+					d := bins[i] - baseline[i]
+					s := bins[i] + baseline[i]
+					if s > 0 {
+						chi += d * d / s
+					}
+				}
+				threshold := float64(window) * 0.45
+				if chi > threshold {
+					flagged++
+					report = append(report, []byte(fmt.Sprintf("window@%d chi=%.0f;", ev+1, chi))...)
+				}
+				// Exponential decay toward the running baseline.
+				for i := range baseline {
+					baseline[i] = 0.7*baseline[i] + 0.3*bins[i]
+				}
+			}
+			e.Charge(uint64(SketchBins * 6))
+			// Persist the window snapshot into a fresh confined temp file
+			// (the analyzer keeps per-window evidence, §6.2 stateless FS).
+			snapBytes := SketchBins*4 + 96*1024
+			snapVA := ctx.Alloc(snapBytes)
+			snap := workloads.NewView(e, snapVA, snapBytes)
+			for i := 0; i < SketchBins; i++ {
+				binary.LittleEndian.PutUint32(b4[:], uint32(bins[i]))
+				snap.CopyIn(4*i, b4[:])
+			}
+			// Evidence payload (sampled label state).
+			for i := 0; i < 96*1024; i += 4096 {
+				binary.LittleEndian.PutUint32(b4[:], lab[i%nodes])
+				snap.CopyIn(SketchBins*4+i, b4[:])
+			}
+			for i := 0; i < SketchBins; i++ {
+				binary.LittleEndian.PutUint32(b4[:], uint32(bins[i]))
+				sketch.CopyIn(4*i, b4[:])
+			}
+			for i := range bins {
+				bins[i] *= 0.5 // decay within the live histogram
+			}
+		}
+	}
+	return []byte(fmt.Sprintf("events=%d windows=%d anomalies=%d %s",
+		events, events/window, flagged, report))
+}
+
+func mix(a, b uint32) uint32 {
+	h := a ^ (b + 0x9E3779B9 + a<<6 + a>>2)
+	h ^= h >> 16
+	h *= 0x7FEB352D
+	h ^= h >> 15
+	return h
+}

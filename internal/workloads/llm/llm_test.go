@@ -1,0 +1,103 @@
+package llm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestModelLayout(t *testing.T) {
+	m := Model{Layers: 4, MaxSeq: 80}
+	if m.tokEmb() != 0 {
+		t.Fatal("token embedding not at 0")
+	}
+	if m.posEmb() != Vocab*Dim {
+		t.Fatal("position embedding offset wrong")
+	}
+	// Layers are contiguous and non-overlapping.
+	for l := 0; l < m.Layers-1; l++ {
+		if m.layerBase(l+1)-m.layerBase(l) != m.layerSize() {
+			t.Fatalf("layer %d stride broken", l)
+		}
+	}
+	if m.finalNorm() != m.layerBase(m.Layers) {
+		t.Fatal("final norm offset wrong")
+	}
+	if m.NumFloats() != m.finalNorm()+Dim {
+		t.Fatal("total size wrong")
+	}
+	// Per-layer field offsets cover the layer exactly.
+	if offW2+Hidden*Dim != m.layerSize() {
+		t.Fatalf("layer field offsets (%d) != layer size (%d)", offW2+Hidden*Dim, m.layerSize())
+	}
+}
+
+func TestBuildModelDeterministic(t *testing.T) {
+	m := Model{Layers: 2, MaxSeq: 16}
+	a := BuildModel(m, 42)
+	b := BuildModel(m, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("model build not deterministic")
+	}
+	c := BuildModel(m, 43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical models")
+	}
+	if len(a) != 4*m.NumFloats() {
+		t.Fatalf("model bytes %d != 4*%d", len(a), m.NumFloats())
+	}
+}
+
+func TestNumericPrimitives(t *testing.T) {
+	x := []float32{1, 2, 3, 4}
+	w := []float32{1, 1, 1, 1}
+	dst := make([]float32, 4)
+	rmsnorm(dst, x, w)
+	// RMS of (1,2,3,4) = sqrt(30/4); dst[i] = x[i]/rms.
+	if dst[0] < 0.3 || dst[0] > 0.45 {
+		t.Fatalf("rmsnorm dst[0] = %f", dst[0])
+	}
+
+	s := []float32{1, 2, 3}
+	softmax(s)
+	var sum float32
+	for _, v := range s {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax out of (0,1): %v", s)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("softmax sum %f", sum)
+	}
+	if !(s[2] > s[1] && s[1] > s[0]) {
+		t.Fatal("softmax not monotone")
+	}
+
+	if argmax([]float32{0.1, 0.9, 0.3}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	if v := silu(0); v != 0 {
+		t.Fatalf("silu(0) = %f", v)
+	}
+	if v := silu(10); v < 9.9 {
+		t.Fatalf("silu(10) = %f", v)
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w := New(1)
+	if w.Name() != "llama.cpp" {
+		t.Fatal("name")
+	}
+	if w.CommonData() == nil || len(w.Input()) == 0 {
+		t.Fatal("missing data")
+	}
+	if w.HeapPages() == 0 || w.Threads() != 8 {
+		t.Fatal("sizing")
+	}
+	// Scale grows the workload.
+	w4 := New(4)
+	if w4.GenTokens <= w.GenTokens || len(w4.CommonData()) <= len(w.CommonData()) {
+		t.Fatal("scale has no effect")
+	}
+}

@@ -1,0 +1,185 @@
+// Package lmbench reimplements the LMBench micro-benchmarks the paper uses
+// in Fig 8 to quantify Erebor's overhead on general system events. The
+// benchmarks run as ordinary (non-sandboxed) processes, because Erebor's
+// memory confinement and privileged-instruction interposition apply
+// system-wide (§9.1).
+package lmbench
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/abi"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+)
+
+// Bench is one LMBench micro-benchmark.
+type Bench struct {
+	Name string
+	// Iters is the operation count per run.
+	Iters int
+	// Run executes the benchmark body inside a user task and returns the
+	// number of operations completed.
+	Run func(e *kernel.Env, iters int) int
+}
+
+// Suite returns the Fig 8 benchmark list.
+func Suite() []*Bench {
+	return []*Bench{
+		{Name: "null", Iters: 400, Run: runNull},
+		{Name: "read", Iters: 300, Run: runRead},
+		{Name: "write", Iters: 300, Run: runWrite},
+		{Name: "stat", Iters: 200, Run: runStat},
+		{Name: "signal", Iters: 200, Run: runSignal},
+		{Name: "fork", Iters: 12, Run: runFork},
+		{Name: "mmap", Iters: 60, Run: runMmap},
+		{Name: "pagefault", Iters: 40, Run: runPagefault},
+	}
+}
+
+// runNull: the empty-syscall benchmark (lmbench lat_syscall null).
+func runNull(e *kernel.Env, iters int) int {
+	for i := 0; i < iters; i++ {
+		e.Syscall(abi.SysGetpid)
+	}
+	return iters
+}
+
+// runRead: 1-byte reads from /dev/zero (lat_syscall read).
+func runRead(e *kernel.Env, iters int) int {
+	fd := openPath(e, "/dev/zero")
+	if fd == ^uint64(0) {
+		return 0
+	}
+	buf := e.Mmap(4096, true, false)
+	e.Touch(buf, 1, true)
+	for i := 0; i < iters; i++ {
+		e.Syscall(abi.SysRead, fd, uint64(buf), 1)
+	}
+	e.Syscall(abi.SysClose, fd)
+	return iters
+}
+
+// runWrite: 1-byte writes to /dev/null (lat_syscall write).
+func runWrite(e *kernel.Env, iters int) int {
+	fd := openPath(e, "/dev/null")
+	if fd == ^uint64(0) {
+		return 0
+	}
+	buf := e.Mmap(4096, true, false)
+	e.WriteMem(buf, []byte{0x41})
+	for i := 0; i < iters; i++ {
+		e.Syscall(abi.SysWrite, fd, uint64(buf), 1)
+	}
+	e.Syscall(abi.SysClose, fd)
+	return iters
+}
+
+// runStat: path stat (lat_syscall stat).
+func runStat(e *kernel.Env, iters int) int {
+	scratch := e.Mmap(4096, true, false)
+	path := []byte("/bench/statfile")
+	e.WriteMem(scratch, path)
+	for i := 0; i < iters; i++ {
+		e.Syscall(abi.SysStat, uint64(scratch), uint64(len(path)))
+	}
+	return iters
+}
+
+// runSignal: install a handler once, then kill(self) per iteration
+// (lat_sig catch).
+func runSignal(e *kernel.Env, iters int) int {
+	caught := 0
+	e.Sigaction(10, func(he *kernel.Env, sig int) { caught++ })
+	self := e.Syscall(abi.SysGetpid)
+	for i := 0; i < iters; i++ {
+		e.Syscall(abi.SysKill, self, 10)
+	}
+	if caught != iters {
+		return caught
+	}
+	return iters
+}
+
+// forkFootprintPages is the address-space size fork must duplicate.
+const forkFootprintPages = 48
+
+// runFork: fork + child exit (lat_proc fork). The parent touches a fixed
+// footprint first so every fork duplicates the same number of pages.
+func runFork(e *kernel.Env, iters int) int {
+	span := e.Mmap(forkFootprintPages*mem.PageSize, true, false)
+	e.Touch(span, forkFootprintPages*mem.PageSize, true)
+	done := 0
+	for i := 0; i < iters; i++ {
+		pid := e.Fork(func(ce *kernel.Env) {})
+		if pid > 0 {
+			done++
+		}
+		e.YieldCPU() // let the child run to completion
+	}
+	return done
+}
+
+// mmapSpanPages is the region size for the mmap benchmark.
+const mmapSpanPages = 32
+
+// runMmap: mmap + first-touch + munmap (lat_mmap touches one page; the
+// full-span fault storm is the pagefault benchmark's job).
+func runMmap(e *kernel.Env, iters int) int {
+	for i := 0; i < iters; i++ {
+		va := e.Mmap(mmapSpanPages*mem.PageSize, true, false)
+		e.Touch(va, 1, true)
+		e.Munmap(va, mmapSpanPages*mem.PageSize)
+	}
+	return iters
+}
+
+// pfSpanPages is the file-backed span of the pagefault benchmark.
+const pfSpanPages = 64
+
+// runPagefault: repeatedly fault a file-backed span in and discard the
+// mappings (lat_pagefault).
+func runPagefault(e *kernel.Env, iters int) int {
+	fd := openPath(e, "/bench/pffile")
+	if fd == ^uint64(0) {
+		return 0
+	}
+	for i := 0; i < iters; i++ {
+		va := e.MmapFile(fd, pfSpanPages*mem.PageSize)
+		for p := 0; p < pfSpanPages; p++ {
+			e.Touch(va+paging.Addr(p*mem.PageSize), 1, false)
+		}
+		e.Munmap(va, pfSpanPages*mem.PageSize)
+	}
+	e.Syscall(abi.SysClose, fd)
+	return iters
+}
+
+func openPath(e *kernel.Env, path string) uint64 {
+	scratch := e.Mmap(4096, true, false)
+	e.WriteMem(scratch, []byte(path))
+	fd := e.Syscall(abi.SysOpen, uint64(scratch), uint64(len(path)))
+	if abi.IsError(fd) {
+		return ^uint64(0)
+	}
+	return fd
+}
+
+// Prepare installs the files the suite needs into a kernel's VFS.
+func Prepare(k *kernel.Kernel) {
+	k.VFS().Create("/bench/statfile", []byte("stat target"))
+	big := make([]byte, pfSpanPages*mem.PageSize)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	k.VFS().Create("/bench/pffile", big)
+}
+
+// Validate sanity-checks a completed run.
+func Validate(b *Bench, completed int) error {
+	if completed != b.Iters {
+		return fmt.Errorf("lmbench %s: completed %d of %d", b.Name, completed, b.Iters)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package lmbench_test
+
+import (
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/workloads/lmbench"
+)
+
+func TestSuiteCompletesBothModes(t *testing.T) {
+	for _, mode := range []kernel.Mode{kernel.ModeNative, kernel.ModeErebor} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, b := range lmbench.Suite() {
+				w, err := harness.NewWorld(harness.WorldConfig{Mode: mode, MemMB: 64})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lmbench.Prepare(w.K)
+				completed := 0
+				iters := b.Iters / 4
+				if iters == 0 {
+					iters = 1
+				}
+				tk, err := w.K.Spawn(b.Name, mem.OwnerTaskBase, func(e *kernel.Env) {
+					completed = b.Run(e, iters)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.K.Schedule()
+				if tk.ExitReason != "" {
+					t.Fatalf("%s: %s", b.Name, tk.ExitReason)
+				}
+				if completed != iters {
+					t.Fatalf("%s: completed %d of %d", b.Name, completed, iters)
+				}
+			}
+		})
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range lmbench.Suite() {
+		if b.Iters <= 0 || b.Run == nil {
+			t.Fatalf("%s malformed", b.Name)
+		}
+		if names[b.Name] {
+			t.Fatalf("duplicate bench %s", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, want := range []string{"null", "read", "write", "stat", "signal", "fork", "mmap", "pagefault"} {
+		if !names[want] {
+			t.Fatalf("missing bench %s", want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package retrieval reproduces the paper's private-information-retrieval
+// scenario (drugbank): an in-memory open-addressing hash database shared
+// read-only across sandboxes (**common** memory) and per-client query
+// batches (**confined**). Mirrors the paper's c_hashmap + DrugBank setup.
+package retrieval
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/workloads"
+)
+
+// Record layout: 8-byte key + ValueSize payload per slot; key 0 = empty.
+const (
+	ValueSize = 56
+	SlotSize  = 8 + ValueSize
+)
+
+// DB describes a built database.
+type DB struct {
+	Slots   int // power of two
+	Records int
+}
+
+// BuildDB deterministically fills an open-addressing table at ~70% load.
+func BuildDB(db DB, seed uint64) []byte {
+	r := workloads.NewRng(seed)
+	buf := make([]byte, db.Slots*SlotSize)
+	for rec := 0; rec < db.Records; rec++ {
+		key := recordKey(rec, seed)
+		slot := int(hash(key)) & (db.Slots - 1)
+		for {
+			if binary.LittleEndian.Uint64(buf[slot*SlotSize:]) == 0 {
+				break
+			}
+			slot = (slot + 1) & (db.Slots - 1)
+		}
+		binary.LittleEndian.PutUint64(buf[slot*SlotSize:], key)
+		val := buf[slot*SlotSize+8 : slot*SlotSize+SlotSize]
+		for i := range val {
+			val[i] = byte(r.U32())
+		}
+		// Tag the value with the record id so lookups are verifiable.
+		binary.LittleEndian.PutUint32(val, uint32(rec))
+	}
+	return buf
+}
+
+// recordKey derives the stable key of record rec (never 0).
+func recordKey(rec int, seed uint64) uint64 {
+	k := hash(uint64(rec)*0x9E3779B97F4A7C15 + seed)
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+func hash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	k *= 0xC4CEB9FE1A85EC53
+	k ^= k >> 33
+	return k
+}
+
+// BuildQueries serializes a batch of record lookups (client request).
+// Keys are derived with dbSeed (they must match the database); qSeed
+// drives query selection. Roughly 1/8 of the queries miss on purpose.
+func BuildQueries(db DB, n int, dbSeed, qSeed uint64) []byte {
+	r := workloads.NewRng(qSeed)
+	out := make([]byte, 4+8*n)
+	binary.LittleEndian.PutUint32(out, uint32(n))
+	for i := 0; i < n; i++ {
+		var key uint64
+		if r.Intn(8) == 0 {
+			key = r.U64() | 1 // almost certainly absent
+		} else {
+			key = recordKey(r.Intn(db.Records), dbSeed)
+		}
+		binary.LittleEndian.PutUint64(out[4+8*i:], key)
+	}
+	return out
+}
+
+// Workload is the drugbank scenario.
+type Workload struct {
+	DB      DB
+	Queries int
+	Seed    uint64
+	common  []byte
+	input   []byte
+}
+
+// New builds the scenario at the given scale.
+func New(scale int) *Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	w := &Workload{
+		DB:      DB{Slots: 16384 * scale, Records: 11000 * scale},
+		Queries: 42000 * scale,
+		Seed:    1137,
+	}
+	w.common = BuildDB(w.DB, w.Seed)
+	w.input = BuildQueries(w.DB, w.Queries, w.Seed, w.Seed+1)
+	return w
+}
+
+// Name implements workloads.Workload.
+func (w *Workload) Name() string { return "drugbank" }
+
+// CommonData returns the database image.
+func (w *Workload) CommonData() []byte { return w.common }
+
+// Input returns the query batch.
+func (w *Workload) Input() []byte { return w.input }
+
+// HeapPages sizes the confined heap (query batch + result buffer).
+func (w *Workload) HeapPages() uint64 { return uint64(len(w.input)/4096) + 64 }
+
+// Threads implements workloads.Workload.
+func (w *Workload) Threads() int { return 8 }
+
+// Run executes the query batch against the shared table.
+func (w *Workload) Run(ctx *workloads.Ctx) []byte {
+	e := ctx.E
+	db := workloads.NewView(e, ctx.CommonVA, len(w.common))
+	db.Touch()
+
+	if len(ctx.Input) < 4 {
+		return []byte("bad input")
+	}
+	n := int(binary.LittleEndian.Uint32(ctx.Input))
+	if 4+8*n > len(ctx.Input) {
+		return []byte("truncated queries")
+	}
+
+	hits, misses := 0, 0
+	var checksum uint64
+	val := make([]byte, ValueSize)
+	const touchEvery = 1536 // re-probe the shared table periodically
+	for q := 0; q < n; q++ {
+		if q%touchEvery == 0 {
+			db.Touch()
+			ctx.WorkTick()
+			ctx.SyncPoint() // query-batch handoff between workers
+		}
+		key := binary.LittleEndian.Uint64(ctx.Input[4+8*q:])
+		slot := int(hash(key)) & (w.DB.Slots - 1)
+		probes := 0
+		found := false
+		for probes < w.DB.Slots {
+			probes++
+			k := uint64(db.U32(slot*SlotSize)) | uint64(db.U32(slot*SlotSize+4))<<32
+			if k == 0 {
+				break
+			}
+			if k == key {
+				db.CopyOut(slot*SlotSize+8, val)
+				checksum += hash(uint64(binary.LittleEndian.Uint32(val)))
+				found = true
+				break
+			}
+			slot = (slot + 1) & (w.DB.Slots - 1)
+		}
+		if found {
+			hits++
+		} else {
+			misses++
+		}
+		e.Charge(uint64(60 + 30*probes)) // hash + probe + value processing
+	}
+	return []byte(fmt.Sprintf("queries=%d hits=%d misses=%d checksum=%x", n, hits, misses, checksum))
+}

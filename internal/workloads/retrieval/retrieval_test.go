@@ -1,0 +1,101 @@
+package retrieval
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// lookup is a pure Go reference over the serialized DB.
+func lookup(dbBytes []byte, db DB, key uint64) (uint32, bool) {
+	slot := int(hash(key)) & (db.Slots - 1)
+	for probes := 0; probes < db.Slots; probes++ {
+		k := binary.LittleEndian.Uint64(dbBytes[slot*SlotSize:])
+		if k == 0 {
+			return 0, false
+		}
+		if k == key {
+			return binary.LittleEndian.Uint32(dbBytes[slot*SlotSize+8:]), true
+		}
+		slot = (slot + 1) & (db.Slots - 1)
+	}
+	return 0, false
+}
+
+func TestBuildDBEveryRecordRetrievable(t *testing.T) {
+	db := DB{Slots: 1024, Records: 700}
+	data := BuildDB(db, 5)
+	for rec := 0; rec < db.Records; rec++ {
+		id, ok := lookup(data, db, recordKey(rec, 5))
+		if !ok {
+			t.Fatalf("record %d missing", rec)
+		}
+		if int(id) != rec {
+			t.Fatalf("record %d has id %d", rec, id)
+		}
+	}
+}
+
+func TestBuildDBDeterministic(t *testing.T) {
+	db := DB{Slots: 256, Records: 100}
+	if !bytes.Equal(BuildDB(db, 9), BuildDB(db, 9)) {
+		t.Fatal("not deterministic")
+	}
+	if bytes.Equal(BuildDB(db, 9), BuildDB(db, 10)) {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestAbsentKeysMiss(t *testing.T) {
+	db := DB{Slots: 1024, Records: 700}
+	data := BuildDB(db, 5)
+	misses := 0
+	for i := 0; i < 100; i++ {
+		key := hash(uint64(i)+999999) | 1
+		if _, ok := lookup(data, db, key); !ok {
+			misses++
+		}
+	}
+	if misses < 99 {
+		t.Fatalf("only %d/100 random keys missed", misses)
+	}
+}
+
+func TestQueriesMatchDB(t *testing.T) {
+	db := DB{Slots: 1024, Records: 700}
+	data := BuildDB(db, 5)
+	q := BuildQueries(db, 500, 5, 6)
+	n := int(binary.LittleEndian.Uint32(q))
+	if n != 500 {
+		t.Fatalf("query count %d", n)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		key := binary.LittleEndian.Uint64(q[4+8*i:])
+		if _, ok := lookup(data, db, key); ok {
+			hits++
+		}
+	}
+	// ~7/8 of queries target real records.
+	if hits < n*3/4 {
+		t.Fatalf("only %d/%d queries hit", hits, n)
+	}
+	if hits == n {
+		t.Fatal("no deliberate misses generated")
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := hash(0x12345678)
+	flipped := hash(0x12345679)
+	diff := base ^ flipped
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 || bits > 48 {
+		t.Fatalf("avalanche bits = %d", bits)
+	}
+}

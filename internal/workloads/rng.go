@@ -1,0 +1,59 @@
+package workloads
+
+import "math"
+
+// Rng is a deterministic xorshift64* generator used by every workload's
+// dataset builder — the simulation must be reproducible run to run.
+type Rng struct{ s uint64 }
+
+// NewRng seeds a generator (seed 0 is remapped to a fixed constant).
+func NewRng(seed uint64) *Rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rng{s: seed}
+}
+
+// U64 returns the next 64-bit value.
+func (r *Rng) U64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// U32 returns the next 32-bit value.
+func (r *Rng) U32() uint32 { return uint32(r.U64() >> 32) }
+
+// Intn returns a value in [0, n).
+func (r *Rng) Intn(n int) int { return int(r.U64() % uint64(n)) }
+
+// Float32 returns a value in [0, 1).
+func (r *Rng) Float32() float32 {
+	return float32(r.U64()>>40) / float32(1<<24)
+}
+
+// Normal returns a roughly normal value with the given std deviation
+// (sum-of-uniforms approximation; good enough for weight init).
+func (r *Rng) Normal(std float32) float32 {
+	var s float32
+	for i := 0; i < 4; i++ {
+		s += r.Float32() - 0.5
+	}
+	return s * std * float32(math.Sqrt(3))
+}
+
+func float32frombits(u uint32) float32 { return math.Float32frombits(u) }
+
+// F32Bytes serializes float32s little-endian.
+func F32Bytes(vals []float32) []byte {
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		u := math.Float32bits(v)
+		out[i*4] = byte(u)
+		out[i*4+1] = byte(u >> 8)
+		out[i*4+2] = byte(u >> 16)
+		out[i*4+3] = byte(u >> 24)
+	}
+	return out
+}

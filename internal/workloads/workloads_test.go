@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRngDeterministic(t *testing.T) {
+	a, b := NewRng(7), NewRng(7)
+	for i := 0; i < 100; i++ {
+		if a.U64() != b.U64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRng(8)
+	same := 0
+	a2 := NewRng(7)
+	for i := 0; i < 100; i++ {
+		if a2.U64() == c.U64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100", same)
+	}
+}
+
+func TestRngZeroSeedRemapped(t *testing.T) {
+	r := NewRng(0)
+	if r.U64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestRngRanges(t *testing.T) {
+	r := NewRng(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float32(); f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %f", f)
+		}
+	}
+}
+
+func TestRngNormalMoments(t *testing.T) {
+	r := NewRng(11)
+	var sum, sq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := float64(r.Normal(1.0))
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("mean = %f", mean)
+	}
+	if variance < 0.7 || variance > 1.3 {
+		t.Fatalf("variance = %f", variance)
+	}
+}
+
+func TestF32BytesRoundTrip(t *testing.T) {
+	f := func(vals []float32) bool {
+		b := F32Bytes(vals)
+		if len(b) != 4*len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			u := uint32(b[i*4]) | uint32(b[i*4+1])<<8 | uint32(b[i*4+2])<<16 | uint32(b[i*4+3])<<24
+			got := float32frombits(u)
+			if got != v && !(got != got && v != v) { // NaN-tolerant
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtxWorkTick(t *testing.T) {
+	ticks := 0
+	// CPUIDEvery=0 disables; a nil Env would crash if fired.
+	c := &Ctx{CPUIDEvery: 0}
+	for i := 0; i < 10; i++ {
+		c.WorkTick()
+	}
+	_ = ticks
+}
+
+func TestCtxSyncPointContention(t *testing.T) {
+	contended := 0
+	total := 0
+	c := &Ctx{
+		SyncContendEvery: 4,
+		Sync: func(cont bool) {
+			total++
+			if cont {
+				contended++
+			}
+		},
+	}
+	for i := 0; i < 16; i++ {
+		c.SyncPoint()
+	}
+	if total != 16 || contended != 4 {
+		t.Fatalf("total=%d contended=%d", total, contended)
+	}
+	// Nil Sync is a no-op.
+	(&Ctx{}).SyncPoint()
+}
