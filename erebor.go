@@ -41,6 +41,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/sandbox"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
 )
 
 // PlatformConfig sizes a platform.
@@ -58,12 +59,57 @@ type PlatformConfig struct {
 	ExitRateLimit uint64
 	// OutputQuantumCycles, if non-zero, quantizes output release times.
 	OutputQuantumCycles uint64
+	// Retry tunes the resilient channel path (zero fields take defaults).
+	Retry RetryConfig
+	// ChannelQueueCap bounds each hop of the client<->monitor relay
+	// (frames; 0 = default, negative = unbounded).
+	ChannelQueueCap int
+}
+
+// RetryConfig bounds the channel's retry/timeout/backoff behavior. The
+// zero value selects defaults tuned for double-digit loss rates on the
+// untrusted relay. All waits are virtual-clock cycles, never wall time.
+type RetryConfig struct {
+	// MaxAttempts bounds full handshake attempts in Connect.
+	MaxAttempts int
+	// BackoffBaseCycles is charged to the virtual clock before the first
+	// retry and grows by BackoffFactor per attempt.
+	BackoffBaseCycles uint64
+	BackoffFactor     uint64
+	// RecvRounds bounds RecvWait pump/schedule rounds before a timeout.
+	RecvRounds int
+	// RetransmitEvery re-sends retained request records every that many
+	// empty receive rounds.
+	RetransmitEvery int
+}
+
+// policy merges the config over the harness defaults.
+func (rc RetryConfig) policy() harness.RetryPolicy {
+	pol := harness.DefaultRetryPolicy()
+	if rc.MaxAttempts > 0 {
+		pol.MaxAttempts = rc.MaxAttempts
+	}
+	if rc.BackoffBaseCycles > 0 {
+		pol.BackoffBase = rc.BackoffBaseCycles
+	}
+	if rc.BackoffFactor > 0 {
+		pol.BackoffFactor = rc.BackoffFactor
+	}
+	if rc.RecvRounds > 0 {
+		pol.RecvRounds = rc.RecvRounds
+	}
+	if rc.RetransmitEvery > 0 {
+		pol.RetransmitEvery = rc.RetransmitEvery
+	}
+	return pol
 }
 
 // Platform is a booted simulated CVM.
 type Platform struct {
 	w         *harness.World
 	nextOwner mem.Owner
+	pol       harness.RetryPolicy
+	queueCap  int
 }
 
 // NewPlatform boots a platform: firmware and monitor are measured, the
@@ -84,7 +130,17 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		w.Mon.ExitRateLimit = cfg.ExitRateLimit
 		w.Mon.OutputQuantum = cfg.OutputQuantumCycles
 	}
-	return &Platform{w: w, nextOwner: mem.OwnerTaskBase + 1}, nil
+	queueCap := cfg.ChannelQueueCap
+	switch {
+	case queueCap == 0:
+		queueCap = secchan.DefaultQueueCap
+	case queueCap < 0:
+		queueCap = 0 // unbounded
+	}
+	return &Platform{
+		w: w, nextOwner: mem.OwnerTaskBase + 1,
+		pol: cfg.Retry.policy(), queueCap: queueCap,
+	}, nil
 }
 
 // PublishCommon registers a shared read-only dataset (an ML model, a
@@ -221,28 +277,23 @@ func (c *Container) Err() error { return c.inner.BootErr() }
 // channel relayed by the untrusted in-CVM proxy.
 type Client struct {
 	session *harness.Session
+	pol     harness.RetryPolicy
 }
 
 // Connect performs the attested handshake: the client verifies the quote
 // (signature, boot measurement, handshake binding) before any data moves.
+// The handshake retries with exponential backoff under the platform's
+// RetryConfig, so transient relay faults do not surface to the caller.
 // Only available with the monitor (attestation needs the tdcall owner).
 func (p *Platform) Connect(c *Container) (*Client, error) {
 	if p.w.Mon == nil {
 		return nil, errors.New("erebor: Connect requires the monitor (not a baseline platform)")
 	}
-	s := harness.NewSession(p.w)
-	if err := s.Client.Start(); err != nil {
-		return nil, err
+	s := harness.NewBoundedSession(p.w, p.queueCap)
+	if err := s.ConnectResilient(c.inner, p.pol); err != nil {
+		return nil, fmt.Errorf("erebor: attested handshake failed: %w", err)
 	}
-	s.Pump(2)
-	if err := c.inner.AcceptSession(s.MonTr); err != nil {
-		return nil, fmt.Errorf("erebor: session rejected: %w", err)
-	}
-	s.Pump(2)
-	if err := s.Client.Finish(); err != nil {
-		return nil, fmt.Errorf("erebor: attestation failed: %w", err)
-	}
-	return &Client{session: s}, nil
+	return &Client{session: s, pol: p.pol}, nil
 }
 
 // Send queues one confidential request (padded + encrypted end to end).
@@ -254,10 +305,25 @@ func (cl *Client) Send(data []byte) error {
 	return nil
 }
 
+// SendWithRetry transmits one request, retrying transient backpressure
+// (full relay queues) with virtual-clock backoff. Non-transient errors
+// surface immediately.
+func (cl *Client) SendWithRetry(data []byte) error {
+	return cl.session.SendWithRetry(data, cl.pol)
+}
+
 // Recv returns the next response, or an error when none is pending.
 func (cl *Client) Recv() ([]byte, error) {
 	cl.session.Pump(2)
 	return cl.session.Client.Recv()
+}
+
+// RecvWait pumps the relay and the guest scheduler until a response
+// arrives, retransmitting unacknowledged requests on timeout. Returns an
+// error wrapping a typed timeout after the policy's round budget; it never
+// hangs.
+func (cl *Client) RecvWait() ([]byte, error) {
+	return cl.session.RecvWait(cl.pol)
 }
 
 // WireFrames exposes what the untrusted proxy observed (always
@@ -296,6 +362,14 @@ type Stats struct {
 	PageFaults    uint64
 	TimerTicks    uint64
 	VirtualCycles uint64
+
+	// Resilience counters (see DESIGN.md, "Fault model & resilience").
+	NetDrops           uint64 // frames dropped at the bounded host NIC queues
+	ChannelErrors      uint64 // transport failures absorbed by the monitor
+	ChannelDuplicates  uint64 // duplicate records suppressed monitor-side
+	ChannelCorrupt     uint64 // corrupt/unauthentic records rejected monitor-side
+	ChannelRetransmits uint64 // records re-sent by the monitor on loss evidence
+	RuntimeViolations  uint64 // kernel misbehavior contained by the monitor
 }
 
 // Stats snapshots the monitor's and kernel's counters.
@@ -305,14 +379,30 @@ func (p *Platform) Stats() Stats {
 		PageFaults:    p.w.K.Stats.PageFaults,
 		TimerTicks:    p.w.K.Stats.TimerTicks,
 		VirtualCycles: p.w.M.Clock.Now(),
+		NetDrops:      p.w.Host.NetDrops,
 	}
 	if p.w.Mon != nil {
 		s.EMCs = p.w.Mon.Stats.EMCs
 		s.SandboxExits = p.w.Mon.Stats.SandboxExits
 		s.SandboxKills = p.w.Mon.Stats.SandboxKills
 		s.QuotesIssued = p.w.Mon.Stats.QuotesIssued
+		s.ChannelErrors = p.w.Mon.Stats.ChannelErrors
+		s.RuntimeViolations = p.w.Mon.Stats.RuntimeViolations
+		cs := p.w.Mon.ChannelStats()
+		s.ChannelDuplicates = cs.Duplicates
+		s.ChannelCorrupt = cs.Corrupt
+		s.ChannelRetransmits = cs.Retransmits
 	}
 	return s
+}
+
+// RuntimeViolationLog returns the monitor's record of contained kernel
+// misbehavior (empty on a baseline platform).
+func (p *Platform) RuntimeViolationLog() []string {
+	if p.w.Mon == nil {
+		return nil
+	}
+	return p.w.Mon.RuntimeViolations()
 }
 
 // Monitor exposes the underlying monitor for advanced use (nil on a

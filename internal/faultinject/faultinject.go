@@ -1,0 +1,254 @@
+// Package faultinject is a deterministic fault-injection layer for the
+// channel stack. It models the full power the threat model (§3, §6.3)
+// grants the untrusted in-CVM proxy and the host network: every frame may
+// be dropped, duplicated, reordered, corrupted, truncated, or replayed.
+//
+// Faults are drawn from a seeded PRNG, so a schedule is perfectly
+// reproducible: the same Plan (seed + rates) against the same traffic
+// produces the same injected faults and the same per-class counters. The
+// chaos suite leans on that to assert exact outcomes across reruns.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+// Fault classes, in injection-priority order.
+const (
+	Drop Class = iota
+	Duplicate
+	Reorder
+	Corrupt
+	Truncate
+	Replay
+	NumClasses
+)
+
+// String names a class.
+func (c Class) String() string {
+	switch c {
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case Replay:
+		return "replay"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Plan is a seeded fault schedule: per-frame injection probabilities for
+// each class. At most one fault fires per frame (classes are exclusive,
+// drawn from one uniform roll), which keeps the per-class accounting exact.
+type Plan struct {
+	Seed int64
+	// Per-frame probabilities in [0,1]; their sum must be <= 1.
+	Drop, Duplicate, Reorder, Corrupt, Truncate, Replay float64
+}
+
+// Uniform returns a plan injecting every class at the given rate.
+func Uniform(seed int64, rate float64) Plan {
+	return Plan{Seed: seed, Drop: rate, Duplicate: rate, Reorder: rate,
+		Corrupt: rate, Truncate: rate, Replay: rate}
+}
+
+// Only returns a plan injecting a single class at the given rate.
+func Only(seed int64, class Class, rate float64) Plan {
+	p := Plan{Seed: seed}
+	switch class {
+	case Drop:
+		p.Drop = rate
+	case Duplicate:
+		p.Duplicate = rate
+	case Reorder:
+		p.Reorder = rate
+	case Corrupt:
+		p.Corrupt = rate
+	case Truncate:
+		p.Truncate = rate
+	case Replay:
+		p.Replay = rate
+	}
+	return p
+}
+
+// Counters tallies injected faults per class, plus frames passed clean.
+type Counters struct {
+	Drops, Duplicates, Reorders, Corrupts, Truncates, Replays uint64
+	Passed                                                    uint64
+}
+
+// Total is the number of frames that had a fault injected.
+func (c Counters) Total() uint64 {
+	return c.Drops + c.Duplicates + c.Reorders + c.Corrupts + c.Truncates + c.Replays
+}
+
+// String renders the tally.
+func (c Counters) String() string {
+	return fmt.Sprintf("drop=%d dup=%d reorder=%d corrupt=%d trunc=%d replay=%d pass=%d",
+		c.Drops, c.Duplicates, c.Reorders, c.Corrupts, c.Truncates, c.Replays, c.Passed)
+}
+
+// capturedCap bounds the replay capture buffer.
+const capturedCap = 64
+
+// Injector owns the PRNG schedule and state shared by every transport it
+// wraps (a single session's links draw from one deterministic stream).
+type Injector struct {
+	plan Plan
+	rng  *rand.Rand
+
+	// captured retains relayed frames as replay ammunition.
+	captured [][]byte
+
+	Counters Counters
+}
+
+// New builds an injector for a plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Plan returns the injector's schedule parameters.
+func (inj *Injector) Plan() Plan { return inj.plan }
+
+// Wrap interposes the injector on a transport's send side: every frame
+// sent through the returned transport is subject to the fault schedule.
+// Recv passes through untouched (faults are injected where frames enter
+// the untrusted plumbing).
+func (inj *Injector) Wrap(inner secchan.Transport) *Transport {
+	return &Transport{inner: inner, inj: inj}
+}
+
+// decide draws the fault class for one frame: one uniform roll against the
+// cumulative class probabilities, NumClasses meaning "pass clean".
+func (inj *Injector) decide() Class {
+	r := inj.rng.Float64()
+	cum := 0.0
+	probs := [NumClasses]float64{
+		Drop: inj.plan.Drop, Duplicate: inj.plan.Duplicate, Reorder: inj.plan.Reorder,
+		Corrupt: inj.plan.Corrupt, Truncate: inj.plan.Truncate, Replay: inj.plan.Replay,
+	}
+	for class := Class(0); class < NumClasses; class++ {
+		cum += probs[class]
+		if r < cum {
+			return class
+		}
+	}
+	return NumClasses
+}
+
+// capture retains a copy of a frame for later replay.
+func (inj *Injector) capture(frame []byte) {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	inj.captured = append(inj.captured, cp)
+	if len(inj.captured) > capturedCap {
+		inj.captured = inj.captured[1:]
+	}
+}
+
+// Transport applies the injector's schedule to frames sent through it.
+type Transport struct {
+	inner secchan.Transport
+	inj   *Injector
+
+	// held is a frame delayed for reordering: it ships after the next send
+	// (or on the next Recv, so a tail frame is not held forever).
+	held []byte
+}
+
+// Send relays frame through the fault schedule.
+func (t *Transport) Send(frame []byte) error {
+	inj := t.inj
+	switch inj.decide() {
+	case Drop:
+		inj.Counters.Drops++
+		return nil // the frame vanishes; the sender sees success (lossy wire)
+
+	case Duplicate:
+		inj.Counters.Duplicates++
+		inj.capture(frame)
+		if err := t.inner.Send(frame); err != nil {
+			return err
+		}
+		return t.inner.Send(frame)
+
+	case Reorder:
+		inj.Counters.Reorders++
+		inj.capture(frame)
+		if t.held != nil {
+			// Already holding one: swap, shipping the older frame now.
+			prev := t.held
+			t.held = append([]byte(nil), frame...)
+			return t.inner.Send(prev)
+		}
+		t.held = append([]byte(nil), frame...)
+		return nil
+
+	case Corrupt:
+		inj.Counters.Corrupts++
+		cp := append([]byte(nil), frame...)
+		if len(cp) > 0 {
+			cp[inj.rng.Intn(len(cp))] ^= 1 << uint(inj.rng.Intn(8))
+		}
+		return t.inner.Send(cp)
+
+	case Truncate:
+		inj.Counters.Truncates++
+		cut := 0
+		if len(frame) > 1 {
+			cut = inj.rng.Intn(len(frame))
+		}
+		return t.inner.Send(frame[:cut])
+
+	case Replay:
+		inj.Counters.Replays++
+		inj.capture(frame)
+		if err := t.inner.Send(frame); err != nil {
+			return err
+		}
+		if n := len(inj.captured); n > 0 {
+			return t.inner.Send(inj.captured[inj.rng.Intn(n)])
+		}
+		return nil
+
+	default:
+		inj.Counters.Passed++
+		inj.capture(frame)
+		if t.held != nil {
+			// A clean send flushes the delayed frame behind this one —
+			// completing the reorder.
+			held := t.held
+			t.held = nil
+			if err := t.inner.Send(frame); err != nil {
+				return err
+			}
+			return t.inner.Send(held)
+		}
+		return t.inner.Send(frame)
+	}
+}
+
+// Recv passes through, first flushing any frame held for reordering so a
+// delayed tail frame eventually arrives even with no further sends.
+func (t *Transport) Recv() ([]byte, error) {
+	if t.held != nil {
+		held := t.held
+		t.held = nil
+		_ = t.inner.Send(held)
+	}
+	return t.inner.Recv()
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
 )
@@ -21,7 +22,7 @@ type Client struct {
 
 	hello *secchan.ClientHello
 	priv  *ecdh.PrivateKey
-	conn  *secchan.Conn
+	conn  *secchan.Reliable
 }
 
 // ExpectedMRTD recomputes the boot measurement a client expects: firmware
@@ -69,11 +70,15 @@ func (cl *Client) Finish() error {
 	if err != nil {
 		return err
 	}
-	cl.conn = conn
+	// The client is the initiator: it retransmits on timeout (driven by the
+	// session's RecvWait), not on duplicate receipt, so the two ends never
+	// ping-pong retransmissions.
+	cl.conn = secchan.NewReliable(conn)
 	return nil
 }
 
-// Send transmits one padded encrypted request.
+// Send transmits one padded encrypted request. The ciphertext is retained
+// for idempotent retransmission (same sequence number, identical bytes).
 func (cl *Client) Send(data []byte) error {
 	if cl.conn == nil {
 		return errors.New("client: handshake not finished")
@@ -82,11 +87,38 @@ func (cl *Client) Send(data []byte) error {
 }
 
 // Recv receives one response (secchan.ErrEmpty when none pending).
+// Duplicates, replays and corrupt frames injected by the untrusted relay
+// are absorbed and counted, never delivered.
 func (cl *Client) Recv() ([]byte, error) {
 	if cl.conn == nil {
 		return nil, errors.New("client: handshake not finished")
 	}
 	return cl.conn.Recv()
+}
+
+// Retransmit re-sends all retained request records (timeout recovery).
+func (cl *Client) Retransmit() {
+	if cl.conn != nil {
+		cl.conn.Retransmit()
+	}
+}
+
+// ChannelStats exposes the client-side resilience counters.
+func (cl *Client) ChannelStats() secchan.ReliableStats {
+	if cl.conn == nil {
+		return secchan.ReliableStats{}
+	}
+	return cl.conn.Stats
+}
+
+// drainTransport discards everything pending on the client's transport
+// (stale frames from a failed handshake attempt).
+func (cl *Client) drainTransport() {
+	for {
+		if _, err := cl.tr.Recv(); err != nil {
+			return
+		}
+	}
 }
 
 // Session wires a client to a world's monitor through an untrusted
@@ -96,20 +128,56 @@ type Session struct {
 	Proxy  *secchan.Proxy
 	// MonTr is the monitor-side transport (passed to AcceptSession).
 	MonTr secchan.Transport
+	// W is the world the session belongs to (virtual clock for backoff,
+	// scheduler for bounded waits).
+	W *World
+	// Inj, when non-nil, is the fault injector interposed on the untrusted
+	// client<->proxy hop (chaos testing; see NewFaultySession).
+	Inj *faultinject.Injector
 }
 
 // NewSession builds the client <-> proxy <-> monitor plumbing for a world.
 func NewSession(w *World) *Session {
-	clientEnd, proxyOuter := secchan.NewMemPipe()
-	proxyInner, monEnd := secchan.NewMemPipe()
-	pr := &secchan.Proxy{Outer: proxyOuter, Inner: proxyInner}
-	cl := NewClient(clientEnd, w.QK.Public(), ExpectedMRTD(w.Mon.MonitorImage()))
-	return &Session{Client: cl, Proxy: pr, MonTr: monEnd}
+	return newSession(w, nil, secchan.DefaultQueueCap)
+}
+
+func newSession(w *World, inj *faultinject.Injector, queueCap int) *Session {
+	clientEnd, proxyOuter := secchan.NewMemPipeCap(queueCap)
+	proxyInner, monEnd := secchan.NewMemPipeCap(queueCap)
+	var clientTr secchan.Transport = clientEnd
+	var outer secchan.Transport = proxyOuter
+	if inj != nil {
+		// The client<->proxy hop is the fully untrusted segment: both
+		// directions pass through the fault schedule.
+		clientTr = inj.Wrap(clientEnd)
+		outer = inj.Wrap(proxyOuter)
+	}
+	pr := &secchan.Proxy{Outer: outer, Inner: proxyInner}
+	cl := NewClient(clientTr, w.QK.Public(), ExpectedMRTD(w.Mon.MonitorImage()))
+	return &Session{Client: cl, Proxy: pr, MonTr: monEnd, W: w, Inj: inj}
 }
 
 // Pump relays pending frames both ways n times.
 func (s *Session) Pump(n int) {
 	for i := 0; i < n; i++ {
 		s.Proxy.PumpOnce()
+	}
+}
+
+// maxPumpRounds bounds PumpAll: relaying is one frame per direction per
+// round, so this comfortably clears any queue a bounded session can build
+// while guaranteeing termination (no hangs, ever).
+const maxPumpRounds = 256
+
+// PumpAll relays until the proxy goes quiescent (bounded; duplicated and
+// replayed frames mean one round is rarely enough under fault injection).
+func (s *Session) PumpAll() {
+	idle := 0
+	for i := 0; i < maxPumpRounds && idle < 2; i++ {
+		if s.Proxy.PumpOnce() {
+			idle = 0
+		} else {
+			idle++
+		}
 	}
 }

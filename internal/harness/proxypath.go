@@ -13,11 +13,12 @@ import (
 // here appear at the guest's NetRecv, and guest NetSends appear here.
 type hostNIC struct{ w *World }
 
-// Send queues a frame for the guest.
+// Send queues a frame for the guest (typed backpressure when the host NIC
+// receive queue is full).
 func (h *hostNIC) Send(frame []byte) error {
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
-	h.w.Host.NetIn = append(h.w.Host.NetIn, cp)
+	if !h.w.Host.EnqueueNetIn(frame) {
+		return secchan.ErrQueueFull
+	}
 	return nil
 }
 

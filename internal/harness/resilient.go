@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+)
+
+// This file is the resilient data-shepherding path: handshake retry with
+// bounded attempts and exponential backoff, bounded receive waits with
+// timeout-driven retransmission, and deterministic interleaving of the
+// guest scheduler with the untrusted relay. All waiting is expressed in
+// virtual cycles on the machine clock — never wall time — so every run,
+// including fault-injected chaos runs, is reproducible from a seed.
+
+// RetryPolicy bounds every retry loop in the resilient path.
+type RetryPolicy struct {
+	// MaxAttempts bounds full handshake attempts in ConnectResilient.
+	MaxAttempts int
+	// BackoffBase is the virtual-cycle penalty charged before the first
+	// retry; it grows by BackoffFactor per subsequent attempt.
+	BackoffBase   uint64
+	BackoffFactor uint64
+	// RecvRounds bounds pump+schedule rounds in RecvWait before ErrTimeout.
+	RecvRounds int
+	// RetransmitEvery re-sends the client's retained records every that
+	// many empty RecvWait rounds (0 disables timeout-driven retransmission).
+	RetransmitEvery int
+}
+
+// DefaultRetryPolicy tolerates sustained double-digit fault rates on the
+// untrusted hop while still terminating promptly when the far side is gone.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:     8,
+		BackoffBase:     1_000,
+		BackoffFactor:   2,
+		RecvRounds:      64,
+		RetransmitEvery: 4,
+	}
+}
+
+// maxBackoff caps exponential growth so long waits cannot overflow the
+// virtual clock arithmetic.
+const maxBackoff = uint64(1) << 32
+
+// Acceptor is the monitor-side half a resilient connect drives: accept a
+// session over a transport, and abort a half-established one so the next
+// attempt starts clean. *sandbox.Container implements it.
+type Acceptor interface {
+	AcceptSession(tr secchan.Transport) error
+	AbortSession() error
+}
+
+// ConnectResilient runs the attested handshake end to end with bounded
+// retries. Each attempt is a fresh ClientHello (fresh X25519 keys), so a
+// stale or replayed server hello from a previous attempt can never bind:
+// the quote check in Client.Finish rejects it and the loop retries. On
+// exhaustion the error wraps secchan.ErrTimeout.
+func (s *Session) ConnectResilient(acc Acceptor, pol RetryPolicy) error {
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 1
+	}
+	backoff := pol.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.W.M.Clock.Charge(backoff)
+			if backoff < maxBackoff {
+				backoff *= pol.BackoffFactor
+			}
+			// Tear down monitor-side half-state and flush frames from the
+			// failed attempt out of every hop before going again.
+			if err := acc.AbortSession(); err != nil {
+				lastErr = err
+				break
+			}
+			s.drainAll()
+		}
+		if err := s.Client.Start(); err != nil {
+			lastErr = err
+			continue
+		}
+		s.PumpAll()
+		if err := acc.AcceptSession(s.MonTr); err != nil {
+			lastErr = err
+			continue
+		}
+		s.PumpAll()
+		if err := s.Client.Finish(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("harness: handshake failed after %d attempts (last: %v): %w",
+		pol.MaxAttempts, lastErr, secchan.ErrTimeout)
+}
+
+// drainAll discards every in-flight frame on the session's hops: relay
+// whatever the proxy holds, then empty both endpoints. Stale handshake
+// frames must not be mistaken for the next attempt's hello.
+func (s *Session) drainAll() {
+	s.PumpAll()
+	s.Client.drainTransport()
+	for {
+		if _, err := s.MonTr.Recv(); err != nil {
+			break
+		}
+	}
+}
+
+// RecvWait pumps the relay and the guest scheduler until a response record
+// arrives or the policy's round budget is spent. One guest scheduling
+// slice runs per round (StepOne), so client retransmissions interleave
+// with the sandbox's own receive attempts exactly as concurrent progress
+// would on real hardware. Returns an error wrapping secchan.ErrTimeout on
+// exhaustion; never hangs.
+func (s *Session) RecvWait(pol RetryPolicy) ([]byte, error) {
+	if pol.RecvRounds <= 0 {
+		pol.RecvRounds = 1
+	}
+	backoff := pol.BackoffBase
+	for round := 0; round < pol.RecvRounds; round++ {
+		s.PumpAll()
+		msg, err := s.Client.Recv()
+		if err == nil {
+			return msg, nil
+		}
+		if !errors.Is(err, secchan.ErrEmpty) {
+			return nil, err
+		}
+		// Give the guest one slice to consume input / produce output, then
+		// relay whatever it emitted.
+		s.W.K.StepOne()
+		s.PumpAll()
+		if msg, err := s.Client.Recv(); err == nil {
+			return msg, nil
+		} else if !errors.Is(err, secchan.ErrEmpty) {
+			return nil, err
+		}
+		if pol.RetransmitEvery > 0 && (round+1)%pol.RetransmitEvery == 0 {
+			// Timeout-driven recovery: re-send retained request records.
+			// Sealing is deterministic per sequence number, so the monitor
+			// side dedups bit-identical retransmits and — seeing evidence of
+			// loss — re-sends its own retained responses.
+			s.Client.Retransmit()
+		}
+		s.W.M.Clock.Charge(backoff)
+		if backoff < maxBackoff {
+			backoff *= pol.BackoffFactor
+		}
+	}
+	return nil, fmt.Errorf("harness: no response after %d rounds: %w",
+		pol.RecvRounds, secchan.ErrTimeout)
+}
+
+// SendWithRetry transmits one request record, retrying transient
+// transport-full conditions with backoff (the proxy drains between
+// attempts). Other errors surface immediately.
+func (s *Session) SendWithRetry(data []byte, pol RetryPolicy) error {
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 1
+	}
+	backoff := pol.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.W.M.Clock.Charge(backoff)
+			if backoff < maxBackoff {
+				backoff *= pol.BackoffFactor
+			}
+			s.PumpAll()
+		}
+		err := s.Client.Send(data)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, secchan.ErrQueueFull) {
+			return err
+		}
+	}
+	return fmt.Errorf("harness: send failed after %d attempts: %w",
+		pol.MaxAttempts, lastErr)
+}
+
+// NewFaultySession builds a session whose untrusted client<->proxy hop is
+// wrapped in a deterministic fault injector: both directions draw from one
+// seeded schedule, so a (plan, workload) pair replays bit-identically.
+func NewFaultySession(w *World, plan faultinject.Plan) *Session {
+	return newSession(w, faultinject.New(plan), secchan.DefaultQueueCap)
+}
+
+// NewBoundedSession builds a fault-free session with an explicit per-hop
+// queue capacity (backpressure experiments; 0 means unbounded).
+func NewBoundedSession(w *World, queueCap int) *Session {
+	return newSession(w, nil, queueCap)
+}

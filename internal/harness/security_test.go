@@ -283,7 +283,7 @@ func TestC5HandshakeBindingPreventsReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stale, err := w.Mon.IssueQuote(c, secchan.ReportDataFor(hello1.Nonce, hello1.ClientPub))
+	stale, err := w.Mon.IssueQuote(c, secchan.ReportDataFor(hello1, hello1.ClientPub))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,10 +42,19 @@ func (k *Kernel) NetSend(buf []byte) error {
 		rem = rem[n:]
 	}
 	k.M.Clock.Charge(costs.Copy(len(buf)))
-	_, err := k.priv.VMCall(c, tdx.VMCallNetTx, []uint64{uint64(len(buf))}, k.sharedIO, buf)
+	ret, err := k.priv.VMCall(c, tdx.VMCallNetTx, []uint64{uint64(len(buf))}, k.sharedIO, buf)
 	// NIC serialization / client-side receive processing.
 	k.M.Clock.Charge(costs.Wire(len(buf)))
-	return err
+	if err != nil {
+		return err
+	}
+	// The NIC reports accepted bytes; zero on a non-empty frame means its
+	// transmit queue is full — surface typed backpressure, never drop
+	// silently.
+	if len(buf) > 0 && (len(ret) == 0 || ret[0] == 0) {
+		return fmt.Errorf("kernel: NIC transmit queue full: %w", secchan.ErrQueueFull)
+	}
+	return nil
 }
 
 // NetRecv pulls one frame from the host NIC, or nil when none is queued.

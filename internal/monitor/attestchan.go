@@ -82,12 +82,37 @@ func (mon *Monitor) AcceptSession(c *cpu.Core, id SandboxID, tr secchan.Transpor
 	if err != nil {
 		return err
 	}
-	sb.conn = conn
+	rc := secchan.NewReliable(conn)
+	// The monitor is the responder: a duplicate of an already-consumed
+	// request means the client is retrying because frames (possibly our
+	// response) were lost — re-send retained history.
+	rc.RetransmitOnDup = true
+	sb.conn = rc
+	return nil
+}
+
+// AbortSession tears down a half-established session so the client can
+// retry the attested handshake (frames lost or corrupted in flight). Only
+// permitted before any client data has been installed: after install the
+// channel is load-bearing for confidentiality cleanup and the sandbox must
+// be ended instead.
+func (mon *Monitor) AbortSession(id SandboxID) error {
+	mon.assertBooted()
+	sb, ok := mon.sandboxes[id]
+	if !ok || sb.destroyed {
+		return denied("abort-session", "no live sandbox %d", id)
+	}
+	if sb.dataInstalled {
+		return denied("abort-session", "sandbox %d already holds client data", id)
+	}
+	sb.conn = nil
 	return nil
 }
 
 // pumpChannel drains available client records into the sandbox's pending
-// input queue.
+// input queue. The resilience layer underneath absorbs hostile noise —
+// duplicates, replays and corrupt frames are counted and dropped, never
+// delivered — so the only terminal condition here is an empty transport.
 func (mon *Monitor) pumpChannel(sb *sbState) {
 	if sb.conn == nil {
 		return
@@ -96,14 +121,33 @@ func (mon *Monitor) pumpChannel(sb *sbState) {
 		msg, err := sb.conn.Recv()
 		if err != nil {
 			if !errors.Is(err, secchan.ErrEmpty) {
-				// Authentication failure: a tampering proxy/host. Drop the
-				// record; the client will notice the missing response.
-				mon.Stats.SandboxExits += 0
+				// Transport-level failure (e.g. backpressure); the client
+				// retries, nothing to do monitor-side.
+				mon.Stats.ChannelErrors++
 			}
 			return
 		}
 		sb.pendingInput = append(sb.pendingInput, msg)
 	}
+}
+
+// ChannelStats aggregates the resilience-layer counters across every
+// sandbox channel (live and ended) for the platform stats surface.
+func (mon *Monitor) ChannelStats() secchan.ReliableStats {
+	var total secchan.ReliableStats
+	for _, sb := range mon.sandboxes {
+		if sb.conn == nil {
+			continue
+		}
+		s := sb.conn.Stats
+		total.Sent += s.Sent
+		total.Delivered += s.Delivered
+		total.Duplicates += s.Duplicates
+		total.Corrupt += s.Corrupt
+		total.Reordered += s.Reordered
+		total.Retransmits += s.Retransmits
+	}
+	return total
 }
 
 // QueueClientInput lets the harness inject an already-decrypted message

@@ -38,20 +38,48 @@ func (mon *Monitor) intGate(c *cpu.Core, t *cpu.Trap) {
 	mon.forwardToKernel(c, t)
 }
 
+// forwardToKernel hands a legitimate event to the kernel's registered
+// handler. A kernel that never registered one is misbehaving (it owns
+// handler registration through EMCs); the monitor records the violation and
+// contains the transition — failing the syscall / killing the offending
+// sandbox — rather than taking the whole CVM down. Graceful degradation:
+// the kernel is untrusted, so its misconfiguration must never be fatal to
+// the monitor.
 func (mon *Monitor) forwardToKernel(c *cpu.Core, t *cpu.Trap) {
 	if t.Vector == cpu.VecSyscall {
 		mon.Stats.SyscallInterpositions++
 		if mon.kernelSyscall == nil {
-			panic("monitor: syscall with no kernel entry registered")
+			mon.recordViolation("syscall %d with no kernel entry registered", c.Regs.GPR[cpu.RAX])
+			mon.containBadTransition(c, t)
+			c.Regs.GPR[cpu.RAX] = abi.Errno(abi.ENOSYSNo)
+			return
 		}
 		mon.kernelSyscall(c, t)
 		return
 	}
 	h := mon.kernelVectors[t.Vector]
 	if h == nil {
-		panic(fmt.Sprintf("monitor: vector %d has no kernel handler: %s", t.Vector, t.Error()))
+		mon.recordViolation("vector %d has no kernel handler: %s", t.Vector, t.Error())
+		mon.containBadTransition(c, t)
+		return
 	}
 	h(c, t)
+}
+
+// containBadTransition kills the sandbox behind an event the kernel cannot
+// handle (no registered handler); a bare kernel-context event is simply
+// dropped — the transition dies, the monitor survives.
+func (mon *Monitor) containBadTransition(c *cpu.Core, t *cpu.Trap) {
+	if t.FromRing != 3 {
+		return
+	}
+	asid, ok := mon.rootIndex[c.CR3Frame()]
+	if !ok || asid == 0 {
+		return
+	}
+	if sb := mon.sandboxByAS(asid); sb != nil && !sb.destroyed {
+		mon.killSandbox(sb, fmt.Sprintf("unhandleable transition (vector %d, no kernel handler)", t.Vector))
+	}
 }
 
 // handleSandboxExit implements the §6.2 exit policy (Fig 7).
@@ -80,6 +108,22 @@ func (mon *Monitor) handleSandboxExit(c *cpu.Core, t *cpu.Trap, sb *sbState) {
 		num := c.Regs.GPR[cpu.RAX]
 		if num == abi.SysIoctl && c.Regs.GPR[cpu.RDI] == abi.EreborDevFD {
 			mon.handleSandboxIoctl(c, sb)
+			return
+		}
+		if num == abi.SysYield {
+			// Scheduling yield: carries no payload once the monitor masks the
+			// register file (same save/scrub/restore interpose as a hardware
+			// interrupt), and a resilient service must be able to yield while
+			// polling for input post-install. The exit itself is the only
+			// residual signal, and the exit-rate limiter above bounds that.
+			mon.M.Clock.Charge(costs.SandboxExitInterpose)
+			sb.savedRegs = c.Regs
+			sb.regsSaved = true
+			c.Regs.Scrub()
+			c.Regs.GPR[cpu.RAX] = abi.SysYield
+			mon.forwardToKernel(c, t)
+			c.Regs = sb.savedRegs
+			sb.regsSaved = false
 			return
 		}
 		if sb.dataInstalled {

@@ -88,6 +88,13 @@ type Stats struct {
 	SandboxKills          uint64
 	UserCopies            uint64
 	QuotesIssued          uint64
+	// RuntimeViolations counts kernel misbehavior at the interpose boundary
+	// (unregistered handlers, malformed transitions) that the monitor
+	// recorded and contained instead of crashing.
+	RuntimeViolations uint64
+	// ChannelErrors counts secure-channel transport failures absorbed while
+	// pumping client records.
+	ChannelErrors uint64
 }
 
 // ASID names an address space registered with the monitor.
@@ -172,6 +179,14 @@ type Monitor struct {
 	// debugOut is the DebugFS-emulation output queue used when a sandbox
 	// has no live secure channel (paper §7 evaluation setup).
 	debugOut [][]byte
+
+	// violations records kernel misbehavior observed at the interpose
+	// boundary. The untrusted kernel misregistering handlers is an attack
+	// (or bug) the monitor must survive: it is recorded here and the
+	// offending transition is contained, never a monitor panic. Panics
+	// remain only for monitor-internal invariant breaks (e.g. shadow-stack
+	// corruption).
+	violations []string
 
 	Stats Stats
 
@@ -378,6 +393,24 @@ func (mon *Monitor) mapMonitorImage() error {
 // SetPreemptHook installs a one-shot interrupt injected during the next EMC
 // (exercises the #INT gate, Fig 5c-right).
 func (mon *Monitor) SetPreemptHook(h func(c *cpu.Core)) { mon.preemptHook = h }
+
+// recordViolation logs kernel misbehavior at the monitor boundary. The
+// event is contained (the offending transition is dropped or killed), the
+// record is available to operators via RuntimeViolations, and the monitor
+// keeps running.
+func (mon *Monitor) recordViolation(format string, args ...any) {
+	mon.violations = append(mon.violations, fmt.Sprintf(format, args...))
+	mon.Stats.RuntimeViolations++
+}
+
+// RuntimeViolations returns the kernel-misbehavior events recorded at the
+// interpose boundary (complementing Audit, which checks memory-state
+// invariants).
+func (mon *Monitor) RuntimeViolations() []string {
+	out := make([]string, len(mon.violations))
+	copy(out, mon.violations)
+	return out
+}
 
 // Token is intentionally NOT exported: the monitor capability never leaves
 // this package.

@@ -56,8 +56,12 @@ type sbState struct {
 	savedRegs cpu.Regs
 	regsSaved bool
 
-	// Secure-channel state (§6.3).
-	conn         *secchan.Conn
+	// Secure-channel state (§6.3). The record connection is wrapped in the
+	// resilience layer: the proxy/host may drop, duplicate, reorder or
+	// replay frames, and the monitor's side absorbs that (deduplicating on
+	// record sequence numbers, retransmitting retained responses when the
+	// client retries).
+	conn         *secchan.Reliable
 	pendingInput [][]byte
 
 	// Stats.

@@ -138,6 +138,15 @@ func (c *Container) AcceptSession(tr secchan.Transport) error {
 	return c.Mon.AcceptSession(c.K.M.Cores[0], c.ID, tr)
 }
 
+// AbortSession tears down a half-established session (client handshake
+// retry). No-op without a monitor.
+func (c *Container) AbortSession() error {
+	if c.Mon == nil {
+		return nil
+	}
+	return c.Mon.AbortSession(c.ID)
+}
+
 // Info returns the monitor's view of the sandbox.
 func (c *Container) Info() (monitor.SandboxInfo, bool) {
 	if c.Mon == nil {

@@ -1,0 +1,198 @@
+package secchan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reliable wraps a Conn with data-shepherding resilience against a lossy,
+// duplicating, reordering, corrupting, replaying transport (the untrusted
+// proxy/host of §6.3 acting arbitrarily on frames). Confidentiality and
+// integrity come from the record layer underneath; Reliable adds
+// *availability*:
+//
+//   - idempotent retransmission keyed on the record sequence numbers: a
+//     retransmitted record is the identical ciphertext (nonce = seq), so
+//     the receiver can deduplicate it exactly;
+//   - a bounded reorder window: records arriving ahead of sequence are
+//     buffered and delivered in order;
+//   - duplicate/corrupt frames are counted and dropped rather than
+//     poisoning the session;
+//   - optional retransmit-on-duplicate for the responder side: receiving a
+//     duplicate of an already-consumed record is the signal that the peer
+//     is retrying because our frames were lost, so we re-send our
+//     retained history.
+//
+// Everything is deterministic and driven by explicit calls — no wall-clock
+// timers — so fault schedules replay exactly under the virtual clock.
+type Reliable struct {
+	c *Conn
+
+	// Window is how far ahead of the expected sequence number an arriving
+	// record may be and still be buffered for in-order delivery.
+	Window uint64
+	// HistoryCap bounds the retransmission buffer (sent ciphertexts).
+	HistoryCap int
+	// RetransmitOnDup re-sends retained history when a duplicate of an
+	// already-consumed record arrives (responder side only; the initiator
+	// retransmits on timeout, which keeps the two sides from ping-ponging
+	// retransmissions forever).
+	RetransmitOnDup bool
+
+	history map[uint64][]byte // seq -> sent ciphertext
+	histLo  uint64            // lowest seq still retained
+	ooo     map[uint64][]byte // seq -> plaintext buffered ahead of order
+
+	Stats ReliableStats
+}
+
+// ReliableStats counts what the resilience layer absorbed.
+type ReliableStats struct {
+	Sent        uint64
+	Delivered   uint64
+	Duplicates  uint64 // replayed/duplicated records dropped
+	Corrupt     uint64 // unauthenticatable frames dropped
+	Reordered   uint64 // records buffered out of order
+	Retransmits uint64 // frames re-sent from history
+}
+
+// DefaultReorderWindow bounds how far ahead of sequence a record may arrive.
+const DefaultReorderWindow = 8
+
+// DefaultHistoryCap bounds the retained retransmission history.
+const DefaultHistoryCap = 64
+
+// NewReliable wraps an established record connection.
+func NewReliable(c *Conn) *Reliable {
+	return &Reliable{
+		c:          c,
+		Window:     DefaultReorderWindow,
+		HistoryCap: DefaultHistoryCap,
+		history:    make(map[uint64][]byte),
+		ooo:        make(map[uint64][]byte),
+	}
+}
+
+// Conn exposes the underlying record connection (tests).
+func (r *Reliable) Conn() *Conn { return r.c }
+
+// PadBlock returns the record padding granularity.
+func (r *Reliable) PadBlock() int { return r.c.PadBlock }
+
+// Send seals msg at the next sequence number, retains the ciphertext for
+// retransmission, and transmits it. A full downstream queue surfaces as
+// ErrQueueFull; the record stays in history so Retransmit can re-offer it.
+func (r *Reliable) Send(msg []byte) error {
+	seq := r.c.sendSeq
+	ct := r.c.sealAt(seq, msg)
+	r.c.sendSeq++
+	r.history[seq] = ct
+	r.Stats.Sent++
+	for len(r.history) > r.HistoryCap {
+		delete(r.history, r.histLo)
+		r.histLo++
+	}
+	return r.c.tr.Send(ct)
+}
+
+// Retransmit re-sends every retained ciphertext in sequence order. Records
+// are bit-identical to the originals, so the receiver deduplicates exactly;
+// calling this spuriously is wasteful but never incorrect.
+func (r *Reliable) Retransmit() {
+	for seq := r.histLo; seq < r.c.sendSeq; seq++ {
+		ct, ok := r.history[seq]
+		if !ok {
+			continue
+		}
+		if err := r.c.tr.Send(ct); err == nil {
+			r.Stats.Retransmits++
+		}
+	}
+}
+
+// Recv returns the next in-order message. Duplicates, replays and corrupt
+// frames are absorbed (counted in Stats) and draining continues; ErrEmpty
+// surfaces once the transport has nothing more queued. Recv never blocks
+// and never delivers a record twice or out of order.
+func (r *Reliable) Recv() ([]byte, error) {
+	for {
+		// Deliver anything the reorder buffer has made contiguous.
+		if msg, ok := r.ooo[r.c.recvSeq]; ok {
+			delete(r.ooo, r.c.recvSeq)
+			r.c.recvSeq++
+			r.Stats.Delivered++
+			return msg, nil
+		}
+		ct, err := r.c.tr.Recv()
+		if err != nil {
+			return nil, err // ErrEmpty (or a transport failure) surfaces as-is
+		}
+		// In-order record: the common case.
+		if msg, err := r.c.openAt(r.c.recvSeq, ct); err == nil {
+			r.c.markAccepted(ct, r.c.recvSeq)
+			r.c.recvSeq++
+			r.Stats.Delivered++
+			return msg, nil
+		}
+		// Duplicate of something already consumed (network duplication or a
+		// replaying adversary — indistinguishable, both dropped). For the
+		// responder it also means the peer may be missing our frames.
+		if r.c.wasAccepted(ct) {
+			r.Stats.Duplicates++
+			if r.RetransmitOnDup {
+				r.Retransmit()
+			}
+			continue
+		}
+		// Ahead of sequence? Try the reorder window.
+		buffered := false
+		for k := uint64(1); k <= r.Window; k++ {
+			seq := r.c.recvSeq + k
+			if _, have := r.ooo[seq]; have {
+				continue
+			}
+			if msg, err := r.c.openAt(seq, ct); err == nil {
+				r.c.markAccepted(ct, seq)
+				r.ooo[seq] = msg
+				r.Stats.Reordered++
+				buffered = true
+				break
+			}
+		}
+		if buffered {
+			continue
+		}
+		// Unauthenticatable at every admissible sequence number: hostile
+		// corruption/truncation. Drop it and keep draining.
+		r.Stats.Corrupt++
+	}
+}
+
+// RecvStrict is Recv but surfaces the first classified failure instead of
+// absorbing it — the record-layer behaviour security tests assert on.
+func (r *Reliable) RecvStrict() ([]byte, error) {
+	if msg, ok := r.ooo[r.c.recvSeq]; ok {
+		delete(r.ooo, r.c.recvSeq)
+		r.c.recvSeq++
+		r.Stats.Delivered++
+		return msg, nil
+	}
+	msg, err := r.c.Recv()
+	if err == nil {
+		r.Stats.Delivered++
+		return msg, nil
+	}
+	switch {
+	case errors.Is(err, ErrReplay):
+		r.Stats.Duplicates++
+	case errors.Is(err, ErrCorruptFrame):
+		r.Stats.Corrupt++
+	}
+	return nil, err
+}
+
+// String summarizes the stats (debug logging in the chaos harness).
+func (s ReliableStats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dup=%d corrupt=%d reorder=%d rexmit=%d",
+		s.Sent, s.Delivered, s.Duplicates, s.Corrupt, s.Reordered, s.Retransmits)
+}

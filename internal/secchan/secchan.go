@@ -62,6 +62,27 @@ func DeriveKeys(shared, transcript []byte) (clientToServer, serverToClient []byt
 	return km[:32], km[32:]
 }
 
+// --- typed error taxonomy ------------------------------------------------------
+
+// The channel stack distinguishes failure classes so callers can decide
+// what is retriable (ErrEmpty, ErrTimeout after more retries), what is
+// expected hostile noise to drop and count (ErrCorruptFrame, ErrReplay),
+// and what is backpressure (ErrQueueFull).
+var (
+	// ErrEmpty is returned by non-blocking transports with nothing queued.
+	ErrEmpty = errors.New("secchan: transport empty")
+	// ErrTimeout reports a bounded wait (virtual-clock) that expired.
+	ErrTimeout = errors.New("secchan: timed out")
+	// ErrCorruptFrame reports a record that failed authentication and does
+	// not match any previously accepted ciphertext (tampering/truncation).
+	ErrCorruptFrame = errors.New("secchan: corrupt frame")
+	// ErrReplay reports a ciphertext identical to one already accepted at an
+	// earlier sequence number (a replaying proxy/host).
+	ErrReplay = errors.New("secchan: record replayed")
+	// ErrQueueFull reports backpressure: a bounded queue refused a frame.
+	ErrQueueFull = errors.New("secchan: queue full")
+)
+
 // --- transport -----------------------------------------------------------------
 
 // Transport moves opaque frames between the two channel ends.
@@ -70,44 +91,73 @@ type Transport interface {
 	Recv() ([]byte, error)
 }
 
-// MemPipe is an in-memory duplex transport pair.
+// DefaultQueueCap bounds in-memory transport queues. Generous — a session
+// exchanges a handful of frames — but finite, so a hostile or buggy peer
+// flooding the pipe hits ErrQueueFull instead of growing memory without
+// limit.
+const DefaultQueueCap = 1024
+
+// pipeQueue is one bounded direction of a MemPipe pair.
+type pipeQueue struct {
+	frames [][]byte
+	cap    int
+	drops  uint64
+}
+
+func (q *pipeQueue) push(f []byte) error {
+	if q.cap > 0 && len(q.frames) >= q.cap {
+		q.drops++
+		return ErrQueueFull
+	}
+	q.frames = append(q.frames, f)
+	return nil
+}
+
+func (q *pipeQueue) pop() ([]byte, error) {
+	if len(q.frames) == 0 {
+		return nil, ErrEmpty
+	}
+	f := q.frames[0]
+	q.frames = q.frames[1:]
+	return f, nil
+}
+
+// MemPipe is an in-memory duplex transport pair with bounded queues.
 type MemPipe struct {
-	in  *[][]byte
-	out *[][]byte
+	in  *pipeQueue
+	out *pipeQueue
 	// Tap, if set, observes every sent frame (the untrusted proxy/host).
 	Tap func(frame []byte)
 }
 
-// NewMemPipe returns the two connected ends.
-func NewMemPipe() (a, b *MemPipe) {
-	q1 := &[][]byte{}
-	q2 := &[][]byte{}
+// NewMemPipe returns the two connected ends (DefaultQueueCap per direction).
+func NewMemPipe() (a, b *MemPipe) { return NewMemPipeCap(DefaultQueueCap) }
+
+// NewMemPipeCap returns a connected pair whose per-direction queues hold at
+// most cap frames (0 = unbounded).
+func NewMemPipeCap(cap int) (a, b *MemPipe) {
+	q1 := &pipeQueue{cap: cap}
+	q2 := &pipeQueue{cap: cap}
 	return &MemPipe{in: q1, out: q2}, &MemPipe{in: q2, out: q1}
 }
 
-// Send implements Transport.
+// Send implements Transport; it returns ErrQueueFull when the peer's
+// inbound queue is at capacity (the frame is counted and discarded).
 func (p *MemPipe) Send(frame []byte) error {
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
 	if p.Tap != nil {
 		p.Tap(cp)
 	}
-	*p.out = append(*p.out, cp)
-	return nil
+	return p.out.push(cp)
 }
-
-// ErrEmpty is returned by non-blocking transports with nothing queued.
-var ErrEmpty = errors.New("secchan: transport empty")
 
 // Recv implements Transport.
-func (p *MemPipe) Recv() ([]byte, error) {
-	if len(*p.in) == 0 {
-		return nil, ErrEmpty
-	}
-	f := (*p.in)[0]
-	*p.in = (*p.in)[1:]
-	return f, nil
-}
+func (p *MemPipe) Recv() ([]byte, error) { return p.in.pop() }
+
+// Drops reports frames discarded at this pipe pair's bounded queues (both
+// directions).
+func (p *MemPipe) Drops() uint64 { return p.in.drops + p.out.drops }
 
 // Proxy is the untrusted in-CVM relay: it forwards frames between an
 // outer (client-facing) and inner (monitor-facing) transport and records
@@ -116,18 +166,30 @@ func (p *MemPipe) Recv() ([]byte, error) {
 type Proxy struct {
 	Outer, Inner Transport
 	Seen         [][]byte
+	// Drops counts frames the proxy lost to downstream backpressure
+	// (bounded queues refusing the relay).
+	Drops uint64
 }
 
-// PumpOnce relays one pending frame in each direction, if present.
-func (p *Proxy) PumpOnce() {
+// PumpOnce relays one pending frame in each direction, if present, and
+// reports whether anything moved.
+func (p *Proxy) PumpOnce() bool {
+	moved := false
 	if f, err := p.Outer.Recv(); err == nil {
+		moved = true
 		p.Seen = append(p.Seen, f)
-		_ = p.Inner.Send(f)
+		if err := p.Inner.Send(f); err != nil {
+			p.Drops++
+		}
 	}
 	if f, err := p.Inner.Recv(); err == nil {
+		moved = true
 		p.Seen = append(p.Seen, f)
-		_ = p.Outer.Send(f)
+		if err := p.Outer.Send(f); err != nil {
+			p.Drops++
+		}
 	}
+	return moved
 }
 
 // --- record layer ----------------------------------------------------------------
@@ -140,6 +202,11 @@ type Conn struct {
 	sendSeq  uint64
 	recvSeq  uint64
 	PadBlock int
+
+	// accepted caches digests of ciphertexts already authenticated and
+	// delivered, letting Recv distinguish a replayed record (ErrReplay)
+	// from hostile tampering (ErrCorruptFrame).
+	accepted map[[32]byte]uint64
 }
 
 func newAEAD(key []byte) (cipher.AEAD, error) {
@@ -163,7 +230,10 @@ func NewConn(tr Transport, sendKey, recvKey []byte, padBlock int) (*Conn, error)
 	if padBlock <= 0 {
 		padBlock = DefaultPadBlock
 	}
-	return &Conn{tr: tr, sealKey: sk, openKey: rk, PadBlock: padBlock}, nil
+	return &Conn{
+		tr: tr, sealKey: sk, openKey: rk, PadBlock: padBlock,
+		accepted: make(map[[32]byte]uint64),
+	}, nil
 }
 
 func nonceFor(seq uint64) []byte {
@@ -198,35 +268,78 @@ func unpad(raw []byte) ([]byte, error) {
 	return raw[4 : 4+n], nil
 }
 
+// sealAt produces the ciphertext for msg at an explicit sequence number.
+// Sealing the same (seq, msg) twice yields identical bytes — the basis of
+// idempotent retransmission (the nonce is the sequence number, so a
+// retransmit is a bit-for-bit duplicate, never a nonce reuse with new data).
+func (c *Conn) sealAt(seq uint64, msg []byte) []byte {
+	padded := pad(msg, c.PadBlock)
+	return c.sealKey.Seal(nil, nonceFor(seq), padded, nil)
+}
+
+// openAt attempts to authenticate ct at an explicit sequence number and
+// returns the unpadded message.
+func (c *Conn) openAt(seq uint64, ct []byte) ([]byte, error) {
+	pt, err := c.openKey.Open(nil, nonceFor(seq), ct, nil)
+	if err != nil {
+		return nil, err
+	}
+	return unpad(pt)
+}
+
+// markAccepted records a delivered ciphertext so later duplicates classify
+// as replays.
+func (c *Conn) markAccepted(ct []byte, seq uint64) {
+	c.accepted[sha256.Sum256(ct)] = seq
+}
+
+// wasAccepted reports whether ct was already authenticated and delivered.
+func (c *Conn) wasAccepted(ct []byte) bool {
+	_, ok := c.accepted[sha256.Sum256(ct)]
+	return ok
+}
+
 // Send pads, seals and transmits one message.
 func (c *Conn) Send(msg []byte) error {
-	padded := pad(msg, c.PadBlock)
-	ct := c.sealKey.Seal(nil, nonceFor(c.sendSeq), padded, nil)
+	ct := c.sealAt(c.sendSeq, msg)
 	c.sendSeq++
 	return c.tr.Send(ct)
 }
 
-// Recv receives, opens and unpads one message.
+// Recv receives, opens and unpads one message. Authentication failures are
+// classified: a ciphertext already delivered at an earlier sequence number
+// returns ErrReplay (and is never delivered twice); anything else returns
+// ErrCorruptFrame.
 func (c *Conn) Recv() ([]byte, error) {
 	ct, err := c.tr.Recv()
 	if err != nil {
 		return nil, err
 	}
-	pt, err := c.openKey.Open(nil, nonceFor(c.recvSeq), ct, nil)
+	msg, err := c.openAt(c.recvSeq, ct)
 	if err != nil {
-		return nil, fmt.Errorf("secchan: record authentication failed: %w", err)
+		if c.wasAccepted(ct) {
+			return nil, fmt.Errorf("secchan: ciphertext for consumed sequence re-delivered: %w", ErrReplay)
+		}
+		return nil, fmt.Errorf("secchan: record authentication failed: %w", ErrCorruptFrame)
 	}
+	c.markAccepted(ct, c.recvSeq)
 	c.recvSeq++
-	return unpad(pt)
+	return msg, nil
 }
 
 // --- attested handshake -------------------------------------------------------------
 
 // ReportDataFor binds the handshake into the attestation report:
-// SHA-256(clientNonce || serverECDHPub), zero-padded to ReportDataSize.
-func ReportDataFor(clientNonce, serverPub []byte) [tdx.ReportDataSize]byte {
+// SHA-256(clientNonce || clientECDHPub || serverECDHPub), zero-padded to
+// ReportDataSize. The client's ECDH share must be covered too: otherwise a
+// tampering relay can substitute it in flight and both sides "complete"
+// the handshake holding different keys (a black-holed session at best,
+// client impersonation toward the sandbox at worst) — found by the chaos
+// suite corrupting hello frames.
+func ReportDataFor(hello *ClientHello, serverPub []byte) [tdx.ReportDataSize]byte {
 	h := sha256.New()
-	h.Write(clientNonce)
+	h.Write(hello.Nonce)
+	h.Write(hello.ClientPub)
 	h.Write(serverPub)
 	var rd [tdx.ReportDataSize]byte
 	copy(rd[:], h.Sum(nil))
@@ -273,7 +386,7 @@ func ServerHandshake(hello *ClientHello, issuer ReportIssuer) (*ServerHello, Key
 		return nil, Keys{}, fmt.Errorf("secchan: server key: %w", err)
 	}
 	serverPub := priv.PublicKey().Bytes()
-	quote, err := issuer.IssueQuote(ReportDataFor(hello.Nonce, serverPub))
+	quote, err := issuer.IssueQuote(ReportDataFor(hello, serverPub))
 	if err != nil {
 		return nil, Keys{}, err
 	}
@@ -300,7 +413,7 @@ func ClientFinish(hello *ClientHello, priv *ecdh.PrivateKey, sh *ServerHello,
 	if err != nil {
 		return Keys{}, err
 	}
-	want := ReportDataFor(hello.Nonce, sh.ServerPub)
+	want := ReportDataFor(hello, sh.ServerPub)
 	if report.ReportData != want {
 		return Keys{}, errors.New("secchan: attestation does not bind this handshake (replay or impersonation)")
 	}

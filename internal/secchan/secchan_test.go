@@ -154,7 +154,7 @@ func TestTamperedRecordRejected(t *testing.T) {
 
 // prepend pushes a frame back onto a MemPipe's inbound queue.
 func prepend(p *MemPipe, f []byte) error {
-	*p.in = append([][]byte{f}, *p.in...)
+	p.in.frames = append([][]byte{f}, p.in.frames...)
 	return nil
 }
 

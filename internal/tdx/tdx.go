@@ -59,6 +59,11 @@ type HostHandler interface {
 	VMExit(sub uint64, args []uint64, data []byte) ([]uint64, []byte)
 }
 
+// DefaultNetQueueCap bounds each host NIC direction: generous enough for
+// every legitimate workload, finite so a flooding peer exhausts its queue,
+// not the VMM's memory.
+const DefaultNetQueueCap = 1024
+
 // Host is a simple untrusted VMM: it serves cpuid values, byte-bucket
 // network endpoints for the proxy, and records what it observed (attack
 // tests inspect Observed to prove data never reaches the host in
@@ -71,6 +76,12 @@ type Host struct {
 	NetOut [][]byte
 	NetIn  [][]byte
 
+	// NetQueueCap bounds NetOut/NetIn depth (0 = unbounded). A full NetOut
+	// makes NetTx report zero bytes accepted; a full NetIn refuses
+	// EnqueueNetIn. Either way the drop is counted in NetDrops.
+	NetQueueCap int
+	NetDrops    uint64
+
 	// Observed records every byte buffer the host saw at exits.
 	Observed [][]byte
 }
@@ -82,7 +93,21 @@ func NewHost() *Host {
 			0: {0x16, 0x756e6547, 0x6c65746e, 0x49656e69}, // "GenuineIntel"
 			1: {0x000806F8, 0x00100800, 0x7FFAFBFF, 0xBFEBFBFF},
 		},
+		NetQueueCap: DefaultNetQueueCap,
 	}
+}
+
+// EnqueueNetIn queues a frame for the guest to receive, honoring the queue
+// bound. Returns false (and counts the drop) when the queue is full.
+func (h *Host) EnqueueNetIn(frame []byte) bool {
+	if h.NetQueueCap > 0 && len(h.NetIn) >= h.NetQueueCap {
+		h.NetDrops++
+		return false
+	}
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	h.NetIn = append(h.NetIn, cp)
+	return true
 }
 
 // VMExit implements HostHandler.
@@ -101,6 +126,12 @@ func (h *Host) VMExit(sub uint64, args []uint64, data []byte) ([]uint64, []byte)
 		v := h.CPUIDValues[leaf]
 		return []uint64{v[0], v[1], v[2], v[3]}, nil
 	case VMCallNetTx:
+		if h.NetQueueCap > 0 && len(h.NetOut) >= h.NetQueueCap {
+			// Queue full: zero bytes accepted; the guest driver decides
+			// whether (and when) to retry.
+			h.NetDrops++
+			return []uint64{0}, nil
+		}
 		cp := make([]byte, len(data))
 		copy(cp, data)
 		h.NetOut = append(h.NetOut, cp)
