@@ -190,3 +190,28 @@ func BenchmarkAblationPadding(b *testing.B) {
 		}
 	}
 }
+
+// benchEMCNop measures real (wall-clock) EMC round-trip cost with the
+// recorder on or off; the acceptance bar is that the disabled hooks stay
+// within noise of the pre-recorder path (one nil compare each).
+func benchEMCNop(b *testing.B, traced bool) {
+	p, err := NewPlatform(PlatformConfig{MemMB: 64, Trace: TraceConfig{Enabled: traced}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core := p.World().Core()
+	mon := p.Monitor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mon.EMCNop(core); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMCNopRecorderOff is the hot-path control: tracing disabled.
+func BenchmarkEMCNopRecorderOff(b *testing.B) { benchEMCNop(b, false) }
+
+// BenchmarkEMCNopRecorderOn measures the recorder's per-EMC overhead
+// (one span append + one histogram observe).
+func BenchmarkEMCNopRecorderOn(b *testing.B) { benchEMCNop(b, true) }

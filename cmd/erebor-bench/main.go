@@ -14,12 +14,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 	"github.com/asterisc-release/erebor-go/internal/workloads"
 	"github.com/asterisc-release/erebor-go/internal/workloads/graph"
 	"github.com/asterisc-release/erebor-go/internal/workloads/ids"
@@ -28,9 +30,15 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/workloads/retrieval"
 )
 
+// traceBench attaches the flight recorder to every fig9/table6 scenario
+// run and emits per-span latency summaries (-trace flag).
+var traceBench bool
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|all")
 	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
+	flag.BoolVar(&traceBench, "trace", false,
+		"attach the flight recorder to scenario runs and print p50/p99 span summaries as JSON")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -67,6 +75,13 @@ func main() {
 	run("fig10", fig10)
 	run("memshare", func() error { return memshare(*scale) })
 	run("ablations", ablations)
+
+	if traceBench && sets != nil {
+		if err := printTraceSummaries(sets); err != nil {
+			fmt.Fprintf(os.Stderr, "trace summaries: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func ablations() error {
@@ -141,6 +156,7 @@ func suite(scale int) []workloads.Workload {
 
 func runSets(scale int) ([]*harness.ScenarioSet, error) {
 	opt := harness.DefaultScenarioOptions()
+	opt.Trace = traceBench
 	var sets []*harness.ScenarioSet
 	for _, wl := range suite(scale) {
 		s, err := harness.RunScenarioSet(wl, opt)
@@ -150,6 +166,37 @@ func runSets(scale int) ([]*harness.ScenarioSet, error) {
 		sets = append(sets, s)
 	}
 	return sets, nil
+}
+
+// traceSummaryRow is one scenario's latency digest in the -trace JSON.
+type traceSummaryRow struct {
+	Workload string              `json:"workload"`
+	Config   string              `json:"config"`
+	Spans    []trace.SpanSummary `json:"spans"`
+}
+
+// printTraceSummaries emits the recorder's per-span p50/p99 digests
+// (cycles and µs at the simulated 2.1 GHz) for every traced scenario.
+func printTraceSummaries(sets []*harness.ScenarioSet) error {
+	var rows []traceSummaryRow
+	for _, s := range sets {
+		for _, r := range []*harness.ScenarioResult{s.Native, s.LibOS, s.Erebor} {
+			if r == nil || r.Hists == nil {
+				continue
+			}
+			rows = append(rows, traceSummaryRow{
+				Workload: r.Workload, Config: string(r.Config),
+				Spans: trace.Summarize(r.Hists),
+			})
+		}
+	}
+	if rows == nil {
+		return nil
+	}
+	fmt.Println("---- trace span summaries (JSON) ----")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 func fig9(scale int) ([]*harness.ScenarioSet, error) {

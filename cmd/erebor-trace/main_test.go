@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The CI contract: `erebor-trace -seed 1 -format chrome` (all defaults)
+// must reproduce the checked-in golden export byte for byte. Regenerate
+// with:
+//
+//	go run ./cmd/erebor-trace -seed 1 -format chrome -o cmd/erebor-trace/testdata/golden-seed1-chrome.json
+func TestGoldenChromeExport(t *testing.T) {
+	p, failures, err := runSession(sessionConfig{Seed: 1, Requests: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("clean session had failures: %v", failures)
+	}
+	var got bytes.Buffer
+	if err := export(p, "chrome", &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden-seed1-chrome.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("Chrome export diverged from golden (len %d vs %d); regenerate with the command in the test comment if the change is intentional",
+			got.Len(), len(want))
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(got.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+}
+
+// Two chaos runs with the same seed must trace identically — the fault
+// schedule, the retries it causes, and every timestamp.
+func TestChaosSessionDeterminism(t *testing.T) {
+	run := func() []byte {
+		p, _, err := runSession(sessionConfig{Seed: 7, Chaos: 0.05, Requests: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := export(p, "chrome", &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different chaos traces")
+	}
+}
+
+// The Prometheus exposition must reconcile with the platform counters.
+func TestPromExportReconciles(t *testing.T) {
+	p, _, err := runSession(sessionConfig{Seed: 3, Chaos: 0.04, Requests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := export(p, "prom", &buf); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	counts := p.TraceCounts()
+	var emcEvents uint64
+	for kind, n := range st.EMCByKind {
+		if counts["emc|emc/"+kind] != n {
+			t.Fatalf("emc/%s: trace count %d != Stats %d", kind, counts["emc|emc/"+kind], n)
+		}
+		emcEvents += n
+	}
+	if emcEvents != st.EMCs {
+		t.Fatalf("per-kind EMC counts sum to %d, Stats.EMCs %d", emcEvents, st.EMCs)
+	}
+}
+
+func TestExportRejectsUnknownFormat(t *testing.T) {
+	p, _, err := runSession(sessionConfig{Seed: 1, Requests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := export(p, "xml", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -33,7 +33,9 @@ package erebor
 import (
 	"errors"
 	"fmt"
+	"io"
 
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/harness"
 	"github.com/asterisc-release/erebor-go/internal/kernel"
 	"github.com/asterisc-release/erebor-go/internal/libos"
@@ -42,6 +44,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/sandbox"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // PlatformConfig sizes a platform.
@@ -64,6 +67,35 @@ type PlatformConfig struct {
 	// ChannelQueueCap bounds each hop of the client<->monitor relay
 	// (frames; 0 = default, negative = unbounded).
 	ChannelQueueCap int
+	// Trace opts the platform into the flight recorder. Disabled (the zero
+	// value), every hook in the monitor/kernel/channel stack is a single
+	// nil compare and the platform's behavior is bit-identical to an
+	// untraced one — the recorder reads the virtual clock but never
+	// charges it.
+	Trace TraceConfig
+	// Chaos, when non-nil, interposes a seeded deterministic fault
+	// injector on the untrusted client<->proxy hop of every Connect
+	// session (all sessions draw from one schedule). The per-class tallies
+	// surface in Stats().FaultInjection.
+	Chaos *ChaosConfig
+}
+
+// TraceConfig configures the optional flight recorder.
+type TraceConfig struct {
+	Enabled bool
+	// CapacityEvents bounds the event ring (0 = trace.DefaultCapacity).
+	// On overflow the ring discards the oldest events and counts exactly
+	// how many (TraceDropped); histograms and counters never drop.
+	CapacityEvents int
+}
+
+// ChaosConfig is a seeded fault schedule for the untrusted relay hop:
+// per-frame injection probabilities in [0,1] whose sum must be <= 1 (at
+// most one fault fires per frame). The same Seed and rates against the
+// same workload replay the identical fault schedule.
+type ChaosConfig struct {
+	Seed                                                                        int64
+	DropRate, DuplicateRate, ReorderRate, CorruptRate, TruncateRate, ReplayRate float64
 }
 
 // RetryConfig bounds the channel's retry/timeout/backoff behavior. The
@@ -110,6 +142,7 @@ type Platform struct {
 	nextOwner mem.Owner
 	pol       harness.RetryPolicy
 	queueCap  int
+	inj       *faultinject.Injector // non-nil when Chaos was configured
 }
 
 // NewPlatform boots a platform: firmware and monitor are measured, the
@@ -122,6 +155,7 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	}
 	w, err := harness.NewWorld(harness.WorldConfig{
 		Mode: mode, MemMB: cfg.MemMB, PadBlock: cfg.PadBlock, PlainGuest: cfg.PlainGuest,
+		Trace: cfg.Trace.Enabled, TraceCapacity: cfg.Trace.CapacityEvents,
 	})
 	if err != nil {
 		return nil, err
@@ -137,10 +171,20 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	case queueCap < 0:
 		queueCap = 0 // unbounded
 	}
-	return &Platform{
+	p := &Platform{
 		w: w, nextOwner: mem.OwnerTaskBase + 1,
 		pol: cfg.Retry.policy(), queueCap: queueCap,
-	}, nil
+	}
+	if cfg.Chaos != nil {
+		p.inj = faultinject.New(faultinject.Plan{
+			Seed: cfg.Chaos.Seed,
+			Drop: cfg.Chaos.DropRate, Duplicate: cfg.Chaos.DuplicateRate,
+			Reorder: cfg.Chaos.ReorderRate, Corrupt: cfg.Chaos.CorruptRate,
+			Truncate: cfg.Chaos.TruncateRate, Replay: cfg.Chaos.ReplayRate,
+		})
+		p.inj.Rec = w.Rec
+	}
+	return p, nil
 }
 
 // PublishCommon registers a shared read-only dataset (an ML model, a
@@ -289,7 +333,12 @@ func (p *Platform) Connect(c *Container) (*Client, error) {
 	if p.w.Mon == nil {
 		return nil, errors.New("erebor: Connect requires the monitor (not a baseline platform)")
 	}
-	s := harness.NewBoundedSession(p.w, p.queueCap)
+	var s *harness.Session
+	if p.inj != nil {
+		s = harness.NewInjectedSession(p.w, p.inj, p.queueCap)
+	} else {
+		s = harness.NewBoundedSession(p.w, p.queueCap)
+	}
 	if err := s.ConnectResilient(c.inner, p.pol); err != nil {
 		return nil, fmt.Errorf("erebor: attested handshake failed: %w", err)
 	}
@@ -352,27 +401,64 @@ func (p *Platform) PopOutputs() [][]byte {
 	return p.w.Mon.DebugOutputs()
 }
 
-// Stats is a snapshot of platform-wide activity.
+// Stats is a snapshot of platform-wide activity. It is JSON-serializable
+// with stable snake_case field names; map-valued fields are fresh copies,
+// so a retained snapshot never aliases live monitor state.
 type Stats struct {
-	EMCs          uint64
-	SandboxExits  uint64
-	SandboxKills  uint64
-	QuotesIssued  uint64
-	Syscalls      uint64
-	PageFaults    uint64
-	TimerTicks    uint64
-	VirtualCycles uint64
+	// MonitorBooted reports whether the platform runs under the Erebor
+	// monitor. On a baseline (native) platform it is false and every
+	// monitor-derived field below — EMCs, EMCByKind, EMCCyclesByKind,
+	// SandboxExits, SandboxKills, QuotesIssued, the Channel* counters and
+	// RuntimeViolations — is its zero value by construction, not a partial
+	// snapshot: there is no monitor to count them.
+	MonitorBooted bool `json:"monitor_booted"`
+
+	EMCs uint64 `json:"emcs"`
+	// EMCByKind counts enclave-monitor calls per kind ("nop", "cr", "msr",
+	// "sandbox", ...). Nil when the monitor is not booted.
+	EMCByKind map[string]uint64 `json:"emc_by_kind,omitempty"`
+	// EMCCyclesByKind attributes gate-to-gate virtual cycles per EMC kind;
+	// the per-kind sum equals the matching "emc/<kind>" trace histogram's
+	// Sum exactly (the recorder never charges the clock).
+	EMCCyclesByKind map[string]uint64 `json:"emc_cycles_by_kind,omitempty"`
+
+	SandboxExits  uint64 `json:"sandbox_exits"`
+	SandboxKills  uint64 `json:"sandbox_kills"`
+	QuotesIssued  uint64 `json:"quotes_issued"`
+	Syscalls      uint64 `json:"syscalls"`
+	PageFaults    uint64 `json:"page_faults"`
+	TimerTicks    uint64 `json:"timer_ticks"`
+	VirtualCycles uint64 `json:"virtual_cycles"`
 
 	// Resilience counters (see DESIGN.md, "Fault model & resilience").
-	NetDrops           uint64 // frames dropped at the bounded host NIC queues
-	ChannelErrors      uint64 // transport failures absorbed by the monitor
-	ChannelDuplicates  uint64 // duplicate records suppressed monitor-side
-	ChannelCorrupt     uint64 // corrupt/unauthentic records rejected monitor-side
-	ChannelRetransmits uint64 // records re-sent by the monitor on loss evidence
-	RuntimeViolations  uint64 // kernel misbehavior contained by the monitor
+	NetDrops           uint64 `json:"net_drops"`           // frames dropped at the bounded host NIC queues
+	ChannelErrors      uint64 `json:"channel_errors"`      // transport failures absorbed by the monitor
+	ChannelDuplicates  uint64 `json:"channel_duplicates"`  // duplicate records suppressed monitor-side
+	ChannelCorrupt     uint64 `json:"channel_corrupt"`     // corrupt/unauthentic records rejected monitor-side
+	ChannelRetransmits uint64 `json:"channel_retransmits"` // records re-sent by the monitor on loss evidence
+	RuntimeViolations  uint64 `json:"runtime_violations"`  // kernel misbehavior contained by the monitor
+
+	// FaultInjection tallies the chaos schedule's per-class injections.
+	// Nil unless the platform was built with PlatformConfig.Chaos.
+	FaultInjection *FaultInjectionStats `json:"fault_injection,omitempty"`
 }
 
-// Stats snapshots the monitor's and kernel's counters.
+// FaultInjectionStats mirrors the fault injector's per-class counters.
+type FaultInjectionStats struct {
+	Drops      uint64 `json:"drops"`
+	Duplicates uint64 `json:"duplicates"`
+	Reorders   uint64 `json:"reorders"`
+	Corrupts   uint64 `json:"corrupts"`
+	Truncates  uint64 `json:"truncates"`
+	Replays    uint64 `json:"replays"`
+	// Passed counts frames relayed clean (no fault fired).
+	Passed uint64 `json:"passed"`
+}
+
+// Stats snapshots the monitor's and kernel's counters. On a baseline
+// platform (no monitor booted) the monitor-derived fields are returned as
+// documented zero values with MonitorBooted=false — never a silent partial
+// snapshot.
 func (p *Platform) Stats() Stats {
 	s := Stats{
 		Syscalls:      p.w.K.Stats.Syscalls,
@@ -382,7 +468,10 @@ func (p *Platform) Stats() Stats {
 		NetDrops:      p.w.Host.NetDrops,
 	}
 	if p.w.Mon != nil {
+		s.MonitorBooted = true
 		s.EMCs = p.w.Mon.Stats.EMCs
+		s.EMCByKind = copyCounts(p.w.Mon.Stats.EMCByKind)
+		s.EMCCyclesByKind = copyCounts(p.w.Mon.Stats.CyclesByKind)
 		s.SandboxExits = p.w.Mon.Stats.SandboxExits
 		s.SandboxKills = p.w.Mon.Stats.SandboxKills
 		s.QuotesIssued = p.w.Mon.Stats.QuotesIssued
@@ -393,7 +482,74 @@ func (p *Platform) Stats() Stats {
 		s.ChannelCorrupt = cs.Corrupt
 		s.ChannelRetransmits = cs.Retransmits
 	}
+	if p.inj != nil {
+		c := p.inj.Counters
+		s.FaultInjection = &FaultInjectionStats{
+			Drops: c.Drops, Duplicates: c.Duplicates, Reorders: c.Reorders,
+			Corrupts: c.Corrupts, Truncates: c.Truncates, Replays: c.Replays,
+			Passed: c.Passed,
+		}
+	}
 	return s
+}
+
+// copyCounts snapshots a counter map (nil in, nil out).
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ErrTracingDisabled is returned by the exporters when the platform was
+// built without TraceConfig.Enabled.
+var ErrTracingDisabled = errors.New("erebor: tracing disabled (set PlatformConfig.Trace.Enabled)")
+
+// TraceEnabled reports whether the flight recorder is attached.
+func (p *Platform) TraceEnabled() bool { return p.w.Rec.Enabled() }
+
+// TraceSnapshot copies out the recorder's event ring, oldest first. Nil
+// when tracing is disabled.
+func (p *Platform) TraceSnapshot() []trace.Event { return p.w.Rec.Snapshot() }
+
+// TraceDropped reports how many events the bounded ring discarded (oldest
+// first) since boot or the last reset.
+func (p *Platform) TraceDropped() uint64 { return p.w.Rec.Dropped() }
+
+// Histograms returns the per-span log2 latency histograms keyed by span
+// label ("emc/nop", "syscall/3", "sandbox/1/exit", ...). Aggregates never
+// drop, regardless of ring capacity. Nil when tracing is disabled.
+func (p *Platform) Histograms() map[string]trace.Histogram { return p.w.Rec.Histograms() }
+
+// TraceCounts returns total event tallies keyed by kind (and "kind|label"
+// for labeled events). Nil when tracing is disabled.
+func (p *Platform) TraceCounts() map[string]uint64 { return p.w.Rec.Counts() }
+
+// TraceSummaries condenses the span histograms into sorted p50/p99
+// summaries (cycles and microseconds at the simulated 2.1 GHz).
+func (p *Platform) TraceSummaries() []trace.SpanSummary { return p.w.Rec.Summaries() }
+
+// ExportChromeTrace writes the event ring as Chrome trace_event JSON
+// (chrome://tracing, Perfetto): one track per sandbox plus monitor, kernel
+// and client tracks. Byte-deterministic for a fixed seed and workload.
+func (p *Platform) ExportChromeTrace(w io.Writer) error {
+	if !p.w.Rec.Enabled() {
+		return ErrTracingDisabled
+	}
+	return p.w.Rec.ExportChromeTrace(w)
+}
+
+// ExportPrometheus writes the counters and span histograms in Prometheus
+// text exposition format.
+func (p *Platform) ExportPrometheus(w io.Writer) error {
+	if !p.w.Rec.Enabled() {
+		return ErrTracingDisabled
+	}
+	return p.w.Rec.ExportPrometheus(w)
 }
 
 // RuntimeViolationLog returns the monitor's record of contained kernel

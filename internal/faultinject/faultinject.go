@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // Class enumerates the injectable fault classes.
@@ -114,6 +115,12 @@ type Injector struct {
 	captured [][]byte
 
 	Counters Counters
+
+	// Rec, when non-nil, records every injected fault as a flight-recorder
+	// instant (label = fault class) on the client track. Recording never
+	// consumes PRNG draws, so attaching a recorder does not change the
+	// fault schedule a seed produces.
+	Rec *trace.Recorder
 }
 
 // New builds an injector for a plan.
@@ -173,7 +180,11 @@ type Transport struct {
 // Send relays frame through the fault schedule.
 func (t *Transport) Send(frame []byte) error {
 	inj := t.inj
-	switch inj.decide() {
+	class := inj.decide()
+	if class != NumClasses {
+		inj.Rec.Emit(trace.KindFaultInject, trace.TrackClient, class.String())
+	}
+	switch class {
 	case Drop:
 		inj.Counters.Drops++
 		return nil // the frame vanishes; the sender sees success (lossy wire)

@@ -9,6 +9,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // Client is a remote client of an Erebor service: it attests the monitor,
@@ -23,6 +24,10 @@ type Client struct {
 	hello *secchan.ClientHello
 	priv  *ecdh.PrivateKey
 	conn  *secchan.Reliable
+
+	// Rec, when non-nil, is wired onto the record connection once the
+	// handshake finishes (frame events on the client track).
+	Rec *trace.Recorder
 }
 
 // ExpectedMRTD recomputes the boot measurement a client expects: firmware
@@ -74,6 +79,7 @@ func (cl *Client) Finish() error {
 	// session's RecvWait), not on duplicate receipt, so the two ends never
 	// ping-pong retransmissions.
 	cl.conn = secchan.NewReliable(conn)
+	cl.conn.Rec, cl.conn.Track = cl.Rec, trace.TrackClient
 	return nil
 }
 
@@ -154,7 +160,19 @@ func newSession(w *World, inj *faultinject.Injector, queueCap int) *Session {
 	}
 	pr := &secchan.Proxy{Outer: outer, Inner: proxyInner}
 	cl := NewClient(clientTr, w.QK.Public(), ExpectedMRTD(w.Mon.MonitorImage()))
+	cl.Rec = w.Rec
+	if inj != nil && inj.Rec == nil {
+		inj.Rec = w.Rec
+	}
 	return &Session{Client: cl, Proxy: pr, MonTr: monEnd, W: w, Inj: inj}
+}
+
+// NewInjectedSession builds a session around a caller-owned fault injector,
+// so several sessions on one world can draw from a single deterministic
+// fault schedule (the Platform chaos path). queueCap bounds each hop
+// (0 = unbounded), mirroring NewBoundedSession.
+func NewInjectedSession(w *World, inj *faultinject.Injector, queueCap int) *Session {
+	return newSession(w, inj, queueCap)
 }
 
 // Pump relays pending frames both ways n times.

@@ -11,6 +11,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/sandbox"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 	"github.com/asterisc-release/erebor-go/internal/workloads"
 )
 
@@ -52,6 +53,10 @@ type ScenarioResult struct {
 	ConfinedBytes uint64
 	CommonBytes   uint64
 	PrivateModel  uint64 // bytes of replicated model (non-shared configs)
+
+	// Hists holds the flight recorder's per-span latency histograms when
+	// ScenarioOptions.Trace was set (nil otherwise).
+	Hists map[string]trace.Histogram
 }
 
 // RunSeconds converts the run phase to simulated seconds.
@@ -70,6 +75,9 @@ type ScenarioOptions struct {
 	// CPUIDEvery fires a cpuid every N work items (0 disables).
 	CPUIDEvery int
 	MemMB      uint64
+	// Trace attaches the flight recorder to the scenario's world and
+	// returns its histograms in ScenarioResult.Hists.
+	Trace bool
 }
 
 // DefaultScenarioOptions mirrors the loaded-host conditions of §9.2.
@@ -94,7 +102,7 @@ func RunScenario(wl workloads.Workload, cfg ScenarioConfig, opt ScenarioOptions)
 	if cfg == CfgErebor {
 		mode = kernel.ModeErebor
 	}
-	w, err := NewWorld(WorldConfig{Mode: mode, MemMB: opt.MemMB})
+	w, err := NewWorld(WorldConfig{Mode: mode, MemMB: opt.MemMB, Trace: opt.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +143,7 @@ func RunScenario(wl workloads.Workload, cfg ScenarioConfig, opt ScenarioOptions)
 	res.InitCycles = marks.initDone - startCycles
 	res.RunCycles = marks.runDone - marks.initDone
 	res.Output = string(marks.output)
+	res.Hists = w.Rec.Histograms()
 	return res, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // World is one fully booted simulated CVM.
@@ -25,6 +26,10 @@ type World struct {
 	QK   *attest.QuotingKey
 
 	Mode kernel.Mode
+
+	// Rec is the flight recorder shared by every layer of this world (nil
+	// when tracing is off).
+	Rec *trace.Recorder
 
 	bootCycles uint64
 }
@@ -40,6 +45,11 @@ type WorldConfig struct {
 	// same code must run without TDX (cpuid no longer raises #VE;
 	// attestation has no hardware root).
 	PlainGuest bool
+	// Trace attaches a flight recorder stamped on this world's virtual
+	// clock; every monitor/kernel/channel hook then records into it.
+	Trace bool
+	// TraceCapacity bounds the recorder's event ring (0 = default).
+	TraceCapacity int
 }
 
 // firmware is the measured boot firmware blob (OVMF stand-in).
@@ -62,6 +72,12 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	module.MeasureBoot("firmware", firmware)
 
 	w := &World{Phys: phys, M: m, TDX: module, Host: host, Mode: cfg.Mode}
+	if cfg.Trace {
+		// The recorder reads the machine clock but never charges it: a
+		// traced world and an untraced world run the same workload to the
+		// same cycle count.
+		w.Rec = trace.New(cfg.TraceCapacity, m.Clock.Now)
+	}
 
 	switch cfg.Mode {
 	case kernel.ModeErebor:
@@ -77,6 +93,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			return nil, fmt.Errorf("harness: monitor boot: %w", err)
 		}
 		w.Mon = mon
+		mon.Rec = w.Rec
 		img := kernel.BuildKernelImage(kernel.ImageOptions{Instrumented: true})
 		if _, err := mon.LoadKernel(img); err != nil {
 			return nil, fmt.Errorf("harness: kernel load: %w", err)
@@ -85,6 +102,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		if err != nil {
 			return nil, err
 		}
+		k.Rec = w.Rec
 		w.K = k
 
 	case kernel.ModeNative:
@@ -97,6 +115,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		if err != nil {
 			return nil, err
 		}
+		k.Rec = w.Rec
 		w.K = k
 
 	default:

@@ -22,6 +22,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // Mode selects the privilege configuration.
@@ -99,6 +100,10 @@ type Kernel struct {
 	// sharedIOFrames is the pool of CVM-shared frames used by the network
 	// proxy path.
 	sharedIO []mem.Frame
+
+	// Rec is the optional flight recorder shared with the monitor (nil =
+	// tracing disabled; hooks cost one nil compare).
+	Rec *trace.Recorder
 
 	Stats Stats
 }

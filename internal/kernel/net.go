@@ -7,6 +7,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // NetSend transmits a frame to the host NIC: the kernel copies the bytes
@@ -42,6 +43,7 @@ func (k *Kernel) NetSend(buf []byte) error {
 		rem = rem[n:]
 	}
 	k.M.Clock.Charge(costs.Copy(len(buf)))
+	k.Rec.Emit(trace.KindNetTx, trace.TrackKernel, "")
 	ret, err := k.priv.VMCall(c, tdx.VMCallNetTx, []uint64{uint64(len(buf))}, k.sharedIO, buf)
 	// NIC serialization / client-side receive processing.
 	k.M.Clock.Charge(costs.Wire(len(buf)))
@@ -69,6 +71,7 @@ func (k *Kernel) NetRecv() ([]byte, error) {
 	}
 	data := k.TDX.ConsumeInbound()
 	k.M.Clock.Charge(costs.Copy(len(data)))
+	k.Rec.Emit(trace.KindNetRx, trace.TrackKernel, "")
 	return data, nil
 }
 

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/asterisc-release/erebor-go/internal/abi"
 	"github.com/asterisc-release/erebor-go/internal/costs"
@@ -10,6 +11,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/task"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // Pid identifies a task.
@@ -231,7 +233,12 @@ func (k *Kernel) dispatch(t *Task) {
 			c.Regs.GPR[cpu.RDX] = ev.args[2]
 			c.Regs.GPR[cpu.R10] = ev.args[3]
 			c.Regs.GPR[cpu.R8] = ev.args[4]
+			sysStart := k.Rec.Now()
 			c.Deliver(&cpu.Trap{Vector: cpu.VecSyscall})
+			if k.Rec.Enabled() {
+				k.Rec.Span(trace.KindSyscall, trace.TrackKernel,
+					"syscall/"+strconv.FormatUint(ev.num, 10), sysStart)
+			}
 			if t.reapIfZombie() {
 				return
 			}
@@ -253,16 +260,19 @@ func (k *Kernel) dispatch(t *Task) {
 				// The walker distinguishes; the handler re-checks anyway.
 				reason = paging.FaultNotPresent
 			}
+			pfStart := k.Rec.Now()
 			c.Deliver(&cpu.Trap{
 				Vector: cpu.VecPF,
 				Fault:  &paging.Fault{Reason: reason, Addr: ev.va, Kind: ev.kind},
 			})
+			k.Rec.Span(trace.KindPageFault, trace.TrackKernel, "", pfStart)
 			if t.reapIfZombie() {
 				return
 			}
 
 		case evPreempt:
 			k.Stats.TimerTicks++
+			k.Rec.Emit(trace.KindTimerTick, trace.TrackKernel, "")
 			c.Deliver(&cpu.Trap{Vector: cpu.VecTimer})
 			if t.reapIfZombie() {
 				return

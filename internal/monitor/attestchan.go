@@ -9,6 +9,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // quoteIssuer binds the monitor + a core into secchan.ReportIssuer.
@@ -33,6 +34,7 @@ func (qi quoteIssuer) IssueQuote(reportData [tdx.ReportDataSize]byte) (*attest.Q
 			return err
 		}
 		mon.Stats.QuotesIssued++
+		mon.Rec.Emit(trace.KindQuote, trace.TrackMonitor, "")
 		q, err := mon.QK.Sign(report)
 		if err != nil {
 			return err
@@ -87,6 +89,7 @@ func (mon *Monitor) AcceptSession(c *cpu.Core, id SandboxID, tr secchan.Transpor
 	// request means the client is retrying because frames (possibly our
 	// response) were lost — re-send retained history.
 	rc.RetransmitOnDup = true
+	rc.Rec, rc.Track = mon.Rec, trace.TrackMonitor
 	sb.conn = rc
 	return nil
 }

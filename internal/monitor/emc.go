@@ -7,6 +7,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // ErrDenied is returned when the monitor's policy refuses an EMC request.
@@ -38,7 +39,16 @@ func (mon *Monitor) gate(c *cpu.Core, kind string, body func() error) error {
 
 	clock := &mon.M.Clock
 	gateStart := clock.Now()
-	defer func() { mon.Stats.CyclesByKind[kind] += clock.Now() - gateStart }()
+	// This defer runs after the exit-gate charge below, so both the
+	// CyclesByKind attribution and the recorded span cover the full EMC
+	// round trip — which is what lets trace histogram sums reconcile
+	// exactly against the Stats counters.
+	defer func() {
+		mon.Stats.CyclesByKind[kind] += clock.Now() - gateStart
+		if mon.Rec.Enabled() {
+			mon.Rec.Span(trace.KindEMC, trace.TrackMonitor, "emc/"+kind, gateStart)
+		}
+	}()
 	clock.Charge(costs.EMCEntryGate)
 	c.EnterMonitorMode(mon.tok)
 	c.RawWriteMSR(mon.tok, cpu.MSRPKRS, uint64(MonitorPKRS))

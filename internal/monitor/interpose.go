@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/asterisc-release/erebor-go/internal/abi"
 	"github.com/asterisc-release/erebor-go/internal/costs"
@@ -9,6 +10,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // intGate is the monitor-owned entry for every IDT vector (Fig 5c-right
@@ -17,6 +19,9 @@ import (
 func (mon *Monitor) intGate(c *cpu.Core, t *cpu.Trap) {
 	mon.M.Clock.Charge(costs.InterruptGate)
 	mon.Stats.InterposeCycles += costs.InterruptGate
+	if mon.Rec.Enabled() {
+		mon.Rec.Emit(trace.KindInterpose, trace.TrackMonitor, "vec/"+strconv.Itoa(int(t.Vector)))
+	}
 	// Exceptions and hardware interrupts re-cross the gate on the return
 	// edge (PKRS restore, Fig 5c-right b); the syscall path returns through
 	// the cheaper sysret stub.
@@ -86,6 +91,12 @@ func (mon *Monitor) containBadTransition(c *cpu.Core, t *cpu.Trap) {
 func (mon *Monitor) handleSandboxExit(c *cpu.Core, t *cpu.Trap, sb *sbState) {
 	sb.Exits++
 	mon.Stats.SandboxExits++
+	if mon.Rec.Enabled() {
+		// Span arguments bind now; Span itself runs (and reads the end
+		// timestamp) when the exit handling completes.
+		defer mon.Rec.Span(trace.KindSandboxExit, trace.SandboxTrack(int(sb.id)),
+			"sandbox/"+strconv.Itoa(int(sb.id))+"/exit", mon.Rec.Now())
+	}
 
 	// Exit-rate limiting (§11): a sandbox modulating its exit frequency to
 	// signal the OS gets killed once it exceeds the configured budget.

@@ -19,6 +19,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // Protection-key assignments (§5.2).
@@ -172,6 +173,12 @@ type Monitor struct {
 
 	// padBlock is the secure-channel padding granularity (0 = default).
 	padBlock int
+
+	// Rec is the optional flight recorder (nil = tracing disabled; every
+	// hook site is a single nil compare). The recorder reads the virtual
+	// clock but never charges it, so traced and untraced runs observe
+	// identical cycle counts.
+	Rec *trace.Recorder
 
 	// nextModuleVA places dynamically loaded kernel code.
 	nextModuleVA uint64
@@ -399,8 +406,10 @@ func (mon *Monitor) SetPreemptHook(h func(c *cpu.Core)) { mon.preemptHook = h }
 // record is available to operators via RuntimeViolations, and the monitor
 // keeps running.
 func (mon *Monitor) recordViolation(format string, args ...any) {
-	mon.violations = append(mon.violations, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	mon.violations = append(mon.violations, msg)
 	mon.Stats.RuntimeViolations++
+	mon.Rec.Emit(trace.KindViolation, trace.TrackMonitor, msg)
 }
 
 // RuntimeViolations returns the kernel-misbehavior events recorded at the

@@ -8,6 +8,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // SandboxID names an EREBOR-SANDBOX instance.
@@ -304,6 +305,7 @@ func (mon *Monitor) commonFaultFor(sb *sbState, va paging.Addr) (*commonRegion, 
 // prohibited exit. All confined memory is zeroed immediately.
 func (mon *Monitor) killSandbox(sb *sbState, reason string) {
 	mon.Stats.SandboxKills++
+	mon.Rec.Emit(trace.KindSandboxKill, trace.SandboxTrack(int(sb.id)), reason)
 	sb.killReason = reason
 	mon.scrubSandbox(sb)
 	sb.destroyed = true

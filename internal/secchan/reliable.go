@@ -3,6 +3,8 @@ package secchan
 import (
 	"errors"
 	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // Reliable wraps a Conn with data-shepherding resilience against a lossy,
@@ -44,6 +46,12 @@ type Reliable struct {
 	ooo     map[uint64][]byte // seq -> plaintext buffered ahead of order
 
 	Stats ReliableStats
+
+	// Rec, when non-nil, receives frame-level flight-recorder events on
+	// Track (trace.TrackClient or trace.TrackMonitor). Events never carry
+	// frame contents or lengths, so tracing cannot leak or perturb anything.
+	Rec   *trace.Recorder
+	Track int32
 }
 
 // ReliableStats counts what the resilience layer absorbed.
@@ -88,6 +96,7 @@ func (r *Reliable) Send(msg []byte) error {
 	r.c.sendSeq++
 	r.history[seq] = ct
 	r.Stats.Sent++
+	r.Rec.Emit(trace.KindFrameSend, r.Track, "")
 	for len(r.history) > r.HistoryCap {
 		delete(r.history, r.histLo)
 		r.histLo++
@@ -106,6 +115,7 @@ func (r *Reliable) Retransmit() {
 		}
 		if err := r.c.tr.Send(ct); err == nil {
 			r.Stats.Retransmits++
+			r.Rec.Emit(trace.KindFrameRetransmit, r.Track, "")
 		}
 	}
 }
@@ -121,6 +131,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 			delete(r.ooo, r.c.recvSeq)
 			r.c.recvSeq++
 			r.Stats.Delivered++
+			r.Rec.Emit(trace.KindFrameRecv, r.Track, "")
 			return msg, nil
 		}
 		ct, err := r.c.tr.Recv()
@@ -132,6 +143,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 			r.c.markAccepted(ct, r.c.recvSeq)
 			r.c.recvSeq++
 			r.Stats.Delivered++
+			r.Rec.Emit(trace.KindFrameRecv, r.Track, "")
 			return msg, nil
 		}
 		// Duplicate of something already consumed (network duplication or a
@@ -139,6 +151,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 		// responder it also means the peer may be missing our frames.
 		if r.c.wasAccepted(ct) {
 			r.Stats.Duplicates++
+			r.Rec.Emit(trace.KindFrameDrop, r.Track, "duplicate")
 			if r.RetransmitOnDup {
 				r.Retransmit()
 			}
@@ -155,6 +168,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 				r.c.markAccepted(ct, seq)
 				r.ooo[seq] = msg
 				r.Stats.Reordered++
+				r.Rec.Emit(trace.KindFrameDrop, r.Track, "reorder")
 				buffered = true
 				break
 			}
@@ -165,6 +179,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 		// Unauthenticatable at every admissible sequence number: hostile
 		// corruption/truncation. Drop it and keep draining.
 		r.Stats.Corrupt++
+		r.Rec.Emit(trace.KindFrameDrop, r.Track, "corrupt")
 	}
 }
 

@@ -1,0 +1,395 @@
+// Package trace is the simulation's flight recorder: a lock-cheap, bounded
+// ring buffer of typed events stamped on the virtual clock, with per-span
+// latency histograms (fixed log2 buckets in cycles) accumulated as spans
+// complete.
+//
+// Design constraints (DESIGN.md §9):
+//
+//   - Disabled must be free. Every hook site in the monitor/kernel/channel
+//     stack guards on a nil *Recorder, so the default configuration pays a
+//     single pointer compare per would-be event. All Recorder methods are
+//     additionally nil-safe, so optional plumbing never needs its own guard.
+//   - Tracing must not perturb the virtual clock. The recorder reads the
+//     clock (through the `now` closure it was built with) but never charges
+//     it: a traced run and an untraced run of the same workload observe
+//     identical cycle counts, which is what lets histogram totals reconcile
+//     exactly against Platform.Stats counters.
+//   - Bounded memory. The ring buffer overwrites the *oldest* events on
+//     wraparound and counts exactly how many were discarded (Dropped), so a
+//     long session keeps the newest window of activity — the flight-recorder
+//     contract. Histograms and counters are aggregates and never drop.
+//   - Deterministic exports. Snapshot order is buffer order; exporter output
+//     sorts every map traversal, so the same seed + workload produces
+//     byte-identical exports (asserted by the chaos determinism tests).
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Kind is the event taxonomy. Keep the names stable: they appear in both
+// exporters and in golden files.
+type Kind uint8
+
+// Event kinds recorded across the stack.
+const (
+	// KindEMC is an EREBOR-MONITOR-CALL gate span (label "emc/<kind>").
+	KindEMC Kind = iota
+	// KindSandboxExit is the monitor's handling of one sandbox exit (span).
+	KindSandboxExit
+	// KindSandboxKill is a C8 kill with its reason (instant).
+	KindSandboxKill
+	// KindInterpose is the monitor's #INT gate around a vector (instant).
+	KindInterpose
+	// KindSyscall is one kernel syscall dispatch (span, label "syscall/<n>").
+	KindSyscall
+	// KindPageFault is one kernel page-fault service (span).
+	KindPageFault
+	// KindTimerTick is a scheduler timer interrupt (instant).
+	KindTimerTick
+	// KindNetTx / KindNetRx are host-NIC GHCI crossings (instant).
+	KindNetTx
+	KindNetRx
+	// KindFrameSend / KindFrameRecv are reliable-layer record transmissions
+	// and in-order deliveries (instant).
+	KindFrameSend
+	KindFrameRecv
+	// KindFrameRetransmit is a history re-send (instant).
+	KindFrameRetransmit
+	// KindFrameDrop is a frame absorbed by the reliable layer (label
+	// "duplicate" | "corrupt" | "reorder").
+	KindFrameDrop
+	// KindFaultInject is an injected fault (label = fault class).
+	KindFaultInject
+	// KindQuote is an attestation quote issuance (instant).
+	KindQuote
+	// KindViolation is a recorded runtime violation (instant).
+	KindViolation
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindEMC:             "emc",
+	KindSandboxExit:     "sandbox-exit",
+	KindSandboxKill:     "sandbox-kill",
+	KindInterpose:       "interpose",
+	KindSyscall:         "syscall",
+	KindPageFault:       "page-fault",
+	KindTimerTick:       "timer-tick",
+	KindNetTx:           "net-tx",
+	KindNetRx:           "net-rx",
+	KindFrameSend:       "frame-send",
+	KindFrameRecv:       "frame-recv",
+	KindFrameRetransmit: "frame-retransmit",
+	KindFrameDrop:       "frame-drop",
+	KindFaultInject:     "fault-inject",
+	KindQuote:           "quote",
+	KindViolation:       "violation",
+}
+
+// String names the kind (stable; used by both exporters).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Export track identifiers: each becomes one named thread ("track") in the
+// Chrome trace. Sandboxes get their own tracks via SandboxTrack.
+const (
+	TrackMonitor int32 = 1
+	TrackKernel  int32 = 2
+	TrackClient  int32 = 3
+)
+
+// sandboxTrackBase offsets sandbox IDs into their own track range.
+const sandboxTrackBase int32 = 100
+
+// SandboxTrack maps a sandbox ID onto its export track.
+func SandboxTrack(id int) int32 { return sandboxTrackBase + int32(id) }
+
+// Event is one recorded occurrence. TS is the virtual-cycle timestamp of
+// the event's start; Dur is its length in cycles (0 for instants).
+type Event struct {
+	TS    uint64
+	Dur   uint64
+	Kind  Kind
+	Track int32
+	Label string
+}
+
+// DefaultCapacity is the ring-buffer size used when a configuration does
+// not specify one (~64k events; a full chaos session fits comfortably).
+const DefaultCapacity = 65536
+
+// Recorder is the flight recorder. The zero of *Recorder (nil) is a valid,
+// permanently disabled recorder: every method is nil-safe.
+type Recorder struct {
+	mu      sync.Mutex
+	now     func() uint64
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events in buf
+	dropped uint64
+
+	hists  map[string]*Histogram
+	counts map[string]uint64
+}
+
+// New builds a recorder with a bounded ring of capacity events, stamping
+// events with the supplied virtual-clock reader. capacity <= 0 selects
+// DefaultCapacity.
+func New(capacity int, now func() uint64) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		now:    now,
+		buf:    make([]Event, 0, capacity),
+		hists:  make(map[string]*Histogram),
+		counts: make(map[string]uint64),
+	}
+}
+
+// Enabled reports whether the recorder is live (hook-site convenience).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Now reads the recorder's virtual clock (0 on a nil recorder).
+func (r *Recorder) Now() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// countKey joins kind and label for the counter map ('|' cannot appear in
+// either).
+func countKey(kind Kind, label string) string {
+	if label == "" {
+		return kind.String()
+	}
+	return kind.String() + "|" + label
+}
+
+// append adds ev to the ring, overwriting the oldest event when full.
+func (r *Recorder) append(ev Event) {
+	r.counts[countKey(ev.Kind, ev.Label)]++
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		r.n++
+		return
+	}
+	// Wraparound: the slot holding the oldest event is recycled.
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % cap(r.buf)
+	r.dropped++
+}
+
+// Emit records an instant event at the current virtual time.
+func (r *Recorder) Emit(kind Kind, track int32, label string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.append(Event{TS: r.now(), Kind: kind, Track: track, Label: label})
+	r.mu.Unlock()
+}
+
+// Span records an event that began at start (virtual cycles) and ends now,
+// and feeds the duration into the histogram keyed by label (or the kind
+// name when label is empty). Durations are exact virtual-clock deltas, so
+// histogram sums reconcile against the cost-model counters.
+func (r *Recorder) Span(kind Kind, track int32, label string, start uint64) {
+	if r == nil {
+		return
+	}
+	end := r.now()
+	dur := uint64(0)
+	if end > start {
+		dur = end - start
+	}
+	key := label
+	if key == "" {
+		key = kind.String()
+	}
+	r.mu.Lock()
+	r.append(Event{TS: start, Dur: dur, Kind: kind, Track: track, Label: label})
+	h := r.hists[key]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[key] = h
+	}
+	h.Observe(dur)
+	r.mu.Unlock()
+}
+
+// Len reports the number of events currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped reports exactly how many events the ring discarded to wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the retained events oldest-first.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%cap(r.buf)])
+	}
+	return out
+}
+
+// Histograms copies the per-span latency histograms (key = span label,
+// e.g. "emc/mmu", "sandbox/1/exit", "syscall/16").
+func (r *Recorder) Histograms() map[string]Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Histogram, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = *h
+	}
+	return out
+}
+
+// Counts copies the event tallies (key = kind or "kind|label").
+func (r *Recorder) Counts() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset discards events, histograms, counters and the dropped count; the
+// capacity and clock binding are kept.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.start, r.n = 0, 0
+	r.dropped = 0
+	r.hists = make(map[string]*Histogram)
+	r.counts = make(map[string]uint64)
+}
+
+// --- histogram -----------------------------------------------------------------
+
+// NumBuckets is the fixed log2 bucket count. Bucket i holds durations d
+// with bits.Len64(d) == i: bucket 0 is exactly {0}, bucket i (i >= 1) is
+// [2^(i-1), 2^i). The last bucket absorbs everything longer (2^38 cycles
+// ≈ 130 simulated seconds — far beyond any single span).
+const NumBuckets = 40
+
+// Histogram is a fixed-log2-bucket latency histogram in virtual cycles.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d uint64) int {
+	i := bits.Len64(d)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper is the inclusive upper bound of bucket i in cycles
+// (math.MaxUint64 for the overflow bucket).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe adds one duration.
+func (h *Histogram) Observe(d uint64) {
+	if h.Count == 0 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Count++
+	h.Sum += d
+	h.Buckets[bucketOf(d)]++
+}
+
+// Mean is the average observed duration in cycles.
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound (in cycles) for the q-quantile: the
+// inclusive upper edge of the bucket where that quantile falls, clamped to
+// the observed Max. q outside (0,1] is clamped.
+func (h Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			up := BucketUpper(i)
+			if up > h.Max {
+				up = h.Max
+			}
+			return up
+		}
+	}
+	return h.Max
+}

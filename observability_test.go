@@ -1,0 +1,423 @@
+package erebor
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+)
+
+// echoUpper is the scripted workload every observability test drives: one
+// request in, its upper-cased echo out.
+func echoUpper(r *Runtime) {
+	in, err := r.ReceiveInput(4096)
+	if err != nil || in == nil {
+		return
+	}
+	if err := r.SendOutput(bytes.ToUpper(in)); err != nil {
+		return
+	}
+	r.EndSession()
+}
+
+// runTracedSession boots a traced platform (optionally with chaos), runs
+// one full echo session, and returns the platform.
+func runTracedSession(t *testing.T, chaos *ChaosConfig) *Platform {
+	t.Helper()
+	p, err := NewPlatform(PlatformConfig{
+		MemMB: 96,
+		Trace: TraceConfig{Enabled: true},
+		Chaos: chaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Launch(ContainerConfig{Name: "traced-svc", HeapPages: 64, Main: echoUpper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := p.Connect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendWithRetry([]byte("observability payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RecvWait(); err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+	return p
+}
+
+// Satellite: the documented "monitor not booted" path. A baseline platform
+// must report MonitorBooted=false with every monitor-derived field at its
+// zero value — not a silent partial snapshot.
+func TestStatsBaselineZeroValuePath(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{MemMB: 96, Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Launch(ContainerConfig{Name: "base-svc", HeapPages: 64, Main: echoUpper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushInput(c, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+
+	st := p.Stats()
+	if st.MonitorBooted {
+		t.Fatal("baseline platform reported MonitorBooted=true")
+	}
+	if st.EMCs != 0 || st.SandboxExits != 0 || st.SandboxKills != 0 ||
+		st.QuotesIssued != 0 || st.ChannelErrors != 0 || st.ChannelDuplicates != 0 ||
+		st.ChannelCorrupt != 0 || st.ChannelRetransmits != 0 || st.RuntimeViolations != 0 {
+		t.Fatalf("baseline platform leaked non-zero monitor fields: %+v", st)
+	}
+	if st.EMCByKind != nil || st.EMCCyclesByKind != nil {
+		t.Fatalf("baseline platform returned EMC maps: %+v", st)
+	}
+	if st.FaultInjection != nil {
+		t.Fatal("no chaos configured but FaultInjection non-nil")
+	}
+	// The kernel-side counters still work without the monitor.
+	if st.Syscalls == 0 || st.VirtualCycles == 0 {
+		t.Fatalf("kernel counters missing on baseline: %+v", st)
+	}
+}
+
+// Satellite: Stats must be JSON-serializable with stable snake_case names.
+func TestStatsJSONStableFieldNames(t *testing.T) {
+	p := runTracedSession(t, nil)
+	raw, err := json.Marshal(p.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"monitor_booted":true`, `"emcs":`, `"emc_by_kind":`, `"emc_cycles_by_kind":`,
+		`"sandbox_exits":`, `"sandbox_kills":`, `"quotes_issued":`, `"syscalls":`,
+		`"page_faults":`, `"timer_ticks":`, `"virtual_cycles":`, `"net_drops":`,
+		`"channel_errors":`, `"channel_duplicates":`, `"channel_corrupt":`,
+		`"channel_retransmits":`, `"runtime_violations":`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("Stats JSON missing %s:\n%s", key, raw)
+		}
+	}
+	if strings.Contains(string(raw), "fault_injection") {
+		t.Fatalf("fault_injection should be omitted without chaos:\n%s", raw)
+	}
+	// Round-trips.
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.EMCs != p.Stats().EMCs || !back.MonitorBooted {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	// Snapshot maps must not alias live monitor state.
+	st := p.Stats()
+	before := st.EMCByKind["nop"]
+	if err := p.Monitor().EMCNop(p.World().Core()); err != nil {
+		t.Fatal(err)
+	}
+	if st.EMCByKind["nop"] != before {
+		t.Fatal("Stats snapshot aliases the live EMCByKind map")
+	}
+}
+
+// Satellite: histogram accounting cross-check — the "emc/<kind>" span
+// histograms must reconcile exactly with the monitor's cycle attribution
+// and with costs.EMCRoundTrip for the empty call.
+func TestHistogramReconcilesWithStats(t *testing.T) {
+	p := runTracedSession(t, nil)
+
+	// A known quantum first: N empty EMCs cost exactly N*EMCRoundTrip.
+	core := p.World().Core()
+	h0 := p.Histograms()["emc/nop"]
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := p.Monitor().EMCNop(core); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1 := p.Histograms()["emc/nop"]
+	if h1.Count-h0.Count != n {
+		t.Fatalf("emc/nop count: got +%d want +%d", h1.Count-h0.Count, n)
+	}
+	if h1.Sum-h0.Sum != n*costs.EMCRoundTrip {
+		t.Fatalf("emc/nop cycles: got +%d want +%d", h1.Sum-h0.Sum, n*costs.EMCRoundTrip)
+	}
+
+	// Full reconciliation: every EMC kind's span histogram equals the
+	// Stats attribution, count and cycle sum both.
+	st := p.Stats()
+	hists := p.Histograms()
+	var totalCount, totalCycles uint64
+	for kind, cycles := range st.EMCCyclesByKind {
+		h, ok := hists["emc/"+kind]
+		if !ok {
+			t.Fatalf("no histogram for EMC kind %q", kind)
+		}
+		if h.Sum != cycles {
+			t.Fatalf("emc/%s: histogram sum %d != Stats cycles %d", kind, h.Sum, cycles)
+		}
+		if h.Count != st.EMCByKind[kind] {
+			t.Fatalf("emc/%s: histogram count %d != Stats count %d", kind, h.Count, st.EMCByKind[kind])
+		}
+		totalCount += h.Count
+		totalCycles += h.Sum
+	}
+	if totalCount != st.EMCs {
+		t.Fatalf("per-kind histogram counts sum to %d, Stats.EMCs = %d", totalCount, st.EMCs)
+	}
+	if totalCycles == 0 {
+		t.Fatal("no EMC cycles attributed at all")
+	}
+}
+
+// Tentpole acceptance: the recorder must never perturb the virtual clock —
+// a traced run and an untraced run of the same workload land on the same
+// cycle count and identical counters.
+func TestTracingIsClockNeutral(t *testing.T) {
+	run := func(enabled bool) Stats {
+		p, err := NewPlatform(PlatformConfig{
+			MemMB: 96, Trace: TraceConfig{Enabled: enabled},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := p.Launch(ContainerConfig{Name: "neutral-svc", HeapPages: 64, Main: echoUpper})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := p.Connect(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SendWithRetry([]byte("clock neutrality")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.RecvWait(); err != nil {
+			t.Fatal(err)
+		}
+		p.Run()
+		return p.Stats()
+	}
+	traced, untraced := run(true), run(false)
+	if traced.VirtualCycles != untraced.VirtualCycles {
+		t.Fatalf("tracing perturbed the clock: traced %d vs untraced %d cycles",
+			traced.VirtualCycles, untraced.VirtualCycles)
+	}
+	if traced.EMCs != untraced.EMCs || traced.Syscalls != untraced.Syscalls {
+		t.Fatalf("tracing perturbed counters: %+v vs %+v", traced, untraced)
+	}
+}
+
+// Satellite: recorder determinism — two chaos sessions with the same seed
+// produce byte-identical Chrome exports, and the per-class fault counters
+// surface through Stats.
+func TestChaosTraceDeterminism(t *testing.T) {
+	chaos := &ChaosConfig{Seed: 42, DropRate: 0.05, DuplicateRate: 0.05, CorruptRate: 0.03}
+	var exports [2][]byte
+	var stats [2]Stats
+	for i := range exports {
+		p := runTracedSession(t, chaos)
+		var buf bytes.Buffer
+		if err := p.ExportChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		exports[i] = buf.Bytes()
+		stats[i] = p.Stats()
+	}
+	if !bytes.Equal(exports[0], exports[1]) {
+		t.Fatal("same seed, same workload: Chrome exports differ")
+	}
+	if stats[0].FaultInjection == nil {
+		t.Fatal("chaos platform reported nil FaultInjection")
+	}
+	if *stats[0].FaultInjection != *stats[1].FaultInjection {
+		t.Fatalf("fault schedules diverged: %+v vs %+v", stats[0].FaultInjection, stats[1].FaultInjection)
+	}
+	if stats[0].FaultInjection.Passed == 0 {
+		t.Fatal("chaos session relayed no frames at all")
+	}
+
+	// The export is valid JSON with the documented shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(exports[0], &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome export has no events")
+	}
+	if _, ok := doc.OtherData["dropped_events"]; !ok {
+		t.Fatal("Chrome export missing dropped_events")
+	}
+}
+
+// Satellite: Prometheus export reconciles exactly with Platform.Stats and
+// trace counters — every fault-inject class line matches the injector's
+// tally, and the emc span histogram _count matches Stats.EMCs.
+func TestPrometheusReconcilesWithStats(t *testing.T) {
+	p := runTracedSession(t, &ChaosConfig{Seed: 7, DropRate: 0.08, DuplicateRate: 0.04})
+	st := p.Stats()
+	var buf bytes.Buffer
+	if err := p.ExportPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	find := func(line string) bool { return strings.Contains(text, line) }
+	if st.FaultInjection.Drops > 0 {
+		want := `erebor_trace_events_total{kind="fault-inject",label="drop"} ` +
+			uitoa(st.FaultInjection.Drops)
+		if !find(want) {
+			t.Fatalf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if st.FaultInjection.Duplicates > 0 {
+		want := `erebor_trace_events_total{kind="fault-inject",label="duplicate"} ` +
+			uitoa(st.FaultInjection.Duplicates)
+		if !find(want) {
+			t.Fatalf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+
+	// Per-kind EMC counts reconcile line by line.
+	for kind, n := range st.EMCByKind {
+		want := `erebor_span_cycles_count{span="emc/` + kind + `"} ` + uitoa(n)
+		if !find(want) {
+			t.Fatalf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+
+	// Trace counts agree with the injector exactly.
+	counts := p.TraceCounts()
+	if counts["fault-inject|drop"] != st.FaultInjection.Drops {
+		t.Fatalf("trace drop count %d != injector %d",
+			counts["fault-inject|drop"], st.FaultInjection.Drops)
+	}
+}
+
+// The exporters refuse politely when tracing is off, and the accessors are
+// nil-safe.
+func TestTraceDisabledAccessors(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{MemMB: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TraceEnabled() {
+		t.Fatal("tracing reported enabled on a default platform")
+	}
+	if p.TraceSnapshot() != nil || p.Histograms() != nil || p.TraceCounts() != nil {
+		t.Fatal("disabled recorder returned non-nil data")
+	}
+	if p.TraceDropped() != 0 || len(p.TraceSummaries()) != 0 {
+		t.Fatal("disabled recorder reported activity")
+	}
+	var buf bytes.Buffer
+	if err := p.ExportChromeTrace(&buf); err != ErrTracingDisabled {
+		t.Fatalf("ExportChromeTrace: got %v, want ErrTracingDisabled", err)
+	}
+	if err := p.ExportPrometheus(&buf); err != ErrTracingDisabled {
+		t.Fatalf("ExportPrometheus: got %v, want ErrTracingDisabled", err)
+	}
+}
+
+// TraceSummaries surfaces p50/p99 in both cycles and microseconds.
+func TestTraceSummaries(t *testing.T) {
+	p := runTracedSession(t, nil)
+	sums := p.TraceSummaries()
+	if len(sums) == 0 {
+		t.Fatal("no span summaries")
+	}
+	var sawEMC bool
+	for _, s := range sums {
+		if s.Count == 0 {
+			t.Fatalf("summary %q has zero count", s.Span)
+		}
+		if s.P50Cycles > s.P99Cycles {
+			t.Fatalf("summary %q: p50 %d > p99 %d", s.Span, s.P50Cycles, s.P99Cycles)
+		}
+		if strings.HasPrefix(s.Span, "emc/") {
+			sawEMC = true
+		}
+	}
+	if !sawEMC {
+		t.Fatalf("no emc/ span in summaries: %+v", sums)
+	}
+	// Sorted by span name.
+	for i := 1; i < len(sums); i++ {
+		if sums[i-1].Span >= sums[i].Span {
+			t.Fatalf("summaries not sorted: %q before %q", sums[i-1].Span, sums[i].Span)
+		}
+	}
+}
+
+// The ring stays bounded under a long workload: dropped events are counted
+// exactly and the snapshot keeps the newest events.
+func TestTraceRingBounded(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{
+		MemMB: 96, Trace: TraceConfig{Enabled: true, CapacityEvents: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := p.World().Core()
+	for i := 0; i < 100; i++ {
+		if err := p.Monitor().EMCNop(core); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := p.TraceSnapshot()
+	if len(evs) != 32 {
+		t.Fatalf("ring holds %d events, capacity 32", len(evs))
+	}
+	if p.TraceDropped() == 0 {
+		t.Fatal("overflowed ring reported zero drops")
+	}
+	if uint64(len(evs))+p.TraceDropped() != p.TraceCounts()["emc|emc/nop"]+bootEventCount(p) {
+		// Kept + dropped must equal everything ever emitted.
+		t.Fatalf("kept %d + dropped %d != emitted", len(evs), p.TraceDropped())
+	}
+	// Histograms never drop: all 100 nops (plus boot EMCs) are aggregated.
+	if h := p.Histograms()["emc/nop"]; h.Count < 100 {
+		t.Fatalf("histogram lost observations: %d < 100", h.Count)
+	}
+}
+
+// bootEventCount tallies every non-nop event the boot path emitted, so the
+// ring-conservation check above can account for the full stream.
+func bootEventCount(p *Platform) uint64 {
+	var total uint64
+	for k, v := range p.TraceCounts() {
+		if k != "emc|emc/nop" {
+			total += v
+		}
+	}
+	return total
+}
+
+// uitoa avoids pulling strconv into half the assertions above.
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
