@@ -9,6 +9,7 @@
 //	erebor-bench -exp table6        # workload execution statistics
 //	erebor-bench -exp fig10         # background server throughput
 //	erebor-bench -exp memshare      # memory-sharing savings
+//	erebor-bench -exp serve         # multi-tenant serving: warm pool vs cold
 //
 // -scale grows the workloads (1 = quick, 4 = closer to paper proportions).
 package main
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/serve"
 	"github.com/asterisc-release/erebor-go/internal/trace"
 	"github.com/asterisc-release/erebor-go/internal/workloads"
 	"github.com/asterisc-release/erebor-go/internal/workloads/graph"
@@ -35,7 +37,7 @@ import (
 var traceBench bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|all")
 	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
 	flag.BoolVar(&traceBench, "trace", false,
 		"attach the flight recorder to scenario runs and print p50/p99 span summaries as JSON")
@@ -74,6 +76,7 @@ func main() {
 	})
 	run("fig10", fig10)
 	run("memshare", func() error { return memshare(*scale) })
+	run("serve", func() error { return serveBench(*scale) })
 	run("ablations", ablations)
 
 	if traceBench && sets != nil {
@@ -252,6 +255,40 @@ func memshare(scale int) error {
 		fmt.Printf("llama x%-2d shared=%7.1fMB replicated=%7.1fMB savings/sandbox=%5.1f%%\n",
 			n, float64(res.SharedBytes)/(1<<20), float64(res.ReplicatedBytes)/(1<<20),
 			res.SavingsPerSandbox*100)
+	}
+	return nil
+}
+
+// serveBench sweeps the multi-tenant serving path over fleet sizes,
+// comparing warm-pool recycling against cold per-session sandbox creation.
+// Runs are deterministic: the same seed reproduces the same report bytes.
+func serveBench(scale int) error {
+	fmt.Printf("%-8s %-5s %10s %14s %12s %9s      (multi-tenant serving, warm pool vs cold create)\n",
+		"tenants", "mode", "sessions", "cycles/sess", "sessions/s", "recycles")
+	for _, n := range []int{1, 8, 64, 256} {
+		sessions := 2 * n * scale
+		memMB := uint64(256)
+		if n >= 64 {
+			memMB = uint64(256 + n*4)
+		}
+		for _, cold := range []bool{false, true} {
+			rep, err := serve.Run(serve.Config{
+				Tenants: n, Sessions: sessions, Seed: 1, MemMB: memMB, Cold: cold,
+			})
+			if err != nil {
+				return err
+			}
+			if rep.Completed != sessions {
+				return fmt.Errorf("serve n=%d cold=%v: %d/%d sessions completed (%d failed)",
+					n, cold, rep.Completed, sessions, rep.Failed)
+			}
+			mode := "warm"
+			if cold {
+				mode = "cold"
+			}
+			fmt.Printf("%-8d %-5s %10d %14d %12.1f %9d\n",
+				n, mode, rep.Completed, rep.CyclesPerSession, rep.SessionsPerSec, rep.Recycles)
+		}
 	}
 	return nil
 }

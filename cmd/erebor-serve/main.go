@@ -1,0 +1,101 @@
+// Command erebor-serve runs the multi-tenant session server on the
+// simulated Erebor platform: N concurrent remote tenants, each handled in
+// its own EREBOR-SANDBOX, all sharing one physical copy of the model bytes
+// through a common region, with finished sandbox carcasses recycled warm
+// for the next tenant.
+//
+//	erebor-serve -tenants 64 -sessions 256            # warm pool (default)
+//	erebor-serve -tenants 64 -sessions 256 -cold      # cold-create baseline
+//	erebor-serve -tenants 64 -chaos 0.05              # fault-injected fleet
+//	erebor-serve -tenants 8 -trace trace.json         # Chrome trace export
+//
+// Runs are deterministic: the same flags and seed reproduce the same report
+// bytes (and, fault-free, the same trace bytes). The report is printed as
+// JSON on stdout; a non-zero exit means the server itself failed to boot,
+// not that individual sessions failed (those are typed in the report).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
+	"github.com/asterisc-release/erebor-go/internal/serve"
+)
+
+func main() {
+	tenants := flag.Int("tenants", 8, "concurrent tenant slots")
+	sessions := flag.Int("sessions", 0, "total sessions to serve (default 2x tenants)")
+	seed := flag.Int64("seed", 1, "run seed (requests, fault schedule)")
+	memMB := flag.Uint64("mem", 0, "CVM memory in MiB (default sized to the fleet)")
+	inputBytes := flag.Int("input", 1024, "per-tenant request bytes")
+	modelKB := flag.Int("model", 64, "shared model size in KiB")
+	cold := flag.Bool("cold", false, "disable warm-pool recycling (cold-create every sandbox)")
+	chaos := flag.Float64("chaos", 0, "per-class fault rate on the untrusted hop (0 disables)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the run to this file")
+	quiet := flag.Bool("quiet", false, "print only the summary line, not the full JSON report")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Tenants:    *tenants,
+		Sessions:   *sessions,
+		Seed:       *seed,
+		MemMB:      *memMB,
+		InputBytes: *inputBytes,
+		ModelBytes: *modelKB << 10,
+		Cold:       *cold,
+		Trace:      *tracePath != "",
+	}
+	if cfg.Sessions == 0 {
+		cfg.Sessions = 2 * cfg.Tenants
+	}
+	if cfg.MemMB == 0 && *tenants >= 64 {
+		cfg.MemMB = uint64(256 + *tenants*4)
+	}
+	if *chaos > 0 {
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		plan := faultinject.Uniform(cs, *chaos)
+		cfg.Chaos = &plan
+	}
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "erebor-serve: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "erebor-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.World().Rec.ExportChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *quiet {
+		fmt.Printf("tenants=%d sessions=%d completed=%d failed=%d warm=%d recycles=%d cycles/session=%d sessions/s=%.1f\n",
+			rep.Tenants, rep.Sessions, rep.Completed, rep.Failed,
+			rep.WarmSessions, rep.Recycles, rep.CyclesPerSession, rep.SessionsPerSec)
+		return
+	}
+	os.Stdout.Write(rep.JSON())
+	fmt.Println()
+}

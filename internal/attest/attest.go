@@ -64,7 +64,16 @@ func (q *QuotingKey) Sign(r *tdx.Report) (*Quote, error) {
 	if err != nil {
 		return nil, fmt.Errorf("attest: signing report: %w", err)
 	}
-	return &Quote{Report: *r, SigR: rr.Bytes(), SigS: ss.Bytes()}, nil
+	// Fixed-width serialization: big.Int.Bytes() strips leading zeros, which
+	// would make quote (and thus handshake frame) lengths vary run to run.
+	// Deterministic frame lengths are what keep seeded fault-injection
+	// schedules aligned across replays, so pad to the curve width.
+	width := (q.priv.Curve.Params().BitSize + 7) / 8
+	return &Quote{
+		Report: *r,
+		SigR:   rr.FillBytes(make([]byte, width)),
+		SigS:   ss.FillBytes(make([]byte, width)),
+	}, nil
 }
 
 // Verify checks the quote signature against pub and, if expectedMRTD is

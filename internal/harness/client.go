@@ -53,7 +53,11 @@ func (cl *Client) Start() error {
 		return err
 	}
 	cl.hello, cl.priv = hello, priv
-	return cl.tr.Send(secchan.EncodeHello(hello))
+	frame, err := secchan.EncodeHello(hello)
+	if err != nil {
+		return err
+	}
+	return cl.tr.Send(frame)
 }
 
 // Finish consumes the server hello, verifies the quote (signature, MRTD,

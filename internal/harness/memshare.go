@@ -93,7 +93,11 @@ func measureFleet(wl workloads.Workload, n int, mode kernel.Mode) (uint64, error
 					Alloc: func(sz int) paging.Addr {
 						va, aerr := os.Alloc(sz)
 						if aerr != nil {
-							panic(aerr)
+							// A panic here would unwind the coroutine as an
+							// untyped task error; Fatal terminates the task
+							// with a typed reason through the monitor's
+							// kill path instead.
+							e.Fatal(137, "confined alloc failed: "+aerr.Error())
 						}
 						return va
 					},

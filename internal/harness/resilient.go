@@ -99,6 +99,10 @@ func (s *Session) ConnectResilient(acc Acceptor, pol RetryPolicy) error {
 		pol.MaxAttempts, lastErr, secchan.ErrTimeout)
 }
 
+// DrainAll discards every in-flight frame on the session's hops (the
+// serving path flushes failed handshake attempts through it).
+func (s *Session) DrainAll() { s.drainAll() }
+
 // drainAll discards every in-flight frame on the session's hops: relay
 // whatever the proxy holds, then empty both endpoints. Stale handshake
 // frames must not be mistaken for the next attempt's hello.

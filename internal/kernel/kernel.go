@@ -241,6 +241,35 @@ func (k *Kernel) SpawnSandboxed(name string, owner mem.Owner, budgetPages uint64
 	return t, sbid, nil
 }
 
+// RecycleSandbox hands a finished sandbox back to the monitor's warm pool:
+// the monitor scrubs the confined frames and mints a fresh SandboxID while
+// the address space, installed PTEs and pinned frames survive for the next
+// tenant. The hosting task is rebound to the new identity.
+func (k *Kernel) RecycleSandbox(t *Task) (monitor.SandboxID, error) {
+	if k.Mode != ModeErebor {
+		return 0, fmt.Errorf("kernel: sandbox recycle requires Erebor mode")
+	}
+	if t.P.Sandbox == 0 {
+		return 0, fmt.Errorf("kernel: task %q hosts no sandbox", t.Name)
+	}
+	id, err := k.Mon.EMCRecycleSandbox(k.core(), t.P.Sandbox)
+	if err != nil {
+		return 0, err
+	}
+	t.P.Sandbox = id
+	return id, nil
+}
+
+// KillTask terminates a task from the scheduler side with a typed reason
+// (server-driven teardown of a session worker). The task's sandbox, if any,
+// is ended through the monitor so its memory is scrubbed and released.
+func (k *Kernel) KillTask(t *Task, code int, reason string) {
+	if t.P.Sandbox != 0 && k.Mode == ModeErebor {
+		_ = k.Mon.EMCSandboxEnd(k.core(), t.P.Sandbox)
+	}
+	t.exitLocked(code, reason)
+}
+
 // AllocSharedIO converts n frames from the shared-io region to CVM-shared
 // for the proxy/network path.
 func (k *Kernel) AllocSharedIO(n int) error {

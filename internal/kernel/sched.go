@@ -163,6 +163,15 @@ type evUIPI struct{ target uint64 }
 
 type evVE struct{ detail string }
 
+// evFatal is a task-side unrecoverable failure (Env.Fatal): the scheduler
+// terminates the task with a typed reason and, when the task hosts a
+// sandbox, routes the teardown through the monitor's kill/violation path so
+// confined memory is scrubbed.
+type evFatal struct {
+	code   int
+	reason string
+}
+
 // --- scheduler ------------------------------------------------------------------
 
 // Runnable reports whether any task can make progress.
@@ -187,6 +196,25 @@ func (k *Kernel) StepOne() bool {
 		k.runq = k.runq[1:]
 		if t.State != TaskRunnable {
 			continue
+		}
+		k.dispatch(t)
+		return true
+	}
+	return false
+}
+
+// StepPid dispatches one slice of a specific task if it is queued and
+// runnable. The serving path uses it to round-robin across many tenant
+// tasks deterministically (fair stepping regardless of runq order). Returns
+// false when the task is not currently dispatchable.
+func (k *Kernel) StepPid(pid Pid) bool {
+	for i, t := range k.runq {
+		if t.Pid != pid {
+			continue
+		}
+		k.runq = append(k.runq[:i], k.runq[i+1:]...)
+		if t.State != TaskRunnable {
+			return false
 		}
 		k.dispatch(t)
 		return true
@@ -322,6 +350,15 @@ func (k *Kernel) dispatch(t *Task) {
 			if t.reapIfZombie() {
 				return
 			}
+
+		case evFatal:
+			t.exitLocked(ev.code, ev.reason)
+			if t.P.Sandbox != 0 && k.Mode == ModeErebor && k.Mon != nil {
+				// Scrub-and-kill through the monitor so the failure is
+				// contained exactly like any other sandbox violation.
+				k.Mon.EMCKillSandbox(c, t.P.Sandbox, ev.reason)
+			}
+			return
 
 		case evExit:
 			t.exitLockedNoKill(ev.code, "")
@@ -662,3 +699,15 @@ func (e *Env) SpawnThread(name string, fn func(e *Env)) Pid {
 
 // Yield gives up the remainder of the time slice.
 func (e *Env) YieldCPU() { e.Syscall(abi.SysYield) }
+
+// Fatal terminates the calling task with a typed exit reason instead of
+// panicking out of the coroutine. If the task hosts a sandbox, the monitor
+// kills and scrubs it (the normal violation path), so a library failure
+// inside a spawned task surfaces as a typed session error, never a panic.
+// Fatal does not return.
+func (e *Env) Fatal(code int, reason string) {
+	e.y.Yield(evFatal{code: code, reason: reason})
+	// The scheduler kills the coroutine at that yield; resuming here is a
+	// scheduler bug.
+	panic("kernel: Fatal task resumed after termination")
+}

@@ -77,7 +77,11 @@ func (mon *Monitor) AcceptSession(c *cpu.Core, id SandboxID, tr secchan.Transpor
 	if err != nil {
 		return err
 	}
-	if err := tr.Send(secchan.EncodeServerHello(sh)); err != nil {
+	shFrame, err := secchan.EncodeServerHello(sh)
+	if err != nil {
+		return err
+	}
+	if err := tr.Send(shFrame); err != nil {
 		return err
 	}
 	conn, err := keys.Conn(tr, mon.padBlock)
@@ -135,9 +139,11 @@ func (mon *Monitor) pumpChannel(sb *sbState) {
 }
 
 // ChannelStats aggregates the resilience-layer counters across every
-// sandbox channel (live and ended) for the platform stats surface.
+// sandbox channel — live, ended and recycled — for the platform stats
+// surface. Retired channels (warm-pool recycle, session end) contribute
+// through the monitor-wide retired aggregate.
 func (mon *Monitor) ChannelStats() secchan.ReliableStats {
-	var total secchan.ReliableStats
+	total := mon.retiredChan
 	for _, sb := range mon.sandboxes {
 		if sb.conn == nil {
 			continue

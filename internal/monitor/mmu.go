@@ -163,13 +163,71 @@ func (mon *Monitor) EMCMapUser(c *cpu.Core, asid ASID, va paging.Addr, f mem.Fra
 }
 
 // EMCMapUserBatch installs many mappings under a single gate crossing (the
-// batched-MMU-update optimization the paper suggests for fork-heavy loads).
+// batched-MMU-update optimization the paper suggests for fork-heavy loads,
+// §9.1). The batch is atomic: every request is validated against the
+// mapping policy before any PTE is touched, and a commit-phase failure
+// (e.g. page-table-page exhaustion) rolls back the already-installed
+// prefix. A failing batch therefore leaves the address space exactly as it
+// was, and PTEWrites counts only PTE writes that physically happened
+// (installs plus their undos) — never mappings that do not exist.
 func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error {
 	return mon.gate(c, "mmu", func() error {
+		as, ok := mon.addrSpaces[asid]
+		if !ok {
+			return denied("map-user", "unknown address space %d", asid)
+		}
+		// Phase 1: validate the whole batch. Nothing is charged and nothing
+		// is written until every request passes.
 		for _, r := range reqs {
-			if err := mon.mapUserLocked(asid, r.VA, r.Frame, r.Flags); err != nil {
+			if r.VA >= UserTop || r.VA < UserBase {
+				return denied("map-user", "va %#x outside user range", r.VA)
+			}
+			if err := mon.userFramePolicy("map-user", as, r.Frame, &r.Flags); err != nil {
 				return err
 			}
+		}
+		// Phase 2: commit, snapshotting each slot's prior leaf and frame so
+		// a structural failure can restore the prefix in reverse order.
+		type undo struct {
+			va       paging.Addr
+			hadLeaf  bool
+			prevLeaf paging.PTE
+			hadFrame bool
+			prevF    mem.Frame
+		}
+		installed := make([]undo, 0, len(reqs))
+		rollback := func() {
+			for i := len(installed) - 1; i >= 0; i-- {
+				u := installed[i]
+				if u.hadLeaf {
+					_ = as.tables.Map(u.va, u.prevLeaf)
+				} else {
+					_ = as.tables.Unmap(u.va)
+				}
+				mon.Stats.PTEWrites++
+				mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+				if u.hadFrame {
+					as.userFrames[u.va] = u.prevF
+				} else {
+					delete(as.userFrames, u.va)
+				}
+			}
+		}
+		for _, r := range reqs {
+			va := paging.PageBase(r.VA)
+			u := undo{va: va}
+			if pte, _, fault := as.tables.Walk(va); fault == nil && pte.Is(paging.Present) {
+				u.hadLeaf, u.prevLeaf = true, pte
+			}
+			u.prevF, u.hadFrame = as.userFrames[va]
+			if err := as.tables.Map(r.VA, leafFor(r.Frame, r.Flags)); err != nil {
+				rollback()
+				return err
+			}
+			mon.Stats.PTEWrites++
+			mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+			as.userFrames[va] = r.Frame
+			installed = append(installed, u)
 		}
 		return nil
 	})

@@ -1,0 +1,285 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+)
+
+// Regression tests for the atomic batched-MMU contract: EMCMapUserBatch
+// either installs every requested mapping or none of them, and PTEWrites
+// only ever counts writes that physically happened.
+
+func mustAlloc(t *testing.T, mon *Monitor, owner mem.Owner) mem.Frame {
+	t.Helper()
+	f, err := mon.M.Phys.Alloc(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestMapUserBatchValidationAtomic: a policy violation anywhere in the batch
+// — here the last request maps a frame owned by a different task — must
+// reject the whole batch before any PTE is touched.
+func TestMapUserBatchValidationAtomic(t *testing.T) {
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good1 := mustAlloc(t, mon, owner)
+	good2 := mustAlloc(t, mon, owner)
+	foreign := mustAlloc(t, mon, mem.OwnerTaskBase+2)
+
+	as := mon.addrSpaces[asid]
+	pteBefore := mon.Stats.PTEWrites
+	framesBefore := len(as.userFrames)
+
+	reqs := []MapReq{
+		{VA: 0x10_0000, Frame: good1, Flags: MapFlags{Writable: true}},
+		{VA: 0x10_1000, Frame: good2, Flags: MapFlags{Writable: true}},
+		{VA: 0x10_2000, Frame: foreign, Flags: MapFlags{Writable: true}},
+	}
+	if err := mon.EMCMapUserBatch(c, asid, reqs); err == nil {
+		t.Fatal("batch with a foreign-owned frame was accepted")
+	}
+	if got := mon.Stats.PTEWrites; got != pteBefore {
+		t.Fatalf("validation failure wrote PTEs: %d -> %d", pteBefore, got)
+	}
+	if got := len(as.userFrames); got != framesBefore {
+		t.Fatalf("validation failure changed installed mappings: %d -> %d", framesBefore, got)
+	}
+	for _, r := range reqs {
+		if _, _, fault := as.tables.Walk(r.VA); fault == nil {
+			t.Fatalf("va %#x mapped by a failed batch", r.VA)
+		}
+	}
+}
+
+// TestMapUserBatchRollbackOnCommitFailure: when the commit phase fails
+// structurally (page-table-page exhaustion partway through), the installed
+// prefix is rolled back — including restoring a leaf the batch overwrote —
+// and PTEWrites counts exactly the writes that happened (installs + undos).
+func TestMapUserBatchRollbackOnCommitFailure(t *testing.T) {
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mon.addrSpaces[asid]
+
+	orig := mustAlloc(t, mon, owner)
+	repl := mustAlloc(t, mon, owner)
+	fresh := mustAlloc(t, mon, owner)
+	far := mustAlloc(t, mon, owner)
+
+	// Pre-map the leaf the batch will overwrite; this also builds the page
+	// tables for the 0x10_xxxx region.
+	if err := mon.EMCMapUser(c, asid, 0x10_0000, orig, MapFlags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exhaust the monitor's reserved pool so the next page-table-page
+	// allocation fails.
+	for {
+		if _, err := mon.M.Phys.AllocRegion(RegionMonitor, mem.OwnerMonitor); err != nil {
+			break
+		}
+	}
+
+	pteBefore := mon.Stats.PTEWrites
+	framesBefore := len(as.userFrames)
+
+	reqs := []MapReq{
+		// Overwrites the existing leaf (same leaf table: no PTP needed).
+		{VA: 0x10_0000, Frame: repl, Flags: MapFlags{Writable: true}},
+		// Fresh slot in the same leaf table: no PTP needed.
+		{VA: 0x10_1000, Frame: fresh, Flags: MapFlags{Writable: true}},
+		// Different 2 MiB region: needs a new PTP, which must fail.
+		{VA: 0x4000_0000, Frame: far, Flags: MapFlags{Writable: true}},
+	}
+	if err := mon.EMCMapUserBatch(c, asid, reqs); err == nil {
+		t.Fatal("batch committed despite page-table exhaustion")
+	}
+
+	// The overwritten leaf is restored to the original frame.
+	pte, _, fault := as.tables.Walk(0x10_0000)
+	if fault != nil {
+		t.Fatal("pre-existing mapping lost by rollback")
+	}
+	if pte.Frame() != orig {
+		t.Fatalf("rollback restored frame %d, want %d", pte.Frame(), orig)
+	}
+	if as.userFrames[0x10_0000] != orig {
+		t.Fatalf("userFrames[0x10_0000] = %d, want %d", as.userFrames[0x10_0000], orig)
+	}
+	// The fresh slot is gone again.
+	if _, _, fault := as.tables.Walk(0x10_1000); fault == nil {
+		t.Fatal("rolled-back mapping still present at 0x10_1000")
+	}
+	if _, ok := as.userFrames[0x10_1000]; ok {
+		t.Fatal("rolled-back mapping still accounted at 0x10_1000")
+	}
+	if got := len(as.userFrames); got != framesBefore {
+		t.Fatalf("failed batch changed installed mappings: %d -> %d", framesBefore, got)
+	}
+	// Two installs happened and two undos reverted them: exactly 4 physical
+	// PTE writes, zero surviving mappings.
+	if got := mon.Stats.PTEWrites - pteBefore; got != 4 {
+		t.Fatalf("PTEWrites delta = %d, want 4 (2 installs + 2 undos)", got)
+	}
+}
+
+// TestMapUserBatchCommits: the success path installs everything and counts
+// one PTE write per request.
+func TestMapUserBatchCommits(t *testing.T) {
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mon.addrSpaces[asid]
+
+	var reqs []MapReq
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, MapReq{
+			VA:    paging.Addr(0x10_0000 + i*mem.PageSize),
+			Frame: mustAlloc(t, mon, owner),
+			Flags: MapFlags{Writable: true},
+		})
+	}
+	pteBefore := mon.Stats.PTEWrites
+	if err := mon.EMCMapUserBatch(c, asid, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Stats.PTEWrites - pteBefore; got != 8 {
+		t.Fatalf("PTEWrites delta = %d, want 8", got)
+	}
+	for _, r := range reqs {
+		pte, _, fault := as.tables.Walk(r.VA)
+		if fault != nil || pte.Frame() != r.Frame {
+			t.Fatalf("va %#x not mapped to frame %d after batch", r.VA, r.Frame)
+		}
+		if as.userFrames[r.VA] != r.Frame {
+			t.Fatalf("userFrames[%#x] not recorded", r.VA)
+		}
+	}
+}
+
+// TestRecycleSandboxScrubsAndTransfers: EMCRecycleSandbox is the warm-pool
+// core — the next tenant inherits the carcass (AS, pinned frames, PTE
+// templates) but must never see the previous tenant's bytes or identity.
+func TestRecycleSandboxScrubsAndTransfers(t *testing.T) {
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := mon.EMCCreateSandbox(c, asid, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const confVA = paging.Addr(0x2000_0000)
+	if err := mon.EMCDeclareConfined(c, id, confVA, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.EMCCommonCreate(c, "recycle-model", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.EMCCommonAttach(c, id, "recycle-model", 0x4000_0000, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant secret lands in a confined frame.
+	sb := mon.sandboxes[id]
+	secret := bytes.Repeat([]byte{0xA5}, 64)
+	f0 := sb.confinedFrames[0]
+	if err := mon.M.Phys.WritePhys(f0.Base(), secret); err != nil {
+		t.Fatal(err)
+	}
+
+	pagesBefore := sb.usedPages
+	framesBefore := append([]mem.Frame(nil), sb.confinedFrames...)
+
+	newID, err := mon.EMCRecycleSandbox(c, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID == id {
+		t.Fatal("recycle reissued the same sandbox identity")
+	}
+
+	// Old identity is fully retired.
+	if _, ok := mon.sandboxes[id]; ok {
+		t.Fatal("old sandbox identity survived recycling")
+	}
+	ns := mon.sandboxes[newID]
+	if ns == nil || ns.asid != asid {
+		t.Fatal("recycled sandbox not rehosted on the same address space")
+	}
+	if got := mon.sandboxByAS(asid); got == nil || got.id != newID {
+		t.Fatal("address-space index does not resolve to the new identity")
+	}
+
+	// Zero-on-recycle: every confined frame is scrubbed but stays allocated,
+	// pinned, and owned (in the single-mapping index) by the new identity.
+	for i, f := range ns.confinedFrames {
+		if f != framesBefore[i] {
+			t.Fatalf("confined frame %d replaced during recycle", i)
+		}
+		buf := make([]byte, mem.PageSize)
+		if err := mon.M.Phys.ReadPhys(f.Base(), buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range buf {
+			if b != 0 {
+				t.Fatalf("confined frame %d not zeroed on recycle", f)
+			}
+		}
+		if meta, _ := mon.M.Phys.Meta(f); !meta.Pinned {
+			t.Fatalf("confined frame %d lost its pin", f)
+		}
+		if mon.confinedOwner[f] != newID {
+			t.Fatalf("confinedOwner[%d] = %d, want %d", f, mon.confinedOwner[f], newID)
+		}
+	}
+	if ns.usedPages != pagesBefore {
+		t.Fatalf("budget accounting changed: %d -> %d", pagesBefore, ns.usedPages)
+	}
+	if ns.dataInstalled {
+		t.Fatal("recycled sandbox still marked data-installed")
+	}
+
+	// Common attachments follow the new identity.
+	cr := mon.commons["recycle-model"]
+	for i := range cr.attached {
+		if cr.attached[i].sb == id {
+			t.Fatal("common attachment still references the retired identity")
+		}
+	}
+	found := false
+	for i := range cr.attached {
+		if cr.attached[i].sb == newID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("common attachment not transferred to the new identity")
+	}
+
+	// The security audit still holds after recycling.
+	if v := mon.Audit(); len(v) != 0 {
+		t.Fatalf("audit violations after recycle: %v", v)
+	}
+}

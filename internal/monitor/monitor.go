@@ -18,6 +18,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/paging"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
 	"github.com/asterisc-release/erebor-go/internal/trace"
 )
@@ -87,8 +88,12 @@ type Stats struct {
 	SyscallInterpositions uint64
 	SandboxExits          uint64
 	SandboxKills          uint64
-	UserCopies            uint64
-	QuotesIssued          uint64
+	// SandboxRecycles counts warm-pool reissues: a finished sandbox scrubbed
+	// and handed to the next tenant with its address space, installed PTEs
+	// and pinned confined frames intact.
+	SandboxRecycles uint64
+	UserCopies      uint64
+	QuotesIssued    uint64
 	// RuntimeViolations counts kernel misbehavior at the interpose boundary
 	// (unregistered handlers, malformed transitions) that the monitor
 	// recorded and contained instead of crashing.
@@ -186,6 +191,11 @@ type Monitor struct {
 	// debugOut is the DebugFS-emulation output queue used when a sandbox
 	// has no live secure channel (paper §7 evaluation setup).
 	debugOut [][]byte
+
+	// retiredChan accumulates resilience-layer counters of channels whose
+	// sandbox was recycled or ended, so ChannelStats stays a whole-history
+	// aggregate across warm-pool reuse.
+	retiredChan secchan.ReliableStats
 
 	// violations records kernel misbehavior observed at the interpose
 	// boundary. The untrusted kernel misregistering handlers is an attack

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"github.com/asterisc-release/erebor-go/internal/costs"
 	"github.com/asterisc-release/erebor-go/internal/cpu"
@@ -76,9 +77,13 @@ type sbState struct {
 	rateWindowExits uint64
 }
 
+// sandboxByAS resolves the live sandbox hosted by an address space.
+// Destroyed carcasses are skipped: with warm-pool recycling an address
+// space outlives sandbox identities, and map-iteration order must never
+// decide which corpse wins (determinism).
 func (mon *Monitor) sandboxByAS(asid ASID) *sbState {
 	for _, sb := range mon.sandboxes {
-		if sb.asid == asid {
+		if sb.asid == asid && !sb.destroyed {
 			return sb
 		}
 	}
@@ -94,6 +99,9 @@ type SandboxInfo struct {
 	Destroyed     bool
 	KillReason    string
 	Exits         uint64
+	Faults        uint64
+	InputMsgs     uint64
+	OutputMsgs    uint64
 }
 
 // SandboxInfo returns a snapshot of a sandbox's state.
@@ -105,7 +113,8 @@ func (mon *Monitor) SandboxInfo(id SandboxID) (SandboxInfo, bool) {
 	return SandboxInfo{
 		ID: sb.id, ASID: sb.asid, ConfinedPages: sb.usedPages,
 		DataInstalled: sb.dataInstalled, Destroyed: sb.destroyed,
-		KillReason: sb.killReason, Exits: sb.Exits,
+		KillReason: sb.killReason, Exits: sb.Exits, Faults: sb.Faults,
+		InputMsgs: sb.InputMsgs, OutputMsgs: sb.OutputMsgs,
 	}, true
 }
 
@@ -325,6 +334,86 @@ func (mon *Monitor) scrubSandbox(sb *sbState) {
 	sb.pendingInput = nil
 }
 
+// EMCKillSandbox lets the kernel route an unrecoverable failure inside a
+// hosting task through the monitor's C8 kill path (scrub + notify). The
+// untrusted kernel can already deny service to any sandbox, so this EMC
+// grants no new authority — it only makes the teardown typed and scrubbed.
+func (mon *Monitor) EMCKillSandbox(c *cpu.Core, id SandboxID, reason string) {
+	_ = mon.gate(c, "sandbox", func() error {
+		sb, ok := mon.sandboxes[id]
+		if !ok || sb.destroyed {
+			return nil
+		}
+		mon.killSandbox(sb, reason)
+		return nil
+	})
+}
+
+// EMCRecycleSandbox retires a finished sandbox and reissues its warm
+// carcass to the next tenant under a fresh identity. The expensive parts of
+// sandbox construction — the address space, the installed confined PTEs,
+// the pinned CMA frames — survive; what the next tenant must never see does
+// not: every confined frame is zeroed, registers are scrubbed, the secure
+// channel and pending input are dropped, and the single-mapping ownership
+// index is rewritten to the new identity. Returns the new SandboxID.
+func (mon *Monitor) EMCRecycleSandbox(c *cpu.Core, id SandboxID) (SandboxID, error) {
+	var newID SandboxID
+	err := mon.gate(c, "sandbox", func() error {
+		sb, ok := mon.sandboxes[id]
+		if !ok || sb.destroyed {
+			return denied("recycle-sandbox", "no live sandbox %d", id)
+		}
+		// Zero-on-recycle: confined frames stay allocated, pinned and
+		// mapped, but their contents are gone before re-issue.
+		mon.scrubSandbox(sb)
+		mon.retireChannel(sb)
+		mon.nextSBID++
+		newID = mon.nextSBID
+		ns := &sbState{
+			id: newID, asid: sb.asid, owner: sb.owner,
+			budgetPages: sb.budgetPages, usedPages: sb.usedPages,
+			confined: sb.confined, confinedLeaf: sb.confinedLeaf,
+			confinedFrames: sb.confinedFrames, commons: sb.commons,
+		}
+		for _, f := range ns.confinedFrames {
+			mon.confinedOwner[f] = newID
+		}
+		for name := range ns.commons {
+			cr := mon.commons[name]
+			for i := range cr.attached {
+				if cr.attached[i].sb == id {
+					cr.attached[i].sb = newID
+				}
+			}
+		}
+		// Retire the old identity completely so the per-AS index never sees
+		// two sandboxes on one address space.
+		delete(mon.sandboxes, id)
+		mon.sandboxes[newID] = ns
+		mon.Stats.SandboxRecycles++
+		mon.Rec.Emit(trace.KindSandboxRecycle, trace.SandboxTrack(int(newID)),
+			fmt.Sprintf("recycle %d->%d", id, newID))
+		return nil
+	})
+	return newID, err
+}
+
+// retireChannel folds a sandbox channel's resilience counters into the
+// monitor-wide retired aggregate and drops the channel state.
+func (mon *Monitor) retireChannel(sb *sbState) {
+	if sb.conn == nil {
+		return
+	}
+	s := sb.conn.Stats
+	mon.retiredChan.Sent += s.Sent
+	mon.retiredChan.Delivered += s.Delivered
+	mon.retiredChan.Duplicates += s.Duplicates
+	mon.retiredChan.Corrupt += s.Corrupt
+	mon.retiredChan.Reordered += s.Reordered
+	mon.retiredChan.Retransmits += s.Retransmits
+	sb.conn = nil
+}
+
 // EMCSandboxEnd terminates a client session cleanly: results already sent,
 // the monitor zeroes the sandbox's memory (§6.3 cleanup) and releases the
 // confined frames.
@@ -344,6 +433,7 @@ func (mon *Monitor) endSandboxLocked(sb *sbState, reason string) {
 		return
 	}
 	mon.scrubSandbox(sb)
+	mon.retireChannel(sb)
 	as := mon.addrSpaces[sb.asid]
 	for va, f := range sb.confined {
 		if as != nil {

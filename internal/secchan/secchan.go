@@ -192,6 +192,51 @@ func (p *Proxy) PumpOnce() bool {
 	return moved
 }
 
+// MuxProxy drives many per-session relays as one unit: each pump round
+// moves at most one frame per direction per lane, in lane order, so N
+// concurrent handshakes share the untrusted hop fairly and a busy lane can
+// never starve the others. The serving path multiplexes its whole tenant
+// fleet through one MuxProxy.
+type MuxProxy struct {
+	lanes []*Proxy
+}
+
+// Add appends a lane (one session's proxy) to the mux.
+func (m *MuxProxy) Add(p *Proxy) { m.lanes = append(m.lanes, p) }
+
+// Lanes reports how many relays are multiplexed.
+func (m *MuxProxy) Lanes() int { return len(m.lanes) }
+
+// Reset drops every lane so the mux can be rebuilt for the next round
+// (sessions come and go as tenants turn over).
+func (m *MuxProxy) Reset() { m.lanes = m.lanes[:0] }
+
+// PumpRound relays one pending frame in each direction on every lane and
+// reports whether anything moved anywhere.
+func (m *MuxProxy) PumpRound() bool {
+	moved := false
+	for _, p := range m.lanes {
+		if p.PumpOnce() {
+			moved = true
+		}
+	}
+	return moved
+}
+
+// PumpAll pumps rounds until the whole mux goes quiescent or maxRounds is
+// spent, returning the number of rounds that moved at least one frame. The
+// bound guarantees termination under hostile frame duplication.
+func (m *MuxProxy) PumpAll(maxRounds int) int {
+	busy := 0
+	for i := 0; i < maxRounds; i++ {
+		if !m.PumpRound() {
+			return busy
+		}
+		busy++
+	}
+	return busy
+}
+
 // --- record layer ----------------------------------------------------------------
 
 // Conn is one authenticated-encryption direction pair over a transport.
@@ -444,13 +489,14 @@ func (k Keys) Conn(tr Transport, padBlock int) (*Conn, error) {
 // JSON: the frames are integrity-protected by the attestation binding, not
 // by the encoding.
 
-// EncodeHello serializes a ClientHello frame.
-func EncodeHello(h *ClientHello) []byte {
+// EncodeHello serializes a ClientHello frame. Failures surface as typed
+// errors through the session result — the shepherding path never panics.
+func EncodeHello(h *ClientHello) ([]byte, error) {
 	b, err := json.Marshal(h)
 	if err != nil {
-		panic("secchan: encoding hello: " + err.Error())
+		return nil, fmt.Errorf("secchan: encoding hello: %w", err)
 	}
-	return b
+	return b, nil
 }
 
 // DecodeHello parses a ClientHello frame.
@@ -462,13 +508,14 @@ func DecodeHello(b []byte) (*ClientHello, error) {
 	return &h, nil
 }
 
-// EncodeServerHello serializes a ServerHello frame.
-func EncodeServerHello(sh *ServerHello) []byte {
+// EncodeServerHello serializes a ServerHello frame. Like EncodeHello it
+// returns a typed error instead of panicking.
+func EncodeServerHello(sh *ServerHello) ([]byte, error) {
 	b, err := json.Marshal(sh)
 	if err != nil {
-		panic("secchan: encoding server hello: " + err.Error())
+		return nil, fmt.Errorf("secchan: encoding server hello: %w", err)
 	}
-	return b
+	return b, nil
 }
 
 // DecodeServerHello parses a ServerHello frame.

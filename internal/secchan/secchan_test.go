@@ -198,7 +198,11 @@ func TestProxySeesOnlyCiphertext(t *testing.T) {
 	pr := &Proxy{Outer: proxyOuter, Inner: proxyInner}
 
 	hello, priv, _ := NewClientHello()
-	if err := clientEnd.Send(EncodeHello(hello)); err != nil {
+	helloFrame, err := EncodeHello(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clientEnd.Send(helloFrame); err != nil {
 		t.Fatal(err)
 	}
 	pr.PumpOnce()
@@ -214,7 +218,11 @@ func TestProxySeesOnlyCiphertext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := monEnd.Send(EncodeServerHello(sh)); err != nil {
+	shWire, err := EncodeServerHello(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := monEnd.Send(shWire); err != nil {
 		t.Fatal(err)
 	}
 	pr.PumpOnce()

@@ -1,0 +1,603 @@
+// Package serve is the multi-tenant session server: it admits many remote
+// clients over the virtual clock, runs each tenant in its own
+// EREBOR-SANDBOX, shares one physical copy of the model bytes across every
+// tenant through a common region, and recycles warm sandbox carcasses
+// (address space, installed PTEs, pinned confined frames) between tenants
+// instead of rebuilding them.
+//
+// The server is deterministic by construction: slots are ticked in index
+// order, each tick performs a bounded amount of work, all waiting is
+// virtual-clock backoff, and tenant requests derive from the configured
+// seed. Two runs with the same Config produce byte-identical Reports and
+// trace exports. Chaos (a seeded fault plan on the untrusted client<->proxy
+// hop, shared by every session) keeps every session bounded — complete or
+// fail typed, never hang — and the fault schedule itself is seeded; exact
+// byte-equality across chaos runs is limited only by the real handshake
+// crypto (fresh keys per run), whose bytes corrupt/truncate faults mutate.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/libos"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/sandbox"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/trace"
+)
+
+// CommonName is the common region holding the shared model bytes.
+const CommonName = "serve-model"
+
+// ErrWorkerDead reports that a slot's sandbox worker terminated while its
+// tenant was still waiting for a reply (chaos-induced fatal, C8 kill).
+var ErrWorkerDead = errors.New("serve: worker terminated")
+
+// Config sizes a serving run.
+type Config struct {
+	// Tenants is the number of concurrent sessions (server slots).
+	Tenants int
+	// Sessions is the total number of tenant sessions to serve
+	// (>= Tenants; each slot serves Sessions/Tenants tenants in turn).
+	Sessions int
+	// Seed parameterizes tenant request payloads (and, through Chaos.Seed,
+	// the fault schedule). Same seed, same run.
+	Seed int64
+	// MemMB sizes the CVM (default 256).
+	MemMB uint64
+	// InputBytes is the per-tenant request size (default 1024).
+	InputBytes int
+	// ModelBytes sizes the shared common-region model (default 64 KiB).
+	ModelBytes int
+	// HeapPages overrides each worker's confined heap (0 = sized to fit
+	// the request/response buffers).
+	HeapPages uint64
+	// Cold disables warm-pool recycling: every session tears the sandbox
+	// down completely and relaunches (the baseline the pool is measured
+	// against).
+	Cold bool
+	// QueueCap bounds each relay hop (0 = secchan default).
+	QueueCap int
+	// Retry bounds handshake/receive retry loops (zero = harness default).
+	Retry harness.RetryPolicy
+	// Chaos, when non-nil, interposes one seeded fault injector on the
+	// untrusted hop of every session (the whole fleet draws from a single
+	// deterministic schedule).
+	Chaos *faultinject.Plan
+	// Trace attaches the flight recorder (per-tenant session spans on the
+	// server track; sandbox activity on per-sandbox tracks).
+	Trace bool
+	// TraceCapacity bounds the recorder ring (0 = default).
+	TraceCapacity int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
+	if cfg.Sessions < cfg.Tenants {
+		cfg.Sessions = cfg.Tenants
+	}
+	if cfg.MemMB == 0 {
+		cfg.MemMB = 256
+	}
+	if cfg.InputBytes <= 0 {
+		cfg.InputBytes = 1024
+	}
+	if cfg.ModelBytes <= 0 {
+		cfg.ModelBytes = 64 << 10
+	}
+	if cfg.HeapPages == 0 {
+		bufPages := (uint64(cfg.InputBytes)*2 + mem.PageSize - 1) / mem.PageSize
+		cfg.HeapPages = bufPages + 24
+	}
+	if cfg.Retry == (harness.RetryPolicy{}) {
+		cfg.Retry = harness.DefaultRetryPolicy()
+	}
+	return cfg
+}
+
+// SessionResult is the outcome of one tenant session.
+type SessionResult struct {
+	Tenant     int    `json:"tenant"`
+	Slot       int    `json:"slot"`
+	Sandbox    int    `json:"sandbox"`
+	Warm       bool   `json:"warm"`
+	Cycles     uint64 `json:"cycles"`
+	ReplyBytes int    `json:"reply_bytes"`
+	Err        string `json:"err,omitempty"`
+}
+
+// Report summarizes a serving run. It is JSON-stable: same Config, same
+// bytes.
+type Report struct {
+	Tenants          int             `json:"tenants"`
+	Sessions         int             `json:"sessions"`
+	Completed        int             `json:"completed"`
+	Failed           int             `json:"failed"`
+	WarmSessions     int             `json:"warm_sessions"`
+	ColdSessions     int             `json:"cold_sessions"`
+	Recycles         uint64          `json:"recycles"`
+	Relaunches       int             `json:"relaunches"`
+	TotalCycles      uint64          `json:"total_cycles"`
+	CyclesPerSession uint64          `json:"cycles_per_session"`
+	SessionsPerSec   float64         `json:"sessions_per_sec"`
+	SandboxKills     uint64          `json:"sandbox_kills"`
+	ChannelRetrans   uint64          `json:"channel_retransmits"`
+	Results          []SessionResult `json:"results"`
+}
+
+// JSON renders the report deterministically.
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+	}
+	return b
+}
+
+// slot FSM states.
+type state int
+
+const (
+	stConnect state = iota // attested handshake (one attempt per tick)
+	stSend                 // transmit the tenant request
+	stWait                 // pump + step the worker until the reply arrives
+)
+
+// slot is one serving lane: a pooled sandbox container plus the session of
+// the tenant it currently serves.
+type slot struct {
+	idx   int
+	owner mem.Owner
+
+	c    *sandbox.Container
+	sess *harness.Session
+
+	state    state
+	tenant   int
+	served   int // sessions completed or failed on this slot
+	warm     bool
+	attempts int
+	backoff  uint64
+	waitN    int
+	lastErr  error
+	request  []byte
+	start    uint64
+	done     bool
+}
+
+// Server drives a fleet of tenant sessions over one world.
+type Server struct {
+	cfg   Config
+	pol   harness.RetryPolicy
+	w     *harness.World
+	inj   *faultinject.Injector
+	model []byte
+	win   []byte // model window replies are XORed with
+	slots []*slot
+
+	results    []SessionResult
+	completed  int
+	failed     int
+	warmServed int
+	relaunches int
+}
+
+// maxBackoff caps exponential growth (mirrors the harness resilient path).
+const maxBackoff = uint64(1) << 32
+
+// New boots a world, publishes the shared model, and launches one pooled
+// sandbox per slot.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	w, err := harness.NewWorld(harness.WorldConfig{
+		Mode: kernel.ModeErebor, MemMB: cfg.MemMB,
+		Trace: cfg.Trace, TraceCapacity: cfg.TraceCapacity,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: world boot: %w", err)
+	}
+	model := make([]byte, cfg.ModelBytes)
+	x := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	for i := range model {
+		x = x*6364136223846793005 + 1442695040888963407
+		model[i] = byte(x >> 33)
+	}
+	if err := sandbox.CreateCommon(w.K, CommonName, model); err != nil {
+		return nil, fmt.Errorf("serve: publish model: %w", err)
+	}
+	winLen := cfg.InputBytes
+	if winLen > len(model) {
+		winLen = len(model)
+	}
+	s := &Server{cfg: cfg, pol: cfg.Retry, w: w, model: model, win: model[:winLen]}
+	if cfg.Chaos != nil {
+		s.inj = faultinject.New(*cfg.Chaos)
+		s.inj.Rec = w.Rec
+	}
+	for i := 0; i < cfg.Tenants; i++ {
+		sl := &slot{idx: i, owner: mem.OwnerTaskBase + mem.Owner(1+i), tenant: i}
+		c, err := s.launchContainer(sl)
+		if err != nil {
+			return nil, fmt.Errorf("serve: slot %d launch: %w", i, err)
+		}
+		sl.c = c
+		s.admit(sl)
+		s.slots = append(s.slots, sl)
+	}
+	return s, nil
+}
+
+// World exposes the underlying platform (tests, bench wiring).
+func (s *Server) World() *harness.World { return s.w }
+
+// launchContainer cold-starts a slot's worker sandbox: LibOS boot, model
+// attachment, and the persistent request loop. The worker never exits on
+// its own — it polls for the next tenant's input forever and is stepped
+// one scheduling slice at a time by the server (StepPid round-robin).
+func (s *Server) launchContainer(sl *slot) (*sandbox.Container, error) {
+	maxMsg := s.cfg.InputBytes
+	winLen := len(s.win)
+	spec := sandbox.Spec{
+		Name:        fmt.Sprintf("serve-%d", sl.idx),
+		Owner:       sl.owner,
+		BudgetPages: s.cfg.HeapPages + 16,
+		LibOS:       libos.Config{HeapPages: s.cfg.HeapPages, MaxThreads: 1},
+		Commons:     []sandbox.CommonRef{{Name: CommonName}},
+		Main: func(c *sandbox.Container, os *libos.OS) {
+			e := os.Env
+			inVA, err := os.Alloc(maxMsg)
+			if err != nil {
+				e.Fatal(137, "serve worker: input buffer: "+err.Error())
+			}
+			outVA, err := os.Alloc(maxMsg)
+			if err != nil {
+				e.Fatal(137, "serve worker: output buffer: "+err.Error())
+			}
+			modelVA := c.CommonVAs[CommonName]
+			in := make([]byte, maxMsg)
+			out := make([]byte, maxMsg)
+			win := make([]byte, winLen)
+			// The buffers above are allocated exactly once: the confined
+			// heap is monotonic, and this worker body survives warm
+			// recycling (only the frame *contents* are scrubbed between
+			// tenants, never the address space or the PTEs).
+			for {
+				_, n, rerr := os.ReceiveInputInto(inVA, maxMsg, 0)
+				if rerr != nil {
+					e.Fatal(137, "serve worker: receive: "+rerr.Error())
+				}
+				if n == 0 {
+					e.YieldCPU()
+					continue
+				}
+				// Bind this tenant to the shared model: read the window
+				// through the common mapping (demand-faulted, sealed RO).
+				e.ReadMem(modelVA, win)
+				e.ReadMem(inVA, in[:n])
+				for i := 0; i < n; i++ {
+					out[i] = in[i] ^ win[i%winLen]
+				}
+				e.Charge(uint64(n) * 2)
+				e.WriteMem(outVA, out[:n])
+				if serr := os.SendOutput(outVA, n); serr != nil {
+					e.Fatal(137, "serve worker: send: "+serr.Error())
+				}
+			}
+		},
+	}
+	return sandbox.Launch(s.w.K, spec)
+}
+
+// admit binds the slot to its current tenant: fresh session plumbing,
+// deterministic request bytes, FSM reset.
+func (s *Server) admit(sl *slot) {
+	sl.sess = harness.NewInjectedSession(s.w, s.inj, s.queueCap())
+	sl.state = stConnect
+	sl.attempts = 0
+	sl.backoff = s.pol.BackoffBase
+	sl.waitN = 0
+	sl.lastErr = nil
+	sl.request = s.requestFor(sl.tenant)
+	sl.start = s.w.M.Clock.Now()
+}
+
+func (s *Server) queueCap() int {
+	if s.cfg.QueueCap > 0 {
+		return s.cfg.QueueCap
+	}
+	return secchan.DefaultQueueCap
+}
+
+// requestFor derives tenant t's request payload from the seed.
+func (s *Server) requestFor(t int) []byte {
+	req := make([]byte, s.cfg.InputBytes)
+	x := uint64(s.cfg.Seed)*0xBF58476D1CE4E5B9 + uint64(t)*0x94D049BB133111EB + 0x2545F4914F6CDD1D
+	for i := range req {
+		x = x*6364136223846793005 + 1442695040888963407
+		req[i] = byte(x >> 33)
+	}
+	return req
+}
+
+// expectedReply computes what the worker should answer for a request.
+func (s *Server) expectedReply(req []byte) []byte {
+	out := make([]byte, len(req))
+	for i := range req {
+		out[i] = req[i] ^ s.win[i%len(s.win)]
+	}
+	return out
+}
+
+// Run serves every session to completion (or typed failure) and returns
+// the report. It never hangs: every wait is bounded, and a global round
+// budget fails any still-pending session with a typed stall error.
+func (s *Server) Run() (*Report, error) {
+	startCycles := s.w.M.Clock.Now()
+	perSlot := (s.cfg.Sessions+s.cfg.Tenants-1)/s.cfg.Tenants + 1
+	perSession := s.pol.MaxAttempts*(s.pol.RecvRounds+8) + 4*s.pol.RecvRounds + 256
+	maxRounds := 256 + 8*perSlot*perSession
+
+	mux := &secchan.MuxProxy{}
+	for round := 0; ; round++ {
+		// Fleet relay: pump every active lane before ticking the slots, so
+		// frames produced last round are visible to this round's FSM steps.
+		mux.Reset()
+		active := 0
+		for _, sl := range s.slots {
+			if !sl.done {
+				active++
+				mux.Add(sl.sess.Proxy)
+			}
+		}
+		if active == 0 {
+			break
+		}
+		mux.PumpAll(8)
+		for _, sl := range s.slots {
+			if !sl.done {
+				s.tick(sl)
+			}
+		}
+		if round >= maxRounds {
+			for _, sl := range s.slots {
+				if !sl.done {
+					s.fail(sl, fmt.Errorf("serve: server stalled after %d rounds: %w",
+						maxRounds, secchan.ErrTimeout))
+				}
+			}
+		}
+	}
+
+	return s.report(startCycles), nil
+}
+
+// tick advances one slot's session FSM by one bounded step.
+func (s *Server) tick(sl *slot) {
+	switch sl.state {
+	case stConnect:
+		if sl.attempts >= s.pol.MaxAttempts {
+			s.fail(sl, fmt.Errorf("serve: handshake failed after %d attempts (last: %v): %w",
+				sl.attempts, sl.lastErr, secchan.ErrTimeout))
+			return
+		}
+		if sl.attempts > 0 {
+			s.w.M.Clock.Charge(sl.backoff)
+			if sl.backoff < maxBackoff {
+				sl.backoff *= s.pol.BackoffFactor
+			}
+			if err := sl.c.AbortSession(); err != nil {
+				s.fail(sl, fmt.Errorf("serve: abort between attempts: %w", err))
+				return
+			}
+			sl.sess.DrainAll()
+		}
+		sl.attempts++
+		if err := sl.sess.Client.Start(); err != nil {
+			sl.lastErr = err
+			return
+		}
+		sl.sess.PumpAll()
+		if err := sl.c.AcceptSession(sl.sess.MonTr); err != nil {
+			sl.lastErr = err
+			return
+		}
+		sl.sess.PumpAll()
+		if err := sl.sess.Client.Finish(); err != nil {
+			sl.lastErr = err
+			return
+		}
+		sl.state = stSend
+
+	case stSend:
+		if err := sl.sess.SendWithRetry(sl.request, s.pol); err != nil {
+			s.fail(sl, fmt.Errorf("serve: request send: %w", err))
+			return
+		}
+		sl.state = stWait
+		sl.waitN = 0
+		sl.backoff = s.pol.BackoffBase
+
+	case stWait:
+		sl.sess.PumpAll()
+		if msg, err := sl.sess.Client.Recv(); err == nil {
+			s.finish(sl, msg)
+			return
+		} else if !errors.Is(err, secchan.ErrEmpty) {
+			s.fail(sl, fmt.Errorf("serve: reply receive: %w", err))
+			return
+		}
+		// One fair scheduling slice for this slot's worker, interleaved
+		// round-robin with every other tenant's worker.
+		s.w.K.StepPid(sl.c.Task.Pid)
+		sl.sess.PumpAll()
+		if msg, err := sl.sess.Client.Recv(); err == nil {
+			s.finish(sl, msg)
+			return
+		} else if !errors.Is(err, secchan.ErrEmpty) {
+			s.fail(sl, fmt.Errorf("serve: reply receive: %w", err))
+			return
+		}
+		if sl.c.Task.State == kernel.TaskZombie {
+			reason := sl.c.Task.ExitReason
+			if berr := sl.c.BootErr(); berr != nil {
+				reason = berr.Error()
+			}
+			s.fail(sl, fmt.Errorf("serve: worker died: %s: %w", reason, ErrWorkerDead))
+			return
+		}
+		sl.waitN++
+		if s.pol.RetransmitEvery > 0 && sl.waitN%s.pol.RetransmitEvery == 0 {
+			sl.sess.Client.Retransmit()
+		}
+		s.w.M.Clock.Charge(sl.backoff)
+		if sl.backoff < maxBackoff {
+			sl.backoff *= s.pol.BackoffFactor
+		}
+		if sl.waitN >= s.pol.RecvRounds {
+			s.fail(sl, fmt.Errorf("serve: no reply after %d rounds: %w",
+				s.pol.RecvRounds, secchan.ErrTimeout))
+		}
+	}
+}
+
+// finish validates and records a completed session, then turns the slot
+// over to its next tenant.
+func (s *Server) finish(sl *slot, msg []byte) {
+	want := s.expectedReply(sl.request)
+	var err error
+	if len(msg) != len(want) {
+		err = fmt.Errorf("serve: reply length %d, want %d", len(msg), len(want))
+	} else {
+		for i := range msg {
+			if msg[i] != want[i] {
+				err = fmt.Errorf("serve: reply byte %d mismatch", i)
+				break
+			}
+		}
+	}
+	if err != nil {
+		s.fail(sl, err)
+		return
+	}
+	cycles := s.w.M.Clock.Now() - sl.start
+	s.w.Rec.Span(trace.KindServeSession, trace.TrackServer,
+		fmt.Sprintf("serve/tenant/%d", sl.tenant), sl.start)
+	s.results = append(s.results, SessionResult{
+		Tenant: sl.tenant, Slot: sl.idx, Sandbox: int(sl.c.ID),
+		Warm: sl.warm, Cycles: cycles, ReplyBytes: len(msg),
+	})
+	s.completed++
+	if sl.warm {
+		s.warmServed++
+	}
+	s.turnover(sl)
+}
+
+// fail records a typed session failure and turns the slot over.
+func (s *Server) fail(sl *slot, err error) {
+	cycles := s.w.M.Clock.Now() - sl.start
+	s.results = append(s.results, SessionResult{
+		Tenant: sl.tenant, Slot: sl.idx, Sandbox: int(sl.c.ID),
+		Warm: sl.warm, Cycles: cycles, Err: err.Error(),
+	})
+	s.failed++
+	s.turnover(sl)
+}
+
+// turnover retires the finished session and prepares the slot for its next
+// tenant: warm recycle when possible, cold relaunch otherwise.
+func (s *Server) turnover(sl *slot) {
+	sl.served++
+	next := sl.idx + sl.served*s.cfg.Tenants
+	if next >= s.cfg.Sessions {
+		// Slot drained: end the worker cleanly so its confined memory is
+		// scrubbed and released.
+		if sl.c.Task.State != kernel.TaskZombie {
+			s.w.K.KillTask(sl.c.Task, 0, "serve: slot drained")
+		}
+		sl.done = true
+		return
+	}
+
+	info, _ := sl.c.Info()
+	workerAlive := sl.c.Task.State != kernel.TaskZombie
+	if !s.cfg.Cold && workerAlive && !info.Destroyed {
+		if newID, err := s.w.K.RecycleSandbox(sl.c.Task); err == nil {
+			sl.c.ID = newID
+			sl.warm = true
+			sl.tenant = next
+			s.admit(sl)
+			return
+		}
+	}
+	// Cold path: tear the carcass down completely and rebuild.
+	asid := sl.c.Task.P.AS.ASID
+	if workerAlive {
+		s.w.K.KillTask(sl.c.Task, 0, "serve: cold teardown")
+	} else if !info.Destroyed {
+		_ = s.w.Mon.EMCSandboxEnd(s.w.Core(), sl.c.ID)
+	}
+	_ = s.w.Mon.EMCDestroyAS(s.w.Core(), asid)
+	c, err := s.launchContainer(sl)
+	if err != nil {
+		// Irrecoverable slot: fail its remaining tenants typed, no hangs.
+		for t := next; t < s.cfg.Sessions; t += s.cfg.Tenants {
+			s.results = append(s.results, SessionResult{
+				Tenant: t, Slot: sl.idx,
+				Err: fmt.Sprintf("serve: slot relaunch failed: %v", err),
+			})
+			s.failed++
+		}
+		sl.done = true
+		return
+	}
+	sl.c = c
+	sl.warm = false
+	s.relaunches++
+	sl.tenant = next
+	s.admit(sl)
+}
+
+// report assembles the final Report (results sorted by tenant).
+func (s *Server) report(startCycles uint64) *Report {
+	sort.Slice(s.results, func(i, j int) bool { return s.results[i].Tenant < s.results[j].Tenant })
+	total := s.w.M.Clock.Now() - startCycles
+	rep := &Report{
+		Tenants: s.cfg.Tenants, Sessions: s.cfg.Sessions,
+		Completed: s.completed, Failed: s.failed,
+		WarmSessions: s.warmServed, ColdSessions: s.completed - s.warmServed,
+		Relaunches:  s.relaunches,
+		TotalCycles: total,
+		Results:     s.results,
+	}
+	if s.w.Mon != nil {
+		rep.Recycles = s.w.Mon.Stats.SandboxRecycles
+		rep.SandboxKills = s.w.Mon.Stats.SandboxKills
+		rep.ChannelRetrans = s.w.Mon.ChannelStats().Retransmits
+	}
+	if n := s.completed + s.failed; n > 0 {
+		rep.CyclesPerSession = total / uint64(n)
+	}
+	if total > 0 {
+		rep.SessionsPerSec = float64(s.completed) / (float64(total) / float64(costs.HzPerSecond))
+	}
+	return rep
+}
+
+// Run boots a server for cfg and drives it to completion.
+func Run(cfg Config) (*Report, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
+	"github.com/asterisc-release/erebor-go/internal/trace"
+)
+
+// TestServeFaultFree: a small warm fleet serves every tenant, and slot
+// turnover goes through the recycle path rather than cold relaunch.
+func TestServeFaultFree(t *testing.T) {
+	rep, err := Run(Config{Tenants: 4, Sessions: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 12 || rep.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 12/0", rep.Completed, rep.Failed)
+	}
+	// Each of the 4 slots serves 3 tenants: 2 turnovers each recycle warm.
+	if rep.Recycles != 8 {
+		t.Fatalf("recycles=%d, want 8", rep.Recycles)
+	}
+	if rep.WarmSessions != 8 || rep.ColdSessions != 4 {
+		t.Fatalf("warm=%d cold=%d, want 8/4", rep.WarmSessions, rep.ColdSessions)
+	}
+	if rep.Relaunches != 0 {
+		t.Fatalf("relaunches=%d on the warm path", rep.Relaunches)
+	}
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			t.Fatalf("tenant %d failed: %s", r.Tenant, r.Err)
+		}
+		if r.ReplyBytes == 0 {
+			t.Fatalf("tenant %d got an empty reply", r.Tenant)
+		}
+	}
+}
+
+// TestServeDeterminism: two full serving runs from the same seed produce
+// byte-identical reports and byte-identical trace exports (Chrome +
+// Prometheus), which is what makes the serving benchmark reproducible.
+func TestServeDeterminism(t *testing.T) {
+	cfg := Config{Tenants: 16, Sessions: 48, Seed: 11, Trace: true}
+	if !testing.Short() {
+		cfg.Tenants, cfg.Sessions = 64, 128
+	}
+
+	type capture struct {
+		report []byte
+		chrome []byte
+		prom   []byte
+	}
+	one := func() capture {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Completed != cfg.Sessions {
+			t.Fatalf("completed=%d failed=%d, want %d/0", rep.Completed, rep.Failed, cfg.Sessions)
+		}
+		var chrome, prom bytes.Buffer
+		if err := s.World().Rec.ExportChromeTrace(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.World().Rec.ExportPrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return capture{report: rep.JSON(), chrome: chrome.Bytes(), prom: prom.Bytes()}
+	}
+
+	a, b := one(), one()
+	if !bytes.Equal(a.report, b.report) {
+		t.Error("report JSON differs between identically-seeded runs")
+	}
+	if !bytes.Equal(a.chrome, b.chrome) {
+		t.Error("Chrome trace export differs between identically-seeded runs")
+	}
+	if !bytes.Equal(a.prom, b.prom) {
+		t.Error("Prometheus export differs between identically-seeded runs")
+	}
+}
+
+// TestServe256Tenants: the acceptance-scale run — 256 concurrent tenants,
+// every session served, deterministically.
+func TestServe256Tenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-tenant run skipped in -short mode")
+	}
+	cfg := Config{Tenants: 256, Sessions: 256, Seed: 5, MemMB: 1024}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != 256 || a.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 256/0", a.Completed, a.Failed)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatal("256-tenant report JSON differs between identically-seeded runs")
+	}
+}
+
+// TestServeWarmBeatsCold: recycling a sandbox carcass (address space,
+// installed PTEs, pinned confined frames survive; contents are scrubbed)
+// must be cheaper per session than cold-building every sandbox.
+func TestServeWarmBeatsCold(t *testing.T) {
+	warm, err := Run(Config{Tenants: 4, Sessions: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(Config{Tenants: 4, Sessions: 16, Seed: 3, Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Completed != 16 || cold.Completed != 16 {
+		t.Fatalf("completed warm=%d cold=%d, want 16/16", warm.Completed, cold.Completed)
+	}
+	if warm.Recycles == 0 {
+		t.Fatal("warm run performed no recycles")
+	}
+	if cold.Recycles != 0 || cold.Relaunches == 0 {
+		t.Fatalf("cold run: recycles=%d relaunches=%d, want 0/>0", cold.Recycles, cold.Relaunches)
+	}
+	if warm.CyclesPerSession >= cold.CyclesPerSession {
+		t.Fatalf("warm recycle (%d cycles/session) not cheaper than cold creation (%d)",
+			warm.CyclesPerSession, cold.CyclesPerSession)
+	}
+}
+
+// TestServeSessionsInterleave: tenant sessions genuinely overlap on the
+// virtual clock — the server round-robins sandbox scheduling slices instead
+// of serving tenants to completion one after another.
+func TestServeSessionsInterleave(t *testing.T) {
+	s, err := New(Config{Tenants: 8, Sessions: 8, Seed: 9, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 8 {
+		t.Fatalf("completed=%d, want 8", rep.Completed)
+	}
+	type span struct {
+		label      string
+		start, end uint64
+	}
+	var spans []span
+	for _, ev := range s.World().Rec.Snapshot() {
+		if ev.Kind == trace.KindServeSession {
+			spans = append(spans, span{ev.Label, ev.TS, ev.TS + ev.Dur})
+		}
+	}
+	if len(spans) != 8 {
+		t.Fatalf("found %d serve-session spans, want 8", len(spans))
+	}
+	overlaps := 0
+	for i := 0; i < len(spans); i++ {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].label == spans[j].label {
+				continue
+			}
+			if spans[i].start < spans[j].end && spans[j].start < spans[i].end {
+				overlaps++
+			}
+		}
+	}
+	// With 8 concurrent slots every pair should overlap; demand most do.
+	if overlaps < 20 {
+		t.Fatalf("only %d overlapping tenant-span pairs; sessions are serialized", overlaps)
+	}
+}
+
+// TestServeChaosFleet is the chaos suite: many seeds, a full fleet, faults
+// of every class on the untrusted hop. Every session must either complete
+// or fail with a typed error, and the server must terminate — no hangs.
+func TestServeChaosFleet(t *testing.T) {
+	seeds := 20
+	tenants, sessions := 64, 96
+	if testing.Short() {
+		seeds, tenants, sessions = 5, 16, 24
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		plan := faultinject.Uniform(int64(seed), 0.05)
+		s, err := New(Config{
+			Tenants: tenants, Sessions: sessions, Seed: int64(seed), Chaos: &plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Completed+rep.Failed != sessions {
+			t.Fatalf("seed %d: %d completed + %d failed != %d sessions",
+				seed, rep.Completed, rep.Failed, sessions)
+		}
+		if len(rep.Results) != sessions {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(rep.Results), sessions)
+		}
+		seen := make(map[int]bool, sessions)
+		for _, r := range rep.Results {
+			if seen[r.Tenant] {
+				t.Fatalf("seed %d: tenant %d reported twice", seed, r.Tenant)
+			}
+			seen[r.Tenant] = true
+			if r.Err == "" && r.ReplyBytes == 0 {
+				t.Fatalf("seed %d: tenant %d neither failed nor replied", seed, r.Tenant)
+			}
+			if r.Err != "" && !typedErr(r.Err) {
+				t.Fatalf("seed %d: tenant %d failed untyped: %s", seed, r.Tenant, r.Err)
+			}
+		}
+		if got := s.inj.Counters.Total(); got == 0 {
+			t.Fatalf("seed %d: chaos run injected no faults", seed)
+		}
+	}
+}
+
+// typedErr recognizes the typed failure vocabulary of the serving path.
+func typedErr(msg string) bool {
+	for _, want := range []string{
+		"timeout", "worker terminated", "worker died", "secchan:",
+		"serve:", "harness:",
+	} {
+		if strings.Contains(msg, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestServeChaosDrainsCleanly: after a chaos run the fleet is torn down —
+// no live sandbox retains confined memory, so no tenant's bytes can outlive
+// its session (zero-on-recycle plus scrub-on-end).
+func TestServeChaosDrainsCleanly(t *testing.T) {
+	plan := faultinject.Uniform(42, 0.08)
+	s, err := New(Config{Tenants: 8, Sessions: 24, Seed: 42, Chaos: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Failed != 24 {
+		t.Fatalf("%d+%d sessions accounted, want 24", rep.Completed, rep.Failed)
+	}
+	for _, sl := range s.slots {
+		info, ok := sl.c.Info()
+		if ok && !info.Destroyed {
+			t.Fatalf("slot %d sandbox %d still live after drain", sl.idx, sl.c.ID)
+		}
+		if ok && info.ConfinedPages != 0 && !info.Destroyed {
+			t.Fatalf("slot %d retains %d confined pages", sl.idx, info.ConfinedPages)
+		}
+	}
+	if v := s.World().Mon.Audit(); len(v) != 0 {
+		t.Fatalf("monitor audit violations after chaos drain: %v", v)
+	}
+}

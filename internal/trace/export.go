@@ -26,6 +26,8 @@ func trackName(t int32) string {
 		return "kernel"
 	case TrackClient:
 		return "client"
+	case TrackServer:
+		return "server"
 	}
 	if t >= sandboxTrackBase {
 		return "sandbox-" + strconv.FormatInt(int64(t-sandboxTrackBase), 10)

@@ -67,6 +67,13 @@ const (
 	KindQuote
 	// KindViolation is a recorded runtime violation (instant).
 	KindViolation
+	// KindSandboxRecycle is a warm-pool sandbox reissue (instant, label
+	// "recycle <old>-><new>"). Appended after PR 2's kinds: the enum is
+	// append-only for golden-file stability.
+	KindSandboxRecycle
+	// KindServeSession is one complete tenant session through the serving
+	// path (span, label "serve/tenant/<n>").
+	KindServeSession
 	numKinds
 )
 
@@ -87,6 +94,8 @@ var kindNames = [numKinds]string{
 	KindFaultInject:     "fault-inject",
 	KindQuote:           "quote",
 	KindViolation:       "violation",
+	KindSandboxRecycle:  "sandbox-recycle",
+	KindServeSession:    "serve-session",
 }
 
 // String names the kind (stable; used by both exporters).
@@ -103,6 +112,10 @@ const (
 	TrackMonitor int32 = 1
 	TrackKernel  int32 = 2
 	TrackClient  int32 = 3
+	// TrackServer carries the serving path's per-session spans (admission,
+	// completion); each tenant's sandbox activity additionally lands on its
+	// own SandboxTrack since recycling mints one sandbox ID per tenant.
+	TrackServer int32 = 4
 )
 
 // sandboxTrackBase offsets sandbox IDs into their own track range.
