@@ -167,18 +167,25 @@ func (mon *Monitor) EMCMapUser(c *cpu.Core, asid ASID, va paging.Addr, f mem.Fra
 // §9.1). The batch is atomic: every request is validated against the
 // mapping policy before any PTE is touched, and a commit-phase failure
 // (e.g. page-table-page exhaustion) rolls back the already-installed
-// prefix. A failing batch therefore leaves the address space exactly as it
-// was, and PTEWrites counts only PTE writes that physically happened
-// (installs plus their undos) — never mappings that do not exist.
+// prefix — including returning page-table pages the batch itself allocated
+// to the monitor pool. A failing batch therefore leaves the address space
+// exactly as it was, and PTEWrites counts only PTE writes that physically
+// happened (installs, their undos, and rollback PTP unlinks) — never
+// mappings that do not exist.
 func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error {
 	return mon.gate(c, "mmu", func() error {
 		as, ok := mon.addrSpaces[asid]
 		if !ok {
 			return denied("map-user", "unknown address space %d", asid)
 		}
-		// Phase 1: validate the whole batch. Nothing is charged and nothing
-		// is written until every request passes.
-		for _, r := range reqs {
+		// Phase 1: validate a working copy of the whole batch, so any flag
+		// normalization the policy performs survives into the commit phase.
+		// Nothing is charged and nothing is written until every request
+		// passes.
+		work := make([]MapReq, len(reqs))
+		copy(work, reqs)
+		for i := range work {
+			r := &work[i]
 			if r.VA >= UserTop || r.VA < UserBase {
 				return denied("map-user", "va %#x outside user range", r.VA)
 			}
@@ -186,8 +193,19 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 				return err
 			}
 		}
-		// Phase 2: commit, snapshotting each slot's prior leaf and frame so
-		// a structural failure can restore the prefix in reverse order.
+		// Phase 2: commit the validated copy, snapshotting each slot's prior
+		// leaf and frame so a structural failure can restore the prefix in
+		// reverse order. Page-table pages allocated on behalf of this batch
+		// are tracked so rollback can release them too.
+		newPTPs := make(map[mem.Frame]bool)
+		prevHook := as.tables.OnPTPAlloc
+		as.tables.OnPTPAlloc = func(f mem.Frame) {
+			newPTPs[f] = true
+			if prevHook != nil {
+				prevHook(f)
+			}
+		}
+		defer func() { as.tables.OnPTPAlloc = prevHook }()
 		type undo struct {
 			va       paging.Addr
 			hadLeaf  bool
@@ -195,8 +213,8 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 			hadFrame bool
 			prevF    mem.Frame
 		}
-		installed := make([]undo, 0, len(reqs))
-		rollback := func() {
+		installed := make([]undo, 0, len(work))
+		rollback := func(failedVA paging.Addr) {
 			for i := len(installed) - 1; i >= 0; i-- {
 				u := installed[i]
 				if u.hadLeaf {
@@ -212,8 +230,25 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 					delete(as.userFrames, u.va)
 				}
 			}
+			// With every installed leaf undone (and the failing request never
+			// mapped), any table page this batch allocated on these paths is
+			// empty again: release it so a failed batch consumes no PTP
+			// frames. Pre-existing tables are refused and left in place.
+			release := func(f mem.Frame) bool {
+				if !newPTPs[f] {
+					return false
+				}
+				mon.freePTP(f)
+				mon.Stats.PTEWrites++ // the cleared parent entry
+				mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+				return true
+			}
+			_ = as.tables.Prune(failedVA, release)
+			for i := len(installed) - 1; i >= 0; i-- {
+				_ = as.tables.Prune(installed[i].va, release)
+			}
 		}
-		for _, r := range reqs {
+		for _, r := range work {
 			va := paging.PageBase(r.VA)
 			u := undo{va: va}
 			if pte, _, fault := as.tables.Walk(va); fault == nil && pte.Is(paging.Present) {
@@ -221,7 +256,7 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 			}
 			u.prevF, u.hadFrame = as.userFrames[va]
 			if err := as.tables.Map(r.VA, leafFor(r.Frame, r.Flags)); err != nil {
-				rollback()
+				rollback(va)
 				return err
 			}
 			mon.Stats.PTEWrites++

@@ -175,6 +175,178 @@ func TestMapUserBatchCommits(t *testing.T) {
 	}
 }
 
+// TestMapUserBatchRollbackReleasesPTPs: page-table pages allocated on
+// behalf of a batch that later fails are returned to the monitor pool, so a
+// failed batch neither mutates the address-space structure nor consumes PTP
+// frames — in particular, a batch that fails on PTP exhaustion does not
+// leave the pool exhausted.
+func TestMapUserBatchRollbackReleasesPTPs(t *testing.T) {
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mon.addrSpaces[asid]
+
+	near := mustAlloc(t, mon, owner)
+	mid := mustAlloc(t, mon, owner)
+	far := mustAlloc(t, mon, owner)
+
+	// Build the page tables for the 0x10_xxxx region.
+	if err := mon.EMCMapUser(c, asid, 0x10_0000, near, MapFlags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the monitor's reserved pool, then hand exactly two frames back:
+	// enough for the first request's PD+PT chain, nothing for the second's.
+	var drained []mem.Frame
+	for {
+		f, err := mon.M.Phys.AllocRegion(RegionMonitor, mem.OwnerMonitor)
+		if err != nil {
+			break
+		}
+		drained = append(drained, f)
+	}
+	if len(drained) < 2 {
+		t.Fatalf("monitor pool too small for the test: %d free frames", len(drained))
+	}
+	for _, f := range drained[:2] {
+		if err := mon.M.Phys.Free(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pteBefore := mon.Stats.PTEWrites
+	ptpsBefore := len(mon.ptps)
+	framesBefore := len(as.userFrames)
+
+	reqs := []MapReq{
+		// New 1 GiB region under the existing PDPT: allocates a PD and a PT.
+		{VA: 0x4000_0000, Frame: mid, Flags: MapFlags{Writable: true}},
+		// Another new region: needs two more PTPs, which must fail.
+		{VA: 0x2_0000_0000, Frame: far, Flags: MapFlags{Writable: true}},
+	}
+	if err := mon.EMCMapUserBatch(c, asid, reqs); err == nil {
+		t.Fatal("batch committed despite page-table exhaustion")
+	}
+
+	if _, _, fault := as.tables.Walk(0x4000_0000); fault == nil {
+		t.Fatal("rolled-back mapping still present at 0x4000_0000")
+	}
+	if got := len(as.userFrames); got != framesBefore {
+		t.Fatalf("failed batch changed installed mappings: %d -> %d", framesBefore, got)
+	}
+	// The two PTPs the batch allocated are deregistered and back in the
+	// pool: exactly two region allocations succeed again.
+	if got := len(mon.ptps); got != ptpsBefore {
+		t.Fatalf("PTP registry grew across a failed batch: %d -> %d", ptpsBefore, got)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := mon.M.Phys.AllocRegion(RegionMonitor, mem.OwnerMonitor); err != nil {
+			t.Fatalf("PTP frame %d not returned to the monitor pool: %v", i, err)
+		}
+	}
+	if _, err := mon.M.Phys.AllocRegion(RegionMonitor, mem.OwnerMonitor); err == nil {
+		t.Fatal("failed batch leaked extra frames into the monitor pool")
+	}
+	// 1 install + 1 undo + 2 parent-entry clears for the released PTPs.
+	if got := mon.Stats.PTEWrites - pteBefore; got != 4 {
+		t.Fatalf("PTEWrites delta = %d, want 4 (install + undo + 2 PTP unlinks)", got)
+	}
+}
+
+// TestMapUserBatchPreservesPolicyFlags: validation and commit must act on
+// the same request copy, so flag adjustments made against the validated
+// slice are what the installed PTEs carry (the *MapFlags contract of
+// userFramePolicy). Common-region mappings exercise the policy's
+// flag-sensitive path: a sealed region rejects writable requests.
+func TestMapUserBatchPreservesPolicyFlags(t *testing.T) {
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := mon.EMCCreateSandbox(c, asid, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.EMCCommonCreate(c, "batch-flags-model", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.EMCCommonAttach(c, id, "batch-flags-model", 0x4000_0000, false); err != nil {
+		t.Fatal(err)
+	}
+	mon.sealCommons(mon.sandboxes[id])
+
+	f := mon.commons["batch-flags-model"].frames[0]
+	reqs := []MapReq{{VA: 0x4000_0000, Frame: f, Flags: MapFlags{Writable: true}}}
+	if err := mon.EMCMapUserBatch(c, asid, reqs); err == nil {
+		t.Fatal("writable mapping of a sealed common region was accepted")
+	}
+	if reqs[0].Flags != (MapFlags{Writable: true}) {
+		t.Fatal("EMCMapUserBatch mutated the caller's request slice")
+	}
+	reqs[0].Flags.Writable = false
+	if err := mon.EMCMapUserBatch(c, asid, reqs); err != nil {
+		t.Fatal(err)
+	}
+	as := mon.addrSpaces[asid]
+	pte, _, fault := as.tables.Walk(0x4000_0000)
+	if fault != nil {
+		t.Fatal("read-only common mapping not installed")
+	}
+	if pte.Is(paging.Writable) {
+		t.Fatal("sealed common region mapped writable")
+	}
+}
+
+// TestRecycleSandboxRequiresQuiescence: the monitor refuses to reissue a
+// sandbox whose session still has a request in flight — queued client
+// input, or an installed input without a matching output. Recycling at that
+// point would hand the next tenant an identity whose hosting task is still
+// executing the previous tenant's request.
+func TestRecycleSandboxRequiresQuiescence(t *testing.T) {
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := mon.EMCCreateSandbox(c, asid, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := mon.sandboxes[id]
+
+	sb.pendingInput = [][]byte{{0xA5}}
+	if _, err := mon.EMCRecycleSandbox(c, id); err == nil {
+		t.Fatal("recycle accepted with client input still queued")
+	}
+	sb.pendingInput = nil
+
+	sb.InputMsgs, sb.OutputMsgs = 1, 0
+	if _, err := mon.EMCRecycleSandbox(c, id); err == nil {
+		t.Fatal("recycle accepted with a request in flight")
+	}
+	if sb.destroyed {
+		t.Fatal("denied recycle destroyed the sandbox")
+	}
+
+	sb.OutputMsgs = 1
+	newID, err := mon.EMCRecycleSandbox(c, id)
+	if err != nil {
+		t.Fatalf("recycle of a quiescent sandbox denied: %v", err)
+	}
+	if newID == id {
+		t.Fatal("recycle reissued the same identity")
+	}
+}
+
 // TestRecycleSandboxScrubsAndTransfers: EMCRecycleSandbox is the warm-pool
 // core — the next tenant inherits the carcass (AS, pinned frames, PTE
 // templates) but must never see the previous tenant's bytes or identity.

@@ -322,6 +322,17 @@ func (mon *Monitor) allocPTP() (mem.Frame, error) {
 	return f, nil
 }
 
+// freePTP returns a page-table page to the monitor pool (batched-map
+// rollback). The frame is deregistered, loses its PTP key in the direct map,
+// and goes back to the reserved region it came from.
+func (mon *Monitor) freePTP(f mem.Frame) {
+	delete(mon.ptps, f)
+	if mon.dirmapReady {
+		mon.keyDirectMap(f, KeyDefault)
+	}
+	_ = mon.M.Phys.Free(f)
+}
+
 // DirectMapAddr is the kernel-virtual address of a physical frame.
 func DirectMapAddr(f mem.Frame) paging.Addr {
 	return DirectMapBase + paging.Addr(f.Base())

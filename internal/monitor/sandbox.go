@@ -356,12 +356,30 @@ func (mon *Monitor) EMCKillSandbox(c *cpu.Core, id SandboxID, reason string) {
 // not: every confined frame is zeroed, registers are scrubbed, the secure
 // channel and pending input are dropped, and the single-mapping ownership
 // index is rewritten to the new identity. Returns the new SandboxID.
+//
+// The sandbox must be quiescent: recycle is refused (typed) while client
+// input is queued or an installed input has no matching output. Without
+// this precondition the untrusted kernel could transfer identity and
+// ownership to the next tenant while the previous tenant's request is
+// still executing inside the hosting task, and the stale computation's
+// output would surface on the new tenant's channel — exactly the
+// cross-tenant replay zero-on-recycle exists to rule out.
 func (mon *Monitor) EMCRecycleSandbox(c *cpu.Core, id SandboxID) (SandboxID, error) {
 	var newID SandboxID
 	err := mon.gate(c, "sandbox", func() error {
 		sb, ok := mon.sandboxes[id]
 		if !ok || sb.destroyed {
 			return denied("recycle-sandbox", "no live sandbox %d", id)
+		}
+		if len(sb.pendingInput) > 0 {
+			return denied("recycle-sandbox",
+				"sandbox %d not quiescent: %d client input message(s) still queued",
+				id, len(sb.pendingInput))
+		}
+		if sb.InputMsgs > sb.OutputMsgs {
+			return denied("recycle-sandbox",
+				"sandbox %d not quiescent: request in flight (%d inputs, %d outputs)",
+				id, sb.InputMsgs, sb.OutputMsgs)
 		}
 		// Zero-on-recycle: confined frames stay allocated, pinned and
 		// mapped, but their contents are gone before re-issue.

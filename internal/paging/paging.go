@@ -383,6 +383,59 @@ func (t *Tables) Unmap(v Addr) error {
 	return nil
 }
 
+// Prune walks the table path of v top-down as far as it is present, then
+// releases empty table pages bottom-up: for each fully-zero table page
+// (never the root), free is consulted; if it accepts the frame, the parent
+// entry is cleared and the walk continues one level up. Rollback paths use
+// it to return page-table pages created by a partially committed batch —
+// free can refuse frames that predate the batch, which also stops the
+// upward walk (an ancestor of a kept page is never empty anyway).
+func (t *Tables) Prune(v Addr, free func(mem.Frame) bool) error {
+	idx, _ := Split(v)
+	path := []mem.Frame{t.Root}
+	for l := 0; l < Levels-1; l++ {
+		e, err := ReadPTE(t.Phys, entryAddr(path[l], idx[l]))
+		if err != nil {
+			return err
+		}
+		if !e.Is(Present) {
+			break
+		}
+		path = append(path, e.Frame())
+	}
+	for l := len(path) - 1; l >= 1; l-- {
+		empty, err := t.tableEmpty(path[l])
+		if err != nil {
+			return err
+		}
+		if !empty || !free(path[l]) {
+			return nil
+		}
+		a := entryAddr(path[l-1], idx[l-1])
+		if err := WritePTE(t.Phys, a, 0); err != nil {
+			return err
+		}
+		if t.OnPTEWrite != nil {
+			t.OnPTEWrite(a, 0)
+		}
+	}
+	return nil
+}
+
+// tableEmpty reports whether every entry of a table page is zero.
+func (t *Tables) tableEmpty(f mem.Frame) (bool, error) {
+	for i := 0; i < EntriesPerPT; i++ {
+		e, err := ReadPTE(t.Phys, entryAddr(f, i))
+		if err != nil {
+			return false, err
+		}
+		if e != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // Update rewrites the leaf PTE for v via fn. It fails if v is unmapped.
 func (t *Tables) Update(v Addr, fn func(PTE) PTE) error {
 	e, a, f := t.Walk(v)

@@ -499,7 +499,7 @@ func (s *Server) finish(sl *slot, msg []byte) {
 	if sl.warm {
 		s.warmServed++
 	}
-	s.turnover(sl)
+	s.turnover(sl, true)
 }
 
 // fail records a typed session failure and turns the slot over.
@@ -510,12 +510,12 @@ func (s *Server) fail(sl *slot, err error) {
 		Warm: sl.warm, Cycles: cycles, Err: err.Error(),
 	})
 	s.failed++
-	s.turnover(sl)
+	s.turnover(sl, false)
 }
 
 // turnover retires the finished session and prepares the slot for its next
-// tenant: warm recycle when possible, cold relaunch otherwise.
-func (s *Server) turnover(sl *slot) {
+// tenant: warm recycle after a clean completion, cold relaunch otherwise.
+func (s *Server) turnover(sl *slot, clean bool) {
 	sl.served++
 	next := sl.idx + sl.served*s.cfg.Tenants
 	if next >= s.cfg.Sessions {
@@ -530,7 +530,15 @@ func (s *Server) turnover(sl *slot) {
 
 	info, _ := sl.c.Info()
 	workerAlive := sl.c.Task.State != kernel.TaskZombie
-	if !s.cfg.Cold && workerAlive && !info.Destroyed {
+	// Warm reissue only after a clean completion. A failed session can leave
+	// the worker suspended mid-request — its coroutine-local buffers and
+	// loop position survive recycling (only frame contents and saved
+	// registers are scrubbed) — and stepping it under the next tenant would
+	// resume the old computation and deliver the previous tenant's reply
+	// bytes over the new tenant's channel. The monitor independently
+	// refuses to recycle a non-quiescent sandbox; a denied recycle falls
+	// through to the cold path here as well.
+	if clean && !s.cfg.Cold && workerAlive && !info.Destroyed {
 		if newID, err := s.w.K.RecycleSandbox(sl.c.Task); err == nil {
 			sl.c.ID = newID
 			sl.warm = true

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
+	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
@@ -179,6 +181,69 @@ func TestServeSessionsInterleave(t *testing.T) {
 	// With 8 concurrent slots every pair should overlap; demand most do.
 	if overlaps < 20 {
 		t.Fatalf("only %d overlapping tenant-span pairs; sessions are serialized", overlaps)
+	}
+}
+
+// TestServeFailedSessionRelaunchesCold: a failed session must never hand
+// its slot's worker to the next tenant warm. The worker coroutine's local
+// state (request/reply buffers, loop position) survives EMCRecycleSandbox,
+// so a mid-request abort followed by a warm reissue would let the next
+// tenant's stepping resume the old computation and receive the previous
+// tenant's reply bytes. The slot must kill and relaunch instead, and the
+// following tenant must still be served correctly.
+func TestServeFailedSessionRelaunchesCold(t *testing.T) {
+	s, err := New(Config{Tenants: 1, Sessions: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := s.slots[0]
+	// Drive tenant 0 up to the reply wait, so its request is genuinely in
+	// flight toward the worker, then abort the session the way a receive
+	// timeout does.
+	mux := &secchan.MuxProxy{}
+	for i := 0; sl.state != stWait; i++ {
+		if i > 1000 {
+			t.Fatal("session never reached the reply wait")
+		}
+		mux.Reset()
+		mux.Add(sl.sess.Proxy)
+		mux.PumpAll(8)
+		s.tick(sl)
+		if sl.tenant != 0 {
+			t.Fatal("tenant 0 finished before the abort could be injected")
+		}
+	}
+	s.fail(sl, fmt.Errorf("serve: injected mid-request abort: %w", secchan.ErrTimeout))
+
+	if sl.warm {
+		t.Fatal("slot reissued warm after a failed session")
+	}
+	if got := s.w.Mon.Stats.SandboxRecycles; got != 0 {
+		t.Fatalf("failed session recycled its sandbox %d time(s)", got)
+	}
+	if s.relaunches != 1 {
+		t.Fatalf("relaunches = %d, want 1 (cold rebuild after failure)", s.relaunches)
+	}
+
+	// Tenant 1 now runs on the relaunched worker; finish() validates its
+	// reply byte-for-byte against tenant 1's own request, so completion
+	// here proves no cross-tenant bytes surfaced.
+	for i := 0; !sl.done; i++ {
+		if i > 100000 {
+			t.Fatal("tenant 1 never completed on the relaunched slot")
+		}
+		mux.Reset()
+		mux.Add(sl.sess.Proxy)
+		mux.PumpAll(8)
+		s.tick(sl)
+	}
+	if s.completed != 1 || s.failed != 1 {
+		t.Fatalf("completed=%d failed=%d, want 1/1", s.completed, s.failed)
+	}
+	for _, r := range s.results {
+		if r.Tenant == 1 && r.Err != "" {
+			t.Fatalf("tenant 1 failed on the relaunched slot: %s", r.Err)
+		}
 	}
 }
 
