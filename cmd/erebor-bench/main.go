@@ -39,6 +39,7 @@ var traceBench bool
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|all")
 	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
+	vcpus := flag.Int("vcpus", 1, "simulated vCPUs for the serve fleet-size sweep (the vCPU sweep always runs P∈{1,2,4})")
 	flag.BoolVar(&traceBench, "trace", false,
 		"attach the flight recorder to scenario runs and print p50/p99 span summaries as JSON")
 	flag.Parse()
@@ -76,7 +77,7 @@ func main() {
 	})
 	run("fig10", fig10)
 	run("memshare", func() error { return memshare(*scale) })
-	run("serve", func() error { return serveBench(*scale) })
+	run("serve", func() error { return serveBench(*scale, *vcpus) })
 	run("ablations", ablations)
 
 	if traceBench && sets != nil {
@@ -260,11 +261,12 @@ func memshare(scale int) error {
 }
 
 // serveBench sweeps the multi-tenant serving path over fleet sizes,
-// comparing warm-pool recycling against cold per-session sandbox creation.
-// Runs are deterministic: the same seed reproduces the same report bytes.
-func serveBench(scale int) error {
-	fmt.Printf("%-8s %-5s %10s %14s %12s %9s      (multi-tenant serving, warm pool vs cold create)\n",
-		"tenants", "mode", "sessions", "cycles/sess", "sessions/s", "recycles")
+// comparing warm-pool recycling against cold per-session sandbox creation,
+// on vcpus simulated cores. Runs are deterministic: the same (seed, vcpus)
+// reproduces the same report bytes.
+func serveBench(scale, vcpus int) error {
+	fmt.Printf("%-8s %-5s %10s %14s %12s %9s      (multi-tenant serving, warm pool vs cold create, %d vCPU)\n",
+		"tenants", "mode", "sessions", "cycles/sess", "sessions/s", "recycles", vcpus)
 	for _, n := range []int{1, 8, 64, 256} {
 		sessions := 2 * n * scale
 		memMB := uint64(256)
@@ -273,7 +275,7 @@ func serveBench(scale int) error {
 		}
 		for _, cold := range []bool{false, true} {
 			rep, err := serve.Run(serve.Config{
-				Tenants: n, Sessions: sessions, Seed: 1, MemMB: memMB, Cold: cold,
+				Tenants: n, Sessions: sessions, Seed: 1, MemMB: memMB, Cold: cold, VCPUs: vcpus,
 			})
 			if err != nil {
 				return err
@@ -289,6 +291,37 @@ func serveBench(scale int) error {
 			fmt.Printf("%-8d %-5s %10d %14d %12.1f %9d\n",
 				n, mode, rep.Completed, rep.CyclesPerSession, rep.SessionsPerSec, rep.Recycles)
 		}
+	}
+	return serveVCPUSweep(scale)
+}
+
+// serveVCPUSweep runs the 64-tenant warm fleet at P ∈ {1,2,4} vCPUs: slots
+// spread across cores deterministically, and the wall-clock report shows
+// per-core work overlapping (cycles/session drops as P grows).
+func serveVCPUSweep(scale int) error {
+	const tenants = 64
+	sessions := 2 * tenants * scale
+	memMB := uint64(256 + tenants*4)
+	fmt.Printf("\n%-8s %-6s %10s %14s %12s      (vCPU sweep, 64-tenant warm fleet)\n",
+		"tenants", "vcpus", "sessions", "cycles/sess", "sessions/s")
+	var perSession []uint64
+	for _, p := range []int{1, 2, 4} {
+		rep, err := serve.Run(serve.Config{
+			Tenants: tenants, Sessions: sessions, Seed: 1, MemMB: memMB, VCPUs: p,
+		})
+		if err != nil {
+			return err
+		}
+		if rep.Completed != sessions {
+			return fmt.Errorf("serve vcpus=%d: %d/%d sessions completed (%d failed)",
+				p, rep.Completed, sessions, rep.Failed)
+		}
+		perSession = append(perSession, rep.CyclesPerSession)
+		fmt.Printf("%-8d %-6d %10d %14d %12.1f\n",
+			tenants, p, rep.Completed, rep.CyclesPerSession, rep.SessionsPerSec)
+	}
+	if last, first := perSession[len(perSession)-1], perSession[0]; last >= first {
+		return fmt.Errorf("serve vCPU sweep: P=4 cycles/session (%d) not below P=1 (%d)", last, first)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@
 //	erebor-serve -tenants 64 -sessions 256            # warm pool (default)
 //	erebor-serve -tenants 64 -sessions 256 -cold      # cold-create baseline
 //	erebor-serve -tenants 64 -chaos 0.05              # fault-injected fleet
+//	erebor-serve -tenants 64 -vcpus 4                 # SMP fleet, 4 cores
 //	erebor-serve -tenants 8 -trace trace.json         # Chrome trace export
 //
 // Runs are deterministic: the same flags and seed reproduce the same report
@@ -28,6 +29,7 @@ func main() {
 	tenants := flag.Int("tenants", 8, "concurrent tenant slots")
 	sessions := flag.Int("sessions", 0, "total sessions to serve (default 2x tenants)")
 	seed := flag.Int64("seed", 1, "run seed (requests, fault schedule)")
+	vcpus := flag.Int("vcpus", 1, "simulated vCPUs serving the fleet")
 	memMB := flag.Uint64("mem", 0, "CVM memory in MiB (default sized to the fleet)")
 	inputBytes := flag.Int("input", 1024, "per-tenant request bytes")
 	modelKB := flag.Int("model", 64, "shared model size in KiB")
@@ -42,6 +44,7 @@ func main() {
 		Tenants:    *tenants,
 		Sessions:   *sessions,
 		Seed:       *seed,
+		VCPUs:      *vcpus,
 		MemMB:      *memMB,
 		InputBytes: *inputBytes,
 		ModelBytes: *modelKB << 10,
@@ -91,8 +94,8 @@ func main() {
 	}
 
 	if *quiet {
-		fmt.Printf("tenants=%d sessions=%d completed=%d failed=%d warm=%d recycles=%d cycles/session=%d sessions/s=%.1f\n",
-			rep.Tenants, rep.Sessions, rep.Completed, rep.Failed,
+		fmt.Printf("tenants=%d vcpus=%d sessions=%d completed=%d failed=%d warm=%d recycles=%d cycles/session=%d sessions/s=%.1f\n",
+			rep.Tenants, rep.VCPUs, rep.Sessions, rep.Completed, rep.Failed,
 			rep.WarmSessions, rep.Recycles, rep.CyclesPerSession, rep.SessionsPerSec)
 		return
 	}

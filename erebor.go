@@ -51,6 +51,10 @@ import (
 type PlatformConfig struct {
 	// MemMB is the CVM's physical memory (default 128).
 	MemMB uint64
+	// VCPUs is the number of simulated cores (default 1). The guest
+	// scheduler steps tasks across them in a fixed round-robin interleave
+	// on the virtual clock, so runs stay deterministic at any count.
+	VCPUs int
 	// Baseline boots a native CVM without the monitor (for comparisons).
 	Baseline bool
 	// PlainGuest boots a non-TD guest (§10 compatibility mode).
@@ -154,7 +158,8 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		mode = kernel.ModeNative
 	}
 	w, err := harness.NewWorld(harness.WorldConfig{
-		Mode: mode, MemMB: cfg.MemMB, PadBlock: cfg.PadBlock, PlainGuest: cfg.PlainGuest,
+		Mode: mode, MemMB: cfg.MemMB, VCPUs: cfg.VCPUs,
+		PadBlock: cfg.PadBlock, PlainGuest: cfg.PlainGuest,
 		Trace: cfg.Trace.Enabled, TraceCapacity: cfg.Trace.CapacityEvents,
 	})
 	if err != nil {

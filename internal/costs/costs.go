@@ -115,6 +115,20 @@ const (
 	FaultHandlerBase = 620
 )
 
+// TLB and SMP coherence costs.
+const (
+	// TLBHit is a translation served from the per-core TLB (no walk).
+	TLBHit = 12
+	// TLBInvlPg is one invlpg executed on the initiating core.
+	TLBInvlPg = 180
+	// TLBFlushAS is invalidating every cached translation of one address
+	// space on the initiating core (PCID-targeted flush).
+	TLBFlushAS = 240
+	// IPISend is programming the APIC ICR to raise a shootdown IPI on one
+	// remote core (delivery and the remote handler are charged separately).
+	IPISend = 520
+)
+
 // TDX / host costs beyond the raw transitions.
 const (
 	// VEInjection is the TDX module trapping a guest event and injecting a

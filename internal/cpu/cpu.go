@@ -191,10 +191,89 @@ type Machine struct {
 func NewMachine(phys *mem.Physical, ncores int, td bool) *Machine {
 	m := &Machine{Phys: phys, IBT: cet.NewIBT(), TD: td}
 	for i := 0; i < ncores; i++ {
-		c := &Core{ID: i, Machine: m, Ring: 0, msr: make(map[uint32]uint64)}
+		c := &Core{ID: i, Machine: m, Ring: 0, msr: make(map[uint32]uint64),
+			tlb: newTLB(DefaultTLBEntries)}
 		m.Cores = append(m.Cores, c)
 	}
 	return m
+}
+
+// ShootdownDetail is the Trap.Detail carried by a TLB-shootdown IPI, so
+// the IDT owner (the monitor under Erebor) can recognize and absorb it.
+const ShootdownDetail = "tlb-shootdown"
+
+// shootdownIPIs raises the shootdown IPI on every remote core. Cores with
+// no IDT installed (offline, or not yet through boot) have empty TLBs and
+// are skipped — there is nothing to invalidate and nowhere to vector.
+func (m *Machine) shootdownIPIs(initiator *Core) {
+	for _, c := range m.Cores {
+		if c == initiator || c.idt == nil {
+			continue
+		}
+		m.Clock.Charge(costs.IPISend)
+		c.Deliver(&Trap{Vector: VecIPI, Detail: ShootdownDetail})
+	}
+}
+
+func (m *Machine) checkShootdownInitiator(initiator *Core) {
+	if initiator == nil || initiator.Machine != m {
+		panic("cpu: TLB shootdown without an initiating core on this machine")
+	}
+	if initiator.Ring != 0 {
+		panic("cpu: TLB shootdown initiated outside ring 0")
+	}
+}
+
+// Shootdown invalidates the given pages of one address space (identified
+// by its root PTP frame) in every core's TLB, then raises a shootdown IPI
+// on each remote core. The initiator is charged invlpg cost per page plus
+// IPI-send cost per remote; remote handler cost is charged by delivery.
+// Privileged software must call this after any present leaf changes or is
+// removed, before the old frame may be reused.
+func (m *Machine) Shootdown(initiator *Core, root mem.Frame, vas ...paging.Addr) {
+	m.checkShootdownInitiator(initiator)
+	if len(vas) == 0 {
+		return
+	}
+	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
+	for _, c := range m.Cores {
+		for _, va := range vas {
+			if c.tlb.InvalidatePage(root, va) {
+				c.TLBInvalidations++
+			}
+		}
+	}
+	m.shootdownIPIs(initiator)
+}
+
+// ShootdownRoot invalidates every cached translation of one address space
+// on every core (PCID-targeted flush) and IPIs the remote cores. Used
+// when an address space is destroyed or a sandbox is recycled.
+func (m *Machine) ShootdownRoot(initiator *Core, root mem.Frame) {
+	m.checkShootdownInitiator(initiator)
+	m.Clock.Charge(costs.TLBFlushAS)
+	for _, c := range m.Cores {
+		c.TLBInvalidations += uint64(c.tlb.InvalidateRoot(root))
+	}
+	m.shootdownIPIs(initiator)
+}
+
+// ShootdownVA invalidates the given pages under *every* root on every
+// core. Used when a shared kernel-half leaf changes (e.g. the monitor
+// re-keys a direct-map page): such leaves are reachable from all address
+// spaces, so root-scoped invalidation would leave stale entries behind.
+func (m *Machine) ShootdownVA(initiator *Core, vas ...paging.Addr) {
+	m.checkShootdownInitiator(initiator)
+	if len(vas) == 0 {
+		return
+	}
+	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
+	for _, c := range m.Cores {
+		for _, va := range vas {
+			c.TLBInvalidations += uint64(c.tlb.InvalidateVA(va))
+		}
+	}
+	m.shootdownIPIs(initiator)
 }
 
 // MintMonitorToken mints the single monitor capability. A second call
@@ -242,7 +321,19 @@ type Core struct {
 
 	// Depth guards against recursive trap delivery loops in the simulation.
 	deliverDepth int
+
+	// tlb is this core's translation cache (PCID-tagged; survives CR3
+	// reloads). See tlb.go.
+	tlb *TLB
+
+	// Per-core TLB statistics (evaluation accounting).
+	TLBHits          uint64
+	TLBMisses        uint64
+	TLBInvalidations uint64
 }
+
+// TLB exposes the core's translation cache (tests and statistics).
+func (c *Core) TLB() *TLB { return c.tlb }
 
 // --- basic state accessors -------------------------------------------------
 
@@ -454,16 +545,36 @@ func (c *Core) Tables() *paging.Tables {
 
 // Access checks one access of kind at v against the live translation and
 // permission state, returning the leaf PTE on success or a #PF trap.
+//
+// The translation comes from the core's TLB when cached (charging a hit
+// instead of a walk); permissions are always checked against the current
+// register state, so a cached translation never bypasses PKRS, ring, or
+// SMAP enforcement. Successful walks fill the TLB — which is exactly why
+// unmap/reclaim paths must shoot down remote TLBs before reusing a frame.
 func (c *Core) Access(v paging.Addr, kind paging.AccessKind) (paging.PTE, *Trap) {
-	c.Machine.Clock.Charge(costs.PageWalk)
-	pte, _, f := c.Tables().Walk(v)
-	if f == nil {
-		f = paging.Check(v, pte, kind, c.pagingCtx())
+	root := c.CR3Frame()
+	pte, hit := c.tlb.Lookup(root, v)
+	if hit {
+		c.Machine.Clock.Charge(costs.TLBHit)
+		c.TLBHits++
+	} else {
+		c.Machine.Clock.Charge(costs.PageWalk)
+		c.TLBMisses++
+		var f *paging.Fault
+		pte, _, f = c.Tables().Walk(v)
+		if f != nil {
+			f.Kind = kind
+			f.Addr = v
+			return 0, &Trap{Vector: VecPF, Fault: f, FromRing: c.Ring}
+		}
 	}
-	if f != nil {
+	if f := paging.Check(v, pte, kind, c.pagingCtx()); f != nil {
 		f.Kind = kind
 		f.Addr = v
 		return 0, &Trap{Vector: VecPF, Fault: f, FromRing: c.Ring}
+	}
+	if !hit {
+		c.tlb.Insert(root, v, pte)
 	}
 	return pte, nil
 }

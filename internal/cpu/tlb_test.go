@@ -1,0 +1,233 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+)
+
+func testLeaf(f mem.Frame) paging.PTE {
+	return (paging.Present | paging.Writable | paging.User | paging.NX).WithFrame(f)
+}
+
+func TestTLBInsertLookupInvalidate(t *testing.T) {
+	tlb := newTLB(4)
+	rootA, rootB := mem.Frame(10), mem.Frame(11)
+	va := paging.Addr(0x5000)
+
+	if _, ok := tlb.Lookup(rootA, va); ok {
+		t.Fatal("hit in empty TLB")
+	}
+	tlb.Insert(rootA, va, testLeaf(1))
+	tlb.Insert(rootB, va, testLeaf(2))
+	if pte, ok := tlb.Lookup(rootA, va); !ok || pte.Frame() != 1 {
+		t.Fatalf("rootA lookup: %v %v", pte, ok)
+	}
+	if pte, ok := tlb.Lookup(rootB, va); !ok || pte.Frame() != 2 {
+		t.Fatalf("rootB lookup: %v %v", pte, ok)
+	}
+	// Offsets within the page hit the same entry.
+	if pte, ok := tlb.Lookup(rootA, va+0x123); !ok || pte.Frame() != 1 {
+		t.Fatalf("offset lookup: %v %v", pte, ok)
+	}
+
+	// Page invalidation is root-scoped.
+	if !tlb.InvalidatePage(rootA, va) {
+		t.Fatal("InvalidatePage found nothing")
+	}
+	if _, ok := tlb.Lookup(rootA, va); ok {
+		t.Fatal("rootA entry survived InvalidatePage")
+	}
+	if _, ok := tlb.Lookup(rootB, va); !ok {
+		t.Fatal("rootB entry hit by rootA invalidation")
+	}
+
+	// VA invalidation crosses roots.
+	tlb.Insert(rootA, va, testLeaf(1))
+	if n := tlb.InvalidateVA(va); n != 2 {
+		t.Fatalf("InvalidateVA dropped %d entries, want 2", n)
+	}
+	if tlb.Len() != 0 {
+		t.Fatalf("len %d after InvalidateVA", tlb.Len())
+	}
+
+	// Root invalidation drops every entry of one space.
+	tlb.Insert(rootA, va, testLeaf(1))
+	tlb.Insert(rootA, va+0x1000, testLeaf(3))
+	tlb.Insert(rootB, va, testLeaf(2))
+	if n := tlb.InvalidateRoot(rootA); n != 2 {
+		t.Fatalf("InvalidateRoot dropped %d, want 2", n)
+	}
+	if _, ok := tlb.Lookup(rootB, va); !ok {
+		t.Fatal("rootB entry lost to rootA flush")
+	}
+}
+
+func TestTLBFIFOEvictionAndUpdate(t *testing.T) {
+	tlb := newTLB(2)
+	root := mem.Frame(7)
+	tlb.Insert(root, 0x1000, testLeaf(1))
+	tlb.Insert(root, 0x2000, testLeaf(2))
+	// In-place update must not reset eviction age or grow the TLB.
+	tlb.Insert(root, 0x1000, testLeaf(9))
+	if pte, ok := tlb.Lookup(root, 0x1000); !ok || pte.Frame() != 9 {
+		t.Fatalf("updated entry: %v %v", pte, ok)
+	}
+	if tlb.Len() != 2 {
+		t.Fatalf("len %d after update", tlb.Len())
+	}
+	// Capacity 2: a third key evicts the oldest (0x1000, despite the update).
+	tlb.Insert(root, 0x3000, testLeaf(3))
+	if _, ok := tlb.Lookup(root, 0x1000); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := tlb.Lookup(root, 0x2000); !ok {
+		t.Fatal("younger entry evicted")
+	}
+}
+
+// coreWithTables builds a machine with ncores, maps va in a fresh address
+// space, and points every core's CR3 at it.
+func coreWithTables(t *testing.T, ncores int) (*Machine, *paging.Tables, paging.Addr, mem.Frame) {
+	t.Helper()
+	phys := mem.NewPhysical(256 * mem.PageSize)
+	m := NewMachine(phys, ncores, true)
+	tb, err := paging.New(phys, func() (mem.Frame, error) { return phys.Alloc(mem.OwnerKernel) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := phys.Alloc(mem.OwnerKernel)
+	va := paging.Addr(0x40_0000)
+	if err := tb.Map(va, testLeaf(f)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Cores {
+		if tr := c.WriteCR(CR3, uint64(tb.Root.Base())); tr != nil {
+			t.Fatal(tr)
+		}
+	}
+	return m, tb, va, f
+}
+
+func TestAccessFillsAndHitsTLB(t *testing.T) {
+	m, _, va, _ := coreWithTables(t, 1)
+	c := m.Cores[0]
+	c.SetRing(3)
+
+	start := m.Clock.Now()
+	if _, tr := c.Access(va, paging.Read); tr != nil {
+		t.Fatal(tr)
+	}
+	if got := m.Clock.Now() - start; got != costs.PageWalk {
+		t.Fatalf("miss charged %d, want %d", got, costs.PageWalk)
+	}
+	start = m.Clock.Now()
+	if _, tr := c.Access(va+8, paging.Read); tr != nil {
+		t.Fatal(tr)
+	}
+	if got := m.Clock.Now() - start; got != costs.TLBHit {
+		t.Fatalf("hit charged %d, want %d", got, costs.TLBHit)
+	}
+	if c.TLBHits != 1 || c.TLBMisses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.TLBHits, c.TLBMisses)
+	}
+}
+
+func TestTLBHitStillChecksPermissions(t *testing.T) {
+	// A cached translation must never bypass the live permission state:
+	// after the leaf's fill, dropping to ring 3 on a supervisor-only page
+	// (or raising SMAP) still faults.
+	m, tb, va, f := coreWithTables(t, 1)
+	c := m.Cores[0]
+	// Cache the translation at ring 0 (user page: no SMAP in this config).
+	if _, tr := c.Access(va, paging.Read); tr != nil {
+		t.Fatal(tr)
+	}
+	// Remap supervisor-only directly (simulating a racing kernel): the TLB
+	// still holds the user leaf, so a stale ring-3 read would succeed if
+	// permissions were cached too. They are not — but the *translation* is,
+	// which is the coherence hazard shootdowns exist for.
+	sup := (paging.Present | paging.Writable | paging.NX).WithFrame(f)
+	if err := tb.Map(va, sup); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRing(3)
+	if _, tr := c.Access(va, paging.Read); tr == nil {
+		// The stale cached leaf still says User: this read passes. That is
+		// the modeled hazard; it must close after a shootdown.
+		m.Shootdown(func() *Core { c.SetRing(0); return c }(), tb.Root, va)
+		c.SetRing(3)
+		if _, tr := c.Access(va, paging.Read); tr == nil || tr.Vector != VecPF {
+			t.Fatalf("post-shootdown access: %v", tr)
+		}
+	} else {
+		t.Fatalf("stale TLB hit unexpectedly faulted: %v", tr)
+	}
+}
+
+func TestShootdownInvalidatesRemoteTLB(t *testing.T) {
+	m, tb, va, _ := coreWithTables(t, 2)
+	c0, c1 := m.Cores[0], m.Cores[1]
+	// Remote cores need an IDT for IPI delivery; absorb the IPI vector.
+	idt := NewIDT()
+	idt.Set(VecIPI, func(c *Core, tr *Trap) {})
+	for _, c := range m.Cores {
+		if tr := c.LIDT(idt); tr != nil {
+			t.Fatal(tr)
+		}
+	}
+	// Prime core 1's TLB.
+	if _, tr := c1.Access(va, paging.Read); tr != nil {
+		t.Fatal(tr)
+	}
+	if tb.Unmap(va) != nil {
+		t.Fatal("unmap failed")
+	}
+	// Stale entry still serves core 1 (hazard window)...
+	if _, tr := c1.Access(va, paging.Read); tr != nil {
+		t.Fatalf("stale access faulted early: %v", tr)
+	}
+	ipiBefore := m.TrapCounts[VecIPI].Load()
+	before := m.Clock.Now()
+	m.Shootdown(c0, tb.Root, va)
+	charged := m.Clock.Now() - before
+	// invlpg + one IPI send + remote delivery (interrupt delivery cost).
+	want := uint64(costs.TLBInvlPg + costs.IPISend + costs.InterruptDelivery)
+	if charged != want {
+		t.Fatalf("shootdown charged %d, want %d", charged, want)
+	}
+	if got := m.TrapCounts[VecIPI].Load() - ipiBefore; got != 1 {
+		t.Fatalf("IPI deliveries %d, want 1", got)
+	}
+	if c1.TLBInvalidations != 1 {
+		t.Fatalf("core1 invalidations %d, want 1", c1.TLBInvalidations)
+	}
+	// ...and is gone after the shootdown: the access faults.
+	if _, tr := c1.Access(va, paging.Read); tr == nil || tr.Vector != VecPF {
+		t.Fatalf("post-shootdown access: %v", tr)
+	}
+}
+
+func TestShootdownSkipsCoresWithoutIDT(t *testing.T) {
+	m, tb, va, _ := coreWithTables(t, 2)
+	// Neither core has an IDT: the shootdown must not try to deliver IPIs
+	// (pre-boot cores have empty TLBs anyway).
+	m.Shootdown(m.Cores[0], tb.Root, va)
+	if n := m.TrapCounts[VecIPI].Load(); n != 0 {
+		t.Fatalf("IPIs delivered to IDT-less cores: %d", n)
+	}
+}
+
+func TestShootdownRequiresRing0(t *testing.T) {
+	m, tb, va, _ := coreWithTables(t, 1)
+	c := m.Cores[0]
+	c.SetRing(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ring-3 shootdown did not panic")
+		}
+	}()
+	m.Shootdown(c, tb.Root, va)
+}

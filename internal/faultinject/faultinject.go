@@ -12,6 +12,7 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/trace"
@@ -107,13 +108,20 @@ const capturedCap = 64
 
 // Injector owns the PRNG schedule and state shared by every transport it
 // wraps (a single session's links draw from one deterministic stream).
+//
+// A mutex guards the PRNG, the replay capture buffer, and the counters so
+// one injector may be shared across slots/cores under the race detector.
+// Locking changes no draw order: a single-goroutine caller sees exactly the
+// schedule pre-SMP seeds produced.
 type Injector struct {
 	plan Plan
-	rng  *rand.Rand
 
-	// captured retains relayed frames as replay ammunition.
-	captured [][]byte
+	mu       sync.Mutex
+	rng      *rand.Rand
+	captured [][]byte // retains relayed frames as replay ammunition
 
+	// Counters tallies injected faults. Concurrent readers should use
+	// Snapshot; direct field access is only safe once sending has quiesced.
 	Counters Counters
 
 	// Rec, when non-nil, records every injected fault as a flight-recorder
@@ -139,9 +147,18 @@ func (inj *Injector) Wrap(inner secchan.Transport) *Transport {
 	return &Transport{inner: inner, inj: inj}
 }
 
-// decide draws the fault class for one frame: one uniform roll against the
-// cumulative class probabilities, NumClasses meaning "pass clean".
-func (inj *Injector) decide() Class {
+// Snapshot returns the counters under the injector's lock, safe to call
+// while other slots are still sending.
+func (inj *Injector) Snapshot() Counters {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.Counters
+}
+
+// decideLocked draws the fault class for one frame: one uniform roll against
+// the cumulative class probabilities, NumClasses meaning "pass clean".
+// Callers hold inj.mu.
+func (inj *Injector) decideLocked() Class {
 	r := inj.rng.Float64()
 	cum := 0.0
 	probs := [NumClasses]float64{
@@ -157,14 +174,63 @@ func (inj *Injector) decide() Class {
 	return NumClasses
 }
 
-// capture retains a copy of a frame for later replay.
-func (inj *Injector) capture(frame []byte) {
+// captureLocked retains a copy of a frame for later replay. Callers hold
+// inj.mu.
+func (inj *Injector) captureLocked(frame []byte) {
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
 	inj.captured = append(inj.captured, cp)
 	if len(inj.captured) > capturedCap {
 		inj.captured = inj.captured[1:]
 	}
+}
+
+// decision is everything one frame's fault needs from the shared PRNG state,
+// drawn in a single locked section so concurrent senders cannot interleave
+// mid-frame. Draw order matches the pre-SMP single-stream schedule exactly.
+type decision struct {
+	class                   Class
+	corruptByte, corruptBit int
+	truncCut                int
+	replay                  []byte
+}
+
+// roll draws one frame's full fault decision under the injector lock.
+func (inj *Injector) roll(frame []byte) decision {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	d := decision{class: inj.decideLocked()}
+	switch d.class {
+	case Drop:
+		inj.Counters.Drops++
+	case Duplicate:
+		inj.Counters.Duplicates++
+		inj.captureLocked(frame)
+	case Reorder:
+		inj.Counters.Reorders++
+		inj.captureLocked(frame)
+	case Corrupt:
+		inj.Counters.Corrupts++
+		if len(frame) > 0 {
+			d.corruptByte = inj.rng.Intn(len(frame))
+			d.corruptBit = inj.rng.Intn(8)
+		}
+	case Truncate:
+		inj.Counters.Truncates++
+		if len(frame) > 1 {
+			d.truncCut = inj.rng.Intn(len(frame))
+		}
+	case Replay:
+		inj.Counters.Replays++
+		inj.captureLocked(frame)
+		if n := len(inj.captured); n > 0 {
+			d.replay = append([]byte(nil), inj.captured[inj.rng.Intn(n)]...)
+		}
+	default:
+		inj.Counters.Passed++
+		inj.captureLocked(frame)
+	}
+	return d
 }
 
 // Transport applies the injector's schedule to frames sent through it.
@@ -177,29 +243,26 @@ type Transport struct {
 	held []byte
 }
 
-// Send relays frame through the fault schedule.
+// Send relays frame through the fault schedule. The PRNG draws and state
+// updates happen in one locked roll; the inner sends run outside the lock so
+// a slow transport cannot serialize unrelated slots.
 func (t *Transport) Send(frame []byte) error {
 	inj := t.inj
-	class := inj.decide()
-	if class != NumClasses {
-		inj.Rec.Emit(trace.KindFaultInject, trace.TrackClient, class.String())
+	d := inj.roll(frame)
+	if d.class != NumClasses {
+		inj.Rec.Emit(trace.KindFaultInject, trace.TrackClient, d.class.String())
 	}
-	switch class {
+	switch d.class {
 	case Drop:
-		inj.Counters.Drops++
 		return nil // the frame vanishes; the sender sees success (lossy wire)
 
 	case Duplicate:
-		inj.Counters.Duplicates++
-		inj.capture(frame)
 		if err := t.inner.Send(frame); err != nil {
 			return err
 		}
 		return t.inner.Send(frame)
 
 	case Reorder:
-		inj.Counters.Reorders++
-		inj.capture(frame)
 		if t.held != nil {
 			// Already holding one: swap, shipping the older frame now.
 			prev := t.held
@@ -210,35 +273,25 @@ func (t *Transport) Send(frame []byte) error {
 		return nil
 
 	case Corrupt:
-		inj.Counters.Corrupts++
 		cp := append([]byte(nil), frame...)
 		if len(cp) > 0 {
-			cp[inj.rng.Intn(len(cp))] ^= 1 << uint(inj.rng.Intn(8))
+			cp[d.corruptByte] ^= 1 << uint(d.corruptBit)
 		}
 		return t.inner.Send(cp)
 
 	case Truncate:
-		inj.Counters.Truncates++
-		cut := 0
-		if len(frame) > 1 {
-			cut = inj.rng.Intn(len(frame))
-		}
-		return t.inner.Send(frame[:cut])
+		return t.inner.Send(frame[:d.truncCut])
 
 	case Replay:
-		inj.Counters.Replays++
-		inj.capture(frame)
 		if err := t.inner.Send(frame); err != nil {
 			return err
 		}
-		if n := len(inj.captured); n > 0 {
-			return t.inner.Send(inj.captured[inj.rng.Intn(n)])
+		if d.replay != nil {
+			return t.inner.Send(d.replay)
 		}
 		return nil
 
 	default:
-		inj.Counters.Passed++
-		inj.capture(frame)
 		if t.held != nil {
 			// A clean send flushes the delayed frame behind this one —
 			// completing the reorder.

@@ -294,7 +294,10 @@ func runContainer(w *World, wl workloads.Workload, cfg ScenarioConfig,
 				Alloc: func(sz int) paging.Addr {
 					va, err := os.Alloc(sz)
 					if err != nil {
-						panic("libos alloc: " + err.Error())
+						// Heap exhaustion inside the sandbox must kill this
+						// task through the typed Fatal path, not crash the
+						// whole simulation.
+						e.Fatal(137, "libos alloc: "+err.Error())
 					}
 					return va
 				},

@@ -38,6 +38,9 @@ type World struct {
 type WorldConfig struct {
 	Mode  kernel.Mode
 	MemMB uint64
+	// VCPUs is the number of simulated cores (0 = 1). The scheduler
+	// round-robins dispatches across them on the virtual clock.
+	VCPUs int
 	// PadBlock overrides the secure channel padding block (0 = default).
 	PadBlock int
 	// PlainGuest boots a normal (non-TD) guest: the paper's §10 paravisor
@@ -64,8 +67,12 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	if cfg.MemMB == 0 {
 		cfg.MemMB = 128
 	}
+	ncores := cfg.VCPUs
+	if ncores < 1 {
+		ncores = 1
+	}
 	phys := mem.NewPhysical(cfg.MemMB << 20)
-	m := cpu.NewMachine(phys, 1, !cfg.PlainGuest)
+	m := cpu.NewMachine(phys, ncores, !cfg.PlainGuest)
 	host := tdx.NewHost()
 	module := tdx.NewModule(phys, host)
 	m.TDX = module
@@ -129,7 +136,8 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 // measurements).
 func (w *World) BootCycles() uint64 { return w.bootCycles }
 
-// Core returns the scheduling core.
+// Core returns the boot/control core (core 0). Dispatches may run on any
+// core; use Kernel.Core for the core of the current dispatch.
 func (w *World) Core() *cpu.Core { return w.M.Cores[0] }
 
 // Elapsed returns cycles since boot completed.

@@ -82,6 +82,11 @@ type Kernel struct {
 
 	sliceEnd uint64
 
+	// SMP dispatch state: the core currently executing a dispatched task,
+	// and the round-robin cursor for core selection (see nextCore).
+	curCore *cpu.Core
+	rrCore  int
+
 	// Syscall plumbing that cannot travel through registers in a Go
 	// simulation: fork/clone child functions and signal handler closures.
 	pendingForkFn     func(e *Env)
@@ -151,7 +156,30 @@ func New(cfg Config) (*Kernel, error) {
 	return k, nil
 }
 
-func (k *Kernel) core() *cpu.Core { return k.M.Cores[0] }
+// curCore is the core the scheduler is currently dispatching on (nil when
+// no dispatch is in flight). Kernel code that needs "the" CPU during a
+// dispatch must run on that core, not hardcode core 0.
+//
+// core returns the executing core: the dispatch core when set, else the
+// boot/control core 0 (boot, spawn, and server-side control paths).
+func (k *Kernel) core() *cpu.Core {
+	if k.curCore != nil {
+		return k.curCore
+	}
+	return k.M.Cores[0]
+}
+
+// Core exposes the executing core to other packages (sandbox plumbing).
+func (k *Kernel) Core() *cpu.Core { return k.core() }
+
+// nextCore picks the dispatch core for the next scheduling step: a fixed
+// round-robin over the machine's cores on the virtual clock, so SMP
+// interleaving is deterministic.
+func (k *Kernel) nextCore() *cpu.Core {
+	c := k.M.Cores[k.rrCore%len(k.M.Cores)]
+	k.rrCore++
+	return c
+}
 
 // bootErebor registers the kernel's handlers with the monitor via EMCs.
 func (k *Kernel) bootErebor() error {
@@ -174,9 +202,9 @@ func (k *Kernel) bootErebor() error {
 }
 
 // bootNative claims the hardware directly: own IDT, CRs, MSRs, kernel page
-// tables with a direct map.
+// tables with a direct map. Every core is brought up identically — a
+// shootdown IPI or a dispatch may land on any of them.
 func (k *Kernel) bootNative() error {
-	c := k.core()
 	np := k.priv.(*nativePriv)
 	if err := np.buildKernelTables(); err != nil {
 		return err
@@ -189,22 +217,24 @@ func (k *Kernel) bootNative() error {
 	for _, v := range []uint8{cpu.VecPF, cpu.VecGP, cpu.VecUD, cpu.VecVE, cpu.VecCP} {
 		k.idt.Set(v, k.exceptionHandler)
 	}
-	if t := c.LIDT(k.idt); t != nil {
-		return t
-	}
-	if t := c.WriteCR(cpu.CR0, cpu.CR0WP); t != nil {
-		return t
-	}
-	// A stock kernel still enables SMEP/SMAP (standard hardening); it does
-	// not enable PKS/CET for itself.
-	if t := c.WriteCR(cpu.CR4, cpu.CR4SMEP|cpu.CR4SMAP); t != nil {
-		return t
-	}
-	if t := c.WriteCR(cpu.CR3, uint64(np.kernelTables.Root.Base())); t != nil {
-		return t
-	}
-	if t := c.WriteMSR(cpu.MSRLSTAR, 0xFFFF_8000_0010_0000); t != nil {
-		return t
+	for _, c := range k.M.Cores {
+		if t := c.LIDT(k.idt); t != nil {
+			return t
+		}
+		if t := c.WriteCR(cpu.CR0, cpu.CR0WP); t != nil {
+			return t
+		}
+		// A stock kernel still enables SMEP/SMAP (standard hardening); it
+		// does not enable PKS/CET for itself.
+		if t := c.WriteCR(cpu.CR4, cpu.CR4SMEP|cpu.CR4SMAP); t != nil {
+			return t
+		}
+		if t := c.WriteCR(cpu.CR3, uint64(np.kernelTables.Root.Base())); t != nil {
+			return t
+		}
+		if t := c.WriteMSR(cpu.MSRLSTAR, 0xFFFF_8000_0010_0000); t != nil {
+			return t
+		}
 	}
 	return nil
 }

@@ -119,13 +119,28 @@ func nativeLeaf(f mem.Frame, w, x bool) paging.PTE {
 	return leaf
 }
 
+// shootIfChanged invalidates a replaced translation on every core. Native
+// kernels are responsible for their own TLB coherence; first-time installs
+// and identical rewrites need no shootdown.
+func (np *nativePriv) shootIfChanged(c *cpu.Core, as *AddrSpace, va paging.Addr, prev, next paging.PTE, walkFault *paging.Fault) {
+	if walkFault == nil && prev.Is(paging.Present) && prev != next {
+		np.k.M.Shootdown(c, as.tables.Root, paging.PageBase(va))
+	}
+}
+
 func (np *nativePriv) Map(c *cpu.Core, as *AddrSpace, va paging.Addr, f mem.Frame, w, x bool) error {
-	return as.tables.Map(va, nativeLeaf(f, w, x))
+	leaf := nativeLeaf(f, w, x)
+	prev, _, walkFault := as.tables.Walk(paging.PageBase(va))
+	if err := as.tables.Map(va, leaf); err != nil {
+		return err
+	}
+	np.shootIfChanged(c, as, va, prev, leaf, walkFault)
+	return nil
 }
 
 func (np *nativePriv) MapBatch(c *cpu.Core, as *AddrSpace, reqs []monitor.MapReq) error {
 	for _, r := range reqs {
-		if err := as.tables.Map(r.VA, nativeLeaf(r.Frame, r.Flags.Writable, r.Flags.Exec)); err != nil {
+		if err := np.Map(c, as, r.VA, r.Frame, r.Flags.Writable, r.Flags.Exec); err != nil {
 			return err
 		}
 	}
@@ -133,13 +148,31 @@ func (np *nativePriv) MapBatch(c *cpu.Core, as *AddrSpace, reqs []monitor.MapReq
 }
 
 func (np *nativePriv) Unmap(c *cpu.Core, as *AddrSpace, va paging.Addr) error {
-	return as.tables.Unmap(va)
+	base := paging.PageBase(va)
+	prev, _, walkFault := as.tables.Walk(base)
+	if err := as.tables.Unmap(va); err != nil {
+		return err
+	}
+	if walkFault == nil && prev.Is(paging.Present) {
+		np.k.M.Shootdown(c, as.tables.Root, base)
+	}
+	return nil
 }
 
 func (np *nativePriv) Protect(c *cpu.Core, as *AddrSpace, va paging.Addr, w, x bool) error {
-	return as.tables.Update(va, func(e paging.PTE) paging.PTE {
-		return nativeLeaf(e.Frame(), w, x)
+	var changed bool
+	err := as.tables.Update(va, func(e paging.PTE) paging.PTE {
+		ne := nativeLeaf(e.Frame(), w, x)
+		changed = ne != e
+		return ne
 	})
+	if err != nil {
+		return err
+	}
+	if changed {
+		np.k.M.Shootdown(c, as.tables.Root, paging.PageBase(va))
+	}
+	return nil
 }
 
 func (np *nativePriv) SwitchTo(c *cpu.Core, as *AddrSpace) error {

@@ -177,7 +177,9 @@ type evFatal struct {
 // Runnable reports whether any task can make progress.
 func (k *Kernel) Runnable() bool { return len(k.runq) > 0 }
 
-// Schedule runs tasks round-robin until no task is runnable.
+// Schedule runs tasks round-robin until no task is runnable. Successive
+// slices step across the machine's cores in a fixed round-robin core
+// interleave, so SMP scheduling is deterministic on the virtual clock.
 func (k *Kernel) Schedule() {
 	for len(k.runq) > 0 {
 		t := k.runq[0]
@@ -185,7 +187,7 @@ func (k *Kernel) Schedule() {
 		if t.State != TaskRunnable {
 			continue
 		}
-		k.dispatch(t)
+		k.dispatch(t, k.nextCore())
 	}
 }
 
@@ -197,7 +199,7 @@ func (k *Kernel) StepOne() bool {
 		if t.State != TaskRunnable {
 			continue
 		}
-		k.dispatch(t)
+		k.dispatch(t, k.nextCore())
 		return true
 	}
 	return false
@@ -208,6 +210,17 @@ func (k *Kernel) StepOne() bool {
 // tasks deterministically (fair stepping regardless of runq order). Returns
 // false when the task is not currently dispatchable.
 func (k *Kernel) StepPid(pid Pid) bool {
+	return k.stepPidOn(pid, k.nextCore())
+}
+
+// StepPidOn is StepPid with an explicit dispatch core (modulo the number
+// of cores): the serving path uses it for deterministic slot→core
+// affinity instead of the global round-robin cursor.
+func (k *Kernel) StepPidOn(pid Pid, coreID int) bool {
+	return k.stepPidOn(pid, k.M.Cores[coreID%len(k.M.Cores)])
+}
+
+func (k *Kernel) stepPidOn(pid Pid, c *cpu.Core) bool {
 	for i, t := range k.runq {
 		if t.Pid != pid {
 			continue
@@ -216,14 +229,19 @@ func (k *Kernel) StepPid(pid Pid) bool {
 		if t.State != TaskRunnable {
 			return false
 		}
-		k.dispatch(t)
+		k.dispatch(t, c)
 		return true
 	}
 	return false
 }
 
-func (k *Kernel) dispatch(t *Task) {
-	c := k.core()
+func (k *Kernel) dispatch(t *Task, c *cpu.Core) {
+	k.curCore = c
+	defer func() { k.curCore = nil }()
+	dispStart := k.Rec.Now()
+	if k.Rec.Enabled() {
+		defer k.Rec.Span(trace.KindDispatch, trace.CoreTrack(c.ID), t.Name, dispStart)
+	}
 	k.Stats.ContextSwitches++
 	k.M.Clock.Charge(costs.ContextSwitch)
 	if err := k.priv.SwitchTo(c, t.P.AS); err != nil {

@@ -83,7 +83,7 @@ func (f *auditFuzzer) step(op uint8, t *testing.T) {
 			sb := f.sbs[int(op/8)%len(f.sbs)]
 			_ = f.mon.EMCCommonAttach(c, sb, name, paging.Addr(0x4000_0000)+paging.Addr(f.common)*0x10_0000, op%2 == 0)
 			if op%3 == 0 {
-				f.mon.sealCommons(f.mon.sandboxes[sb])
+				f.mon.sealCommons(f.mon.M.Cores[0], f.mon.sandboxes[sb])
 			}
 		}
 	case 5: // unmap something

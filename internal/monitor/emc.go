@@ -37,6 +37,10 @@ func (mon *Monitor) gate(c *cpu.Core, kind string, body func() error) error {
 	mon.Stats.EMCs++
 	mon.Stats.EMCByKind[kind]++
 
+	prevGateCore := mon.gateCore
+	mon.gateCore = c
+	defer func() { mon.gateCore = prevGateCore }()
+
 	clock := &mon.M.Clock
 	gateStart := clock.Now()
 	// This defer runs after the exit-gate charge below, so both the

@@ -31,6 +31,14 @@ func (mon *Monitor) intGate(c *cpu.Core, t *cpu.Trap) {
 			mon.Stats.InterposeCycles += costs.InterruptGate
 		}()
 	}
+	// TLB-shootdown IPIs terminate inside the monitor: the initiating core
+	// already performed the invalidation on every core's TLB, so the remote
+	// handler only acknowledges the interrupt. It is never forwarded — the
+	// kernel may not even have registered vectors yet (shootdowns fire from
+	// monitor-internal paths during kernel load).
+	if t.Vector == cpu.VecIPI && t.Detail == cpu.ShootdownDetail {
+		return
+	}
 	asid, _ := mon.rootIndex[c.CR3Frame()]
 	var sb *sbState
 	if asid != 0 {
@@ -256,10 +264,17 @@ func (mon *Monitor) EMCMapSandboxFault(c *cpu.Core, asid ASID, va paging.Addr, w
 			return denied("map-sandbox-fault", "no live sandbox on address space %d", asid)
 		}
 		va = paging.PageBase(va)
+		prev, _, walkFault := as.tables.Walk(va)
+		replaced := func(leaf paging.PTE) {
+			if walkFault == nil && prev.Is(paging.Present) && prev != leaf {
+				mon.M.Shootdown(c, as.tables.Root, va)
+			}
+		}
 		if leaf, ok := sb.confinedLeaf[va]; ok {
 			if err := as.tables.Map(va, leaf); err != nil {
 				return err
 			}
+			replaced(leaf)
 			as.userFrames[va] = leaf.Frame()
 			return nil
 		}
@@ -279,6 +294,7 @@ func (mon *Monitor) EMCMapSandboxFault(c *cpu.Core, asid ASID, va paging.Addr, w
 		if err := as.tables.Map(va, leaf); err != nil {
 			return err
 		}
+		replaced(leaf)
 		as.userFrames[va] = f
 		return nil
 	})
@@ -294,7 +310,7 @@ func (mon *Monitor) handleSandboxIoctl(c *cpu.Core, sb *sbState) {
 	err := mon.gate(c, "io", func() error {
 		switch cmd {
 		case abi.IoctlInput:
-			ret = mon.installInput(sb, paging.Addr(arg))
+			ret = mon.installInput(c, sb, paging.Addr(arg))
 		case abi.IoctlOutput:
 			ret = mon.emitOutput(sb, paging.Addr(arg))
 		case abi.IoctlDeclareConfined:
@@ -316,7 +332,7 @@ func (mon *Monitor) handleSandboxIoctl(c *cpu.Core, sb *sbState) {
 				return nil
 			}
 		case abi.IoctlSessionEnd:
-			mon.endSandboxLocked(sb, "session end")
+			mon.endSandboxLocked(c, sb, "session end")
 			if mon.KillNotify != nil {
 				mon.KillNotify(sb.id, "session end")
 			}

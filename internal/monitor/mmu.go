@@ -77,6 +77,9 @@ func (mon *Monitor) EMCDestroyAS(c *cpu.Core, asid ASID) error {
 			mon.Stats.PTEWrites++
 		}
 		mon.M.Clock.Charge(uint64(len(as.userFrames)) * costs.EreborPTEWriteBody)
+		// Every translation of this address space is now stale on every
+		// core; flush them before the root (or any frame) can be reissued.
+		mon.M.ShootdownRoot(c, as.tables.Root)
 		delete(mon.rootIndex, as.tables.Root)
 		delete(mon.addrSpaces, asid)
 		return nil
@@ -158,7 +161,7 @@ func leafFor(f mem.Frame, flags MapFlags) paging.PTE {
 // EMCMapUser installs one user mapping after policy validation.
 func (mon *Monitor) EMCMapUser(c *cpu.Core, asid ASID, va paging.Addr, f mem.Frame, flags MapFlags) error {
 	return mon.gate(c, "mmu", func() error {
-		return mon.mapUserLocked(asid, va, f, flags)
+		return mon.mapUserLocked(c, asid, va, f, flags)
 	})
 }
 
@@ -217,13 +220,22 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 		rollback := func(failedVA paging.Addr) {
 			for i := len(installed) - 1; i >= 0; i-- {
 				u := installed[i]
+				var restoreErr error
 				if u.hadLeaf {
-					_ = as.tables.Map(u.va, u.prevLeaf)
+					restoreErr = as.tables.Map(u.va, u.prevLeaf)
 				} else {
-					_ = as.tables.Unmap(u.va)
+					restoreErr = as.tables.Unmap(u.va)
 				}
-				mon.Stats.PTEWrites++
-				mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+				if restoreErr != nil {
+					// A rollback that cannot restore a leaf leaves the
+					// address space inconsistent with the monitor's
+					// bookkeeping — that must never vanish silently.
+					mon.recordViolation("map-user batch rollback: restore of va %#x failed: %v",
+						u.va, restoreErr)
+				} else {
+					mon.Stats.PTEWrites++
+					mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+				}
 				if u.hadFrame {
 					as.userFrames[u.va] = u.prevF
 				} else {
@@ -248,14 +260,19 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 				_ = as.tables.Prune(installed[i].va, release)
 			}
 		}
+		var stale []paging.Addr
 		for _, r := range work {
 			va := paging.PageBase(r.VA)
 			u := undo{va: va}
+			leaf := leafFor(r.Frame, r.Flags)
 			if pte, _, fault := as.tables.Walk(va); fault == nil && pte.Is(paging.Present) {
 				u.hadLeaf, u.prevLeaf = true, pte
+				if pte != leaf {
+					stale = append(stale, va)
+				}
 			}
 			u.prevF, u.hadFrame = as.userFrames[va]
-			if err := as.tables.Map(r.VA, leafFor(r.Frame, r.Flags)); err != nil {
+			if err := as.tables.Map(r.VA, leaf); err != nil {
 				rollback(va)
 				return err
 			}
@@ -264,11 +281,15 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 			as.userFrames[va] = r.Frame
 			installed = append(installed, u)
 		}
+		// One batched shootdown for every present leaf the commit replaced
+		// (a rollback needs none: it restores exactly the leaves that cores
+		// may still have cached). First installs need none either.
+		mon.M.Shootdown(c, as.tables.Root, stale...)
 		return nil
 	})
 }
 
-func (mon *Monitor) mapUserLocked(asid ASID, va paging.Addr, f mem.Frame, flags MapFlags) error {
+func (mon *Monitor) mapUserLocked(c *cpu.Core, asid ASID, va paging.Addr, f mem.Frame, flags MapFlags) error {
 	mon.M.Clock.Charge(costs.EreborPTEWriteBody)
 	mon.Stats.PTEWrites++
 	as, ok := mon.addrSpaces[asid]
@@ -281,8 +302,15 @@ func (mon *Monitor) mapUserLocked(asid ASID, va paging.Addr, f mem.Frame, flags 
 	if err := mon.userFramePolicy("map-user", as, f, &flags); err != nil {
 		return err
 	}
-	if err := as.tables.Map(va, leafFor(f, flags)); err != nil {
+	leaf := leafFor(f, flags)
+	prev, _, walkFault := as.tables.Walk(paging.PageBase(va))
+	if err := as.tables.Map(va, leaf); err != nil {
 		return err
+	}
+	// Replacing a live leaf invalidates whatever other cores cached for
+	// this page; a first install (or an identical rewrite) does not.
+	if walkFault == nil && prev.Is(paging.Present) && prev != leaf {
+		mon.M.Shootdown(c, as.tables.Root, paging.PageBase(va))
 	}
 	as.userFrames[paging.PageBase(va)] = f
 	return nil
@@ -297,10 +325,15 @@ func (mon *Monitor) EMCUnmapUser(c *cpu.Core, asid ASID, va paging.Addr) error {
 		if !ok {
 			return denied("unmap-user", "unknown address space %d", asid)
 		}
-		if err := as.tables.Unmap(paging.PageBase(va)); err != nil {
+		base := paging.PageBase(va)
+		prev, _, walkFault := as.tables.Walk(base)
+		if err := as.tables.Unmap(base); err != nil {
 			return err
 		}
-		delete(as.userFrames, paging.PageBase(va))
+		if walkFault == nil && prev.Is(paging.Present) {
+			mon.M.Shootdown(c, as.tables.Root, base)
+		}
+		delete(as.userFrames, base)
 		return nil
 	})
 }
@@ -321,9 +354,22 @@ func (mon *Monitor) EMCProtectUser(c *cpu.Core, asid ASID, va paging.Addr, flags
 		if err := mon.userFramePolicy("protect-user", as, f, &flags); err != nil {
 			return err
 		}
-		return as.tables.Update(paging.PageBase(va), func(paging.PTE) paging.PTE {
-			return leafFor(f, flags)
-		})
+		base := paging.PageBase(va)
+		changed := false
+		if err := as.tables.Update(base, func(e paging.PTE) paging.PTE {
+			ne := leafFor(f, flags)
+			changed = ne != e
+			return ne
+		}); err != nil {
+			return err
+		}
+		// Permission-identical rewrites (the common accessed/dirty refresh
+		// after a fault install) leave cached translations valid; only an
+		// actual flag change must be made visible on every core.
+		if changed {
+			mon.M.Shootdown(c, as.tables.Root, base)
+		}
+		return nil
 	})
 }
 
@@ -357,6 +403,9 @@ func (mon *Monitor) EMCReclaimUser(c *cpu.Core, asid ASID, va paging.Addr) error
 		if err := as.tables.Unmap(va); err != nil {
 			return err
 		}
+		// The reclaimed frame may be handed out again immediately; no
+		// core's TLB may keep translating va to it.
+		mon.M.Shootdown(c, as.tables.Root, va)
 		delete(as.userFrames, va)
 		return nil
 	})

@@ -280,7 +280,7 @@ func TestMapUserBatchPreservesPolicyFlags(t *testing.T) {
 	if err := mon.EMCCommonAttach(c, id, "batch-flags-model", 0x4000_0000, false); err != nil {
 		t.Fatal(err)
 	}
-	mon.sealCommons(mon.sandboxes[id])
+	mon.sealCommons(mon.M.Cores[0], mon.sandboxes[id])
 
 	f := mon.commons["batch-flags-model"].frames[0]
 	reqs := []MapReq{{VA: 0x4000_0000, Frame: f, Flags: MapFlags{Writable: true}}}

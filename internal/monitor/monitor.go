@@ -156,6 +156,12 @@ type Monitor struct {
 	// preemptHook simulates an interrupt injected mid-EMC (tests/bench).
 	preemptHook func(c *cpu.Core)
 
+	// gateCore is the core currently executing an EMC gate body. Internal
+	// allocation paths (allocPTP, allocMonitorFrame) use it as the TLB
+	// shootdown initiator when re-keying direct-map leaves; outside any
+	// gate, the boot core stands in (boot/control paths run at ring 0).
+	gateCore *cpu.Core
+
 	// BatchMMU enables the batched-MMU-update ablation: Map requests carry
 	// multiple PTEs under one gate crossing.
 	BatchMMU bool
@@ -345,6 +351,21 @@ func (mon *Monitor) keyDirectMap(f mem.Frame, key uint8) {
 	if err != nil {
 		panic(fmt.Sprintf("monitor: keying direct map of frame %d: %v", f, err))
 	}
+	// The direct-map leaf is reachable from every registered root (the
+	// kernel half is shared), so a root-scoped invalidation is not enough:
+	// a stale KeyDefault translation on any core would defeat the PKS
+	// write-denial this re-keying establishes.
+	mon.M.ShootdownVA(mon.shootdownInitiator(), DirectMapAddr(f))
+}
+
+// shootdownInitiator picks the core on whose behalf a monitor-internal
+// shootdown is issued: the core inside the current EMC gate if any,
+// otherwise the boot core (monitor control paths run at ring 0).
+func (mon *Monitor) shootdownInitiator() *cpu.Core {
+	if mon.gateCore != nil {
+		return mon.gateCore
+	}
+	return mon.M.Cores[0]
 }
 
 // buildKernelTables constructs the shared kernel address space: a direct

@@ -232,7 +232,7 @@ func TestCommonRegionSealing(t *testing.T) {
 		t.Fatal("writable attach should still work pre-install")
 	}
 	// Populate after sealing is refused (simulate seal via sealCommons).
-	mon.sealCommons(mon.sandboxes[sb])
+	mon.sealCommons(mon.M.Cores[0], mon.sandboxes[sb])
 	if err := mon.EMCPopulateCommon(c, "db", 0, []byte("tamper")); err == nil {
 		t.Fatal("populated a sealed region")
 	}

@@ -264,8 +264,11 @@ func (mon *Monitor) commonAttachLocked(id SandboxID, name string, base paging.Ad
 
 // sealCommons revokes write permission for every attachment of every
 // region the sandbox consumes (paper: "Once client data is loaded, the
-// monitor clears the W bit in the relevant PTEs").
-func (mon *Monitor) sealCommons(sb *sbState) {
+// monitor clears the W bit in the relevant PTEs"). Any core may still hold
+// the writable translation in its TLB, so each affected address space gets
+// a batched shootdown of the leaves that actually changed — without it a
+// sibling sandbox on another vCPU could keep writing a sealed region.
+func (mon *Monitor) sealCommons(c *cpu.Core, sb *sbState) {
 	for name := range sb.commons {
 		cr := mon.commons[name]
 		if cr.sealed {
@@ -277,17 +280,24 @@ func (mon *Monitor) sealCommons(sb *sbState) {
 			if !ok {
 				continue
 			}
+			var stale []paging.Addr
 			for p := range cr.frames {
 				va := at.base + paging.Addr(p*mem.PageSize)
+				changed := false
 				// Only present leaves need the W bit cleared.
 				if err := as.tables.Update(va, func(e paging.PTE) paging.PTE {
+					changed = e.Is(paging.Writable)
 					return e &^ paging.Writable
 				}); err != nil {
 					continue // not yet faulted in; will map read-only
 				}
 				mon.Stats.PTEWrites++
 				mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+				if changed {
+					stale = append(stale, va)
+				}
 			}
+			mon.M.Shootdown(c, as.tables.Root, stale...)
 		}
 	}
 }
@@ -384,6 +394,12 @@ func (mon *Monitor) EMCRecycleSandbox(c *cpu.Core, id SandboxID) (SandboxID, err
 		// Zero-on-recycle: confined frames stay allocated, pinned and
 		// mapped, but their contents are gone before re-issue.
 		mon.scrubSandbox(sb)
+		// No core may carry a translation minted under the previous tenant
+		// into the reissued sandbox: flush the address space everywhere
+		// before the new identity exists.
+		if as, ok := mon.addrSpaces[sb.asid]; ok {
+			mon.M.ShootdownRoot(c, as.tables.Root)
+		}
 		mon.retireChannel(sb)
 		mon.nextSBID++
 		newID = mon.nextSBID
@@ -441,12 +457,12 @@ func (mon *Monitor) EMCSandboxEnd(c *cpu.Core, id SandboxID) error {
 		if !ok {
 			return denied("sandbox-end", "unknown sandbox %d", id)
 		}
-		mon.endSandboxLocked(sb, "session end")
+		mon.endSandboxLocked(c, sb, "session end")
 		return nil
 	})
 }
 
-func (mon *Monitor) endSandboxLocked(sb *sbState, reason string) {
+func (mon *Monitor) endSandboxLocked(c *cpu.Core, sb *sbState, reason string) {
 	if sb.destroyed {
 		return
 	}
@@ -464,6 +480,13 @@ func (mon *Monitor) endSandboxLocked(sb *sbState, reason string) {
 		_ = mon.M.Phys.SetPinned(f, false)
 		_ = mon.M.Phys.Free(f)
 	}
+	// The confined frames are free for reallocation the moment this
+	// returns; kill every core's cached translations into this address
+	// space first (the shootdown invariant the single-mapping policy rests
+	// on — a stale TLB entry would be a cross-tenant read primitive).
+	if as != nil {
+		mon.M.ShootdownRoot(c, as.tables.Root)
+	}
 	sb.destroyed = true
 	sb.killReason = reason
 }
@@ -471,7 +494,7 @@ func (mon *Monitor) endSandboxLocked(sb *sbState, reason string) {
 // installInput writes one client message into the sandbox buffer described
 // by the LibOS's IOPayload at payloadVA, flipping the sandbox into the
 // data-installed (locked-down) state on first install.
-func (mon *Monitor) installInput(sb *sbState, payloadVA paging.Addr) uint64 {
+func (mon *Monitor) installInput(c *cpu.Core, sb *sbState, payloadVA paging.Addr) uint64 {
 	var hdr [16]byte
 	if err := mon.readSandbox(sb, payloadVA, hdr[:]); err != nil {
 		return errnoFault
@@ -510,7 +533,7 @@ func (mon *Monitor) installInput(sb *sbState, payloadVA paging.Addr) uint64 {
 	sb.InputMsgs++
 	if !sb.dataInstalled {
 		sb.dataInstalled = true
-		mon.sealCommons(sb)
+		mon.sealCommons(c, sb)
 	}
 	return uint64(len(data))
 }

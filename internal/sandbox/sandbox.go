@@ -62,7 +62,7 @@ func CreateCommon(k *kernel.Kernel, name string, data []byte) error {
 		k.VFS().Create("/common/"+name, data)
 		return nil
 	}
-	c := k.M.Cores[0]
+	c := k.Core()
 	if err := k.Mon.EMCCommonCreate(c, name, pages); err != nil {
 		return err
 	}
@@ -135,7 +135,7 @@ func (c *Container) AcceptSession(tr secchan.Transport) error {
 	if c.Mon == nil {
 		return fmt.Errorf("sandbox: no monitor (LibOS-only mode); use the kernel device emulation")
 	}
-	return c.Mon.AcceptSession(c.K.M.Cores[0], c.ID, tr)
+	return c.Mon.AcceptSession(c.K.Core(), c.ID, tr)
 }
 
 // AbortSession tears down a half-established session (client handshake

@@ -89,6 +89,114 @@ func TestServeDeterminism(t *testing.T) {
 	}
 }
 
+// TestServeSMPDeterminism: with the fleet spread across 2 vCPUs the run
+// stays byte-deterministic — same (seed, VCPUs), same report JSON and same
+// trace export bytes — and every session still completes. This is the SMP
+// half of the determinism contract: the round-robin core interleave and
+// slot→core assignment are functions of the virtual clock and slot index
+// only, never of host scheduling.
+func TestServeSMPDeterminism(t *testing.T) {
+	for _, vcpus := range []int{2, 4} {
+		cfg := Config{Tenants: 16, Sessions: 48, Seed: 11, VCPUs: vcpus, Trace: true}
+
+		type capture struct {
+			report []byte
+			chrome []byte
+		}
+		one := func() capture {
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed != cfg.Sessions || rep.Failed != 0 {
+				t.Fatalf("vcpus=%d: completed=%d failed=%d, want %d/0",
+					vcpus, rep.Completed, rep.Failed, cfg.Sessions)
+			}
+			var chrome bytes.Buffer
+			if err := s.World().Rec.ExportChromeTrace(&chrome); err != nil {
+				t.Fatal(err)
+			}
+			return capture{report: rep.JSON(), chrome: chrome.Bytes()}
+		}
+
+		a, b := one(), one()
+		if !bytes.Equal(a.report, b.report) {
+			t.Errorf("vcpus=%d: report JSON differs between identically-seeded runs", vcpus)
+		}
+		if !bytes.Equal(a.chrome, b.chrome) {
+			t.Errorf("vcpus=%d: Chrome trace export differs between identically-seeded runs", vcpus)
+		}
+	}
+}
+
+// TestServeSMPSpeedup: spreading the 64-tenant warm fleet across more
+// vCPUs must lower the overlap-adjusted cycles/session monotonically from
+// P=1 to P=4 (the acceptance criterion for the vCPU sweep).
+func TestServeSMPSpeedup(t *testing.T) {
+	tenants, sessions := 16, 32
+	if !testing.Short() {
+		tenants, sessions = 64, 128
+	}
+	memMB := uint64(256 + tenants*4)
+	var per []uint64
+	for _, p := range []int{1, 2, 4} {
+		rep, err := Run(Config{Tenants: tenants, Sessions: sessions, Seed: 1, MemMB: memMB, VCPUs: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Completed != sessions {
+			t.Fatalf("vcpus=%d: completed=%d, want %d", p, rep.Completed, sessions)
+		}
+		per = append(per, rep.CyclesPerSession)
+	}
+	if !(per[2] < per[1] && per[1] < per[0]) {
+		t.Fatalf("cycles/session not monotonically decreasing over P∈{1,2,4}: %v", per)
+	}
+}
+
+// TestServeChaosFleetSMP runs the chaos fleet on 2 vCPUs (the CI SMP
+// chaos gate): fault-injected sessions spread across cores must still all
+// complete or fail typed, with no hangs and a clean monitor audit.
+func TestServeChaosFleetSMP(t *testing.T) {
+	seeds := 10
+	tenants, sessions := 64, 96
+	if testing.Short() {
+		seeds, tenants, sessions = 3, 16, 24
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		plan := faultinject.Uniform(int64(seed), 0.05)
+		s, err := New(Config{
+			Tenants: tenants, Sessions: sessions, Seed: int64(seed), VCPUs: 2, Chaos: &plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Completed+rep.Failed != sessions {
+			t.Fatalf("seed %d: %d completed + %d failed != %d sessions",
+				seed, rep.Completed, rep.Failed, sessions)
+		}
+		for _, r := range rep.Results {
+			if r.Err != "" && !typedErr(r.Err) {
+				t.Fatalf("seed %d: tenant %d failed untyped: %s", seed, r.Tenant, r.Err)
+			}
+		}
+		if got := s.inj.Snapshot().Total(); got == 0 {
+			t.Fatalf("seed %d: chaos run injected no faults", seed)
+		}
+		if v := s.World().Mon.Audit(); len(v) != 0 {
+			t.Fatalf("seed %d: monitor audit violations: %v", seed, v)
+		}
+	}
+}
+
 // TestServe256Tenants: the acceptance-scale run — 256 concurrent tenants,
 // every session served, deterministically.
 func TestServe256Tenants(t *testing.T) {

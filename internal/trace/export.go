@@ -32,6 +32,9 @@ func trackName(t int32) string {
 	if t >= sandboxTrackBase {
 		return "sandbox-" + strconv.FormatInt(int64(t-sandboxTrackBase), 10)
 	}
+	if t >= trackCoreBase {
+		return "cpu-" + strconv.FormatInt(int64(t-trackCoreBase), 10)
+	}
 	return "track-" + strconv.FormatInt(int64(t), 10)
 }
 

@@ -74,6 +74,9 @@ const (
 	// KindServeSession is one complete tenant session through the serving
 	// path (span, label "serve/tenant/<n>").
 	KindServeSession
+	// KindDispatch is one scheduler slice of a task on a core (span on the
+	// core's track, label = task name). Appended after PR 3's kinds.
+	KindDispatch
 	numKinds
 )
 
@@ -96,6 +99,7 @@ var kindNames = [numKinds]string{
 	KindViolation:       "violation",
 	KindSandboxRecycle:  "sandbox-recycle",
 	KindServeSession:    "serve-session",
+	KindDispatch:        "dispatch",
 }
 
 // String names the kind (stable; used by both exporters).
@@ -117,6 +121,13 @@ const (
 	// own SandboxTrack since recycling mints one sandbox ID per tenant.
 	TrackServer int32 = 4
 )
+
+// trackCoreBase offsets vCPU IDs into their own track range (per-core
+// dispatch tracks sit between the fixed tracks and the sandbox range).
+const trackCoreBase int32 = 16
+
+// CoreTrack maps a vCPU ID onto its export track.
+func CoreTrack(id int) int32 { return trackCoreBase + int32(id) }
 
 // sandboxTrackBase offsets sandbox IDs into their own track range.
 const sandboxTrackBase int32 = 100
