@@ -10,6 +10,7 @@
 //	erebor-bench -exp fig10         # background server throughput
 //	erebor-bench -exp memshare      # memory-sharing savings
 //	erebor-bench -exp serve         # multi-tenant serving: warm pool vs cold
+//	erebor-bench -exp phases        # per-tenant session-phase cycle breakdown
 //
 // -scale grows the workloads (1 = quick, 4 = closer to paper proportions).
 package main
@@ -37,7 +38,7 @@ import (
 var traceBench bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|phases|all")
 	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
 	vcpus := flag.Int("vcpus", 1, "simulated vCPUs for the serve fleet-size sweep (the vCPU sweep always runs P∈{1,2,4})")
 	flag.BoolVar(&traceBench, "trace", false,
@@ -78,6 +79,7 @@ func main() {
 	run("fig10", fig10)
 	run("memshare", func() error { return memshare(*scale) })
 	run("serve", func() error { return serveBench(*scale, *vcpus) })
+	run("phases", func() error { return phasesBench(*scale, *vcpus) })
 	run("ablations", ablations)
 
 	if traceBench && sets != nil {
@@ -293,6 +295,43 @@ func serveBench(scale, vcpus int) error {
 		}
 	}
 	return serveVCPUSweep(scale)
+}
+
+// phasesBench serves a warm fleet with the invariant watchdog on and prints
+// the per-tenant causal cycle breakdown: every virtual cycle of the run is
+// attributed to exactly one (tenant, phase) pair, so the table's grand total
+// reproduces the serial elapsed cycles and the difference between tenants is
+// real scheduling skew, not accounting noise.
+func phasesBench(scale, vcpus int) error {
+	const tenants = 8
+	sessions := 2 * tenants * scale
+	s, err := serve.New(serve.Config{
+		Tenants: tenants, Sessions: sessions, Seed: 1, VCPUs: vcpus, Watchdog: true,
+	})
+	if err != nil {
+		return err
+	}
+	start := s.World().M.Clock.Now()
+	rep, err := s.Run()
+	if err != nil {
+		return err
+	}
+	elapsed := s.World().M.Clock.Now() - start
+	rows := s.PhaseBreakdown()
+	serve.WritePhaseTable(os.Stdout, rows)
+	var attributed uint64
+	for _, r := range rows {
+		attributed += r.Total
+	}
+	if attributed != elapsed {
+		return fmt.Errorf("phase attribution leak: %d cycles attributed, %d elapsed", attributed, elapsed)
+	}
+	if n := s.World().Mon.WatchdogNonInjected(); n > 0 {
+		return fmt.Errorf("watchdog: %d non-injected invariant violations", n)
+	}
+	fmt.Printf("\nconservation: %d attributed == %d elapsed; sessions %d ok, %d failed; watchdog %d sweeps, healthy\n",
+		attributed, elapsed, rep.Completed, rep.Failed, s.World().Mon.WatchdogSweeps())
+	return nil
 }
 
 // serveVCPUSweep runs the 64-tenant warm fleet at P ∈ {1,2,4} vCPUs: slots

@@ -9,21 +9,44 @@
 //	erebor-serve -tenants 64 -chaos 0.05              # fault-injected fleet
 //	erebor-serve -tenants 64 -vcpus 4                 # SMP fleet, 4 cores
 //	erebor-serve -tenants 8 -trace trace.json         # Chrome trace export
+//	erebor-serve -tenants 8 -watchdog -phases         # invariant watchdog + phase table
+//	erebor-serve -tenants 8 -metrics m.txt -events e.jsonl
+//	erebor-serve -tenants 8 -watchdog -statusz :8080  # post-run introspection endpoint
 //
 // Runs are deterministic: the same flags and seed reproduce the same report
-// bytes (and, fault-free, the same trace bytes). The report is printed as
-// JSON on stdout; a non-zero exit means the server itself failed to boot,
-// not that individual sessions failed (those are typed in the report).
+// bytes (and, fault-free, the same trace bytes — plus byte-identical
+// OpenMetrics and watchdog JSONL exports). The report is printed as JSON on
+// stdout; a non-zero exit means the server itself failed to boot, not that
+// individual sessions failed (those are typed in the report). With -watchdog
+// the exit status also covers the invariant verdict: any non-injected
+// violation exits 2.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/serve"
 )
+
+// writeFile streams fn's output into path (stdout when path is "-").
+func writeFile(path string, fn func(f *os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	tenants := flag.Int("tenants", 8, "concurrent tenant slots")
@@ -38,6 +61,12 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the run to this file")
 	quiet := flag.Bool("quiet", false, "print only the summary line, not the full JSON report")
+	watchdog := flag.Bool("watchdog", false, "run continuous invariant sweeps (exit 2 on any non-injected violation)")
+	watchdogEvery := flag.Uint64("watchdog-every", 0, "watchdog cadence in virtual cycles (0 = default)")
+	metricsPath := flag.String("metrics", "", "write the OpenMetrics registry export to this file (- for stdout)")
+	eventsPath := flag.String("events", "", "write the watchdog event log (JSONL) to this file (- for stdout)")
+	phases := flag.Bool("phases", false, "print the per-tenant phase-cycle table after the report")
+	statusz := flag.String("statusz", "", "serve /metrics, /healthz and /statusz on this address after the run (blocks)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -50,6 +79,10 @@ func main() {
 		ModelBytes: *modelKB << 10,
 		Cold:       *cold,
 		Trace:      *tracePath != "",
+		Watchdog:   *watchdog,
+	}
+	if *watchdogEvery > 0 {
+		cfg.Watchdog, cfg.WatchdogEvery = true, *watchdogEvery
 	}
 	if cfg.Sessions == 0 {
 		cfg.Sessions = 2 * cfg.Tenants
@@ -93,12 +126,56 @@ func main() {
 		}
 	}
 
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, func(f *os.File) error {
+			return s.World().Met.ExportOpenMetrics(f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: metrics export: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *eventsPath != "" {
+		if err := writeFile(*eventsPath, func(f *os.File) error {
+			return s.World().Mon.ExportWatchdogJSONL(f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: event export: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *quiet {
 		fmt.Printf("tenants=%d vcpus=%d sessions=%d completed=%d failed=%d warm=%d recycles=%d cycles/session=%d sessions/s=%.1f\n",
 			rep.Tenants, rep.VCPUs, rep.Sessions, rep.Completed, rep.Failed,
 			rep.WarmSessions, rep.Recycles, rep.CyclesPerSession, rep.SessionsPerSec)
-		return
+	} else {
+		os.Stdout.Write(rep.JSON())
+		fmt.Println()
 	}
-	os.Stdout.Write(rep.JSON())
-	fmt.Println()
+	if *phases {
+		serve.WritePhaseTable(os.Stdout, s.PhaseBreakdown())
+	}
+
+	status := s.Status(rep)
+	if cfg.Watchdog {
+		mon := s.World().Mon
+		if n := mon.WatchdogNonInjected(); n > 0 {
+			fmt.Fprintf(os.Stderr, "erebor-serve: watchdog: %d non-injected invariant violations in %d sweeps\n",
+				n, mon.WatchdogSweeps())
+			if *statusz == "" {
+				os.Exit(2)
+			}
+		} else if !*quiet {
+			fmt.Printf("watchdog: healthy (%d sweeps)\n", mon.WatchdogSweeps())
+		}
+	}
+
+	if *statusz != "" {
+		// The simulation has finished: the handler serves frozen snapshot
+		// bytes, so introspection can never perturb a (deterministic) run.
+		fmt.Fprintf(os.Stderr, "erebor-serve: serving /metrics /healthz /statusz on %s\n", *statusz)
+		if err := http.ListenAndServe(*statusz, status.Handler()); err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: statusz: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -480,8 +480,8 @@ func (p *Platform) Stats() Stats {
 	if p.w.Mon != nil {
 		s.MonitorBooted = true
 		s.EMCs = p.w.Mon.Stats.EMCs
-		s.EMCByKind = copyCounts(p.w.Mon.Stats.EMCByKind)
-		s.EMCCyclesByKind = copyCounts(p.w.Mon.Stats.CyclesByKind)
+		s.EMCByKind = p.w.Mon.EMCByKind()
+		s.EMCCyclesByKind = p.w.Mon.EMCCyclesByKind()
 		s.SandboxExits = p.w.Mon.Stats.SandboxExits
 		s.SandboxKills = p.w.Mon.Stats.SandboxKills
 		s.SandboxRecycles = p.w.Mon.Stats.SandboxRecycles
@@ -502,18 +502,6 @@ func (p *Platform) Stats() Stats {
 		}
 	}
 	return s
-}
-
-// copyCounts snapshots a counter map (nil in, nil out).
-func copyCounts(m map[string]uint64) map[string]uint64 {
-	if m == nil {
-		return nil
-	}
-	out := make(map[string]uint64, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
 }
 
 // ErrTracingDisabled is returned by the exporters when the platform was
@@ -561,6 +549,48 @@ func (p *Platform) ExportPrometheus(w io.Writer) error {
 		return ErrTracingDisabled
 	}
 	return p.w.Rec.ExportPrometheus(w)
+}
+
+// ExportOpenMetrics writes the platform's telemetry registry — EMC counts
+// and cycle attributions, per-tenant phase series, watchdog sweeps, channel
+// frame tallies — in the OpenMetrics text exposition format. The registry
+// is always live (recording never charges the virtual clock), and the
+// output is byte-deterministic per seed.
+func (p *Platform) ExportOpenMetrics(w io.Writer) error {
+	return p.w.Met.ExportOpenMetrics(w)
+}
+
+// ErrNoMonitor is returned by watchdog controls on a baseline platform.
+var ErrNoMonitor = errors.New("erebor: no monitor on a baseline platform")
+
+// EnableWatchdog switches on the monitor's continuous invariant watchdog:
+// sweeps of the §8 security audit at the given virtual-cycle cadence
+// (0 = phase boundaries only) plus at every seal/recycle/destroy boundary.
+// Sweeps read the clock but never charge it.
+func (p *Platform) EnableWatchdog(everyCycles uint64) error {
+	if p.w.Mon == nil {
+		return ErrNoMonitor
+	}
+	p.w.Mon.EnableWatchdog(everyCycles)
+	return nil
+}
+
+// WatchdogEvents snapshots the watchdog's typed violation observations (nil
+// when the watchdog is disabled or found nothing).
+func (p *Platform) WatchdogEvents() []monitor.WatchdogEvent {
+	if p.w.Mon == nil {
+		return nil
+	}
+	return p.w.Mon.WatchdogEvents()
+}
+
+// ExportWatchdogJSONL writes the watchdog event log as JSON Lines
+// (byte-deterministic per seed).
+func (p *Platform) ExportWatchdogJSONL(w io.Writer) error {
+	if p.w.Mon == nil {
+		return ErrNoMonitor
+	}
+	return p.w.Mon.ExportWatchdogJSONL(w)
 }
 
 // RuntimeViolationLog returns the monitor's record of contained kernel

@@ -185,6 +185,13 @@ type Machine struct {
 
 	// TrapCounts tallies deliveries per vector (evaluation statistics).
 	TrapCounts [256]atomic.Uint64
+
+	// ShootdownCycles accumulates the initiator-side cycles charged by the
+	// TLB shootdown protocol (invlpg/flush costs plus IPI sends; the remote
+	// handler cost is charged at delivery and attributed to the receiving
+	// core's work). The serving path diffs it across attribution points to
+	// split shootdown overhead out per tenant.
+	ShootdownCycles uint64
 }
 
 // NewMachine creates a machine with ncores cores sharing phys.
@@ -211,6 +218,7 @@ func (m *Machine) shootdownIPIs(initiator *Core) {
 			continue
 		}
 		m.Clock.Charge(costs.IPISend)
+		m.ShootdownCycles += costs.IPISend
 		c.Deliver(&Trap{Vector: VecIPI, Detail: ShootdownDetail})
 	}
 }
@@ -236,6 +244,7 @@ func (m *Machine) Shootdown(initiator *Core, root mem.Frame, vas ...paging.Addr)
 		return
 	}
 	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
+	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(vas))
 	for _, c := range m.Cores {
 		for _, va := range vas {
 			if c.tlb.InvalidatePage(root, va) {
@@ -252,6 +261,7 @@ func (m *Machine) Shootdown(initiator *Core, root mem.Frame, vas ...paging.Addr)
 func (m *Machine) ShootdownRoot(initiator *Core, root mem.Frame) {
 	m.checkShootdownInitiator(initiator)
 	m.Clock.Charge(costs.TLBFlushAS)
+	m.ShootdownCycles += costs.TLBFlushAS
 	for _, c := range m.Cores {
 		c.TLBInvalidations += uint64(c.tlb.InvalidateRoot(root))
 	}
@@ -268,6 +278,7 @@ func (m *Machine) ShootdownVA(initiator *Core, vas ...paging.Addr) {
 		return
 	}
 	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
+	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(vas))
 	for _, c := range m.Cores {
 		for _, va := range vas {
 			c.TLBInvalidations += uint64(c.tlb.InvalidateVA(va))

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
 	"github.com/asterisc-release/erebor-go/internal/trace"
@@ -28,6 +29,11 @@ type Client struct {
 	// Rec, when non-nil, is wired onto the record connection once the
 	// handshake finishes (frame events on the client track).
 	Rec *trace.Recorder
+
+	// Met/Attr mirror Rec for the telemetry registry: frame tallies labeled
+	// with the ambient tenant (both optional, wired by the harness).
+	Met  *metrics.Registry
+	Attr *metrics.Attr
 }
 
 // ExpectedMRTD recomputes the boot measurement a client expects: firmware
@@ -84,6 +90,7 @@ func (cl *Client) Finish() error {
 	// ping-pong retransmissions.
 	cl.conn = secchan.NewReliable(conn)
 	cl.conn.Rec, cl.conn.Track = cl.Rec, trace.TrackClient
+	cl.conn.Met, cl.conn.Attr = cl.Met, cl.Attr
 	return nil
 }
 
@@ -165,6 +172,7 @@ func newSession(w *World, inj *faultinject.Injector, queueCap int) *Session {
 	pr := &secchan.Proxy{Outer: outer, Inner: proxyInner}
 	cl := NewClient(clientTr, w.QK.Public(), ExpectedMRTD(w.Mon.MonitorImage()))
 	cl.Rec = w.Rec
+	cl.Met, cl.Attr = w.Met, w.Attr
 	if inj != nil && inj.Rec == nil {
 		inj.Rec = w.Rec
 	}

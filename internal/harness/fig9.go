@@ -328,7 +328,7 @@ func runContainer(w *World, wl workloads.Workload, cfg ScenarioConfig,
 		w.K.DevEmuPush(input)
 	}
 
-	var preMon monitor.Stats
+	var preMon monSnapshot
 	if w.Mon != nil {
 		preMon = snapshotMonStats(w.Mon)
 	}
@@ -366,15 +366,18 @@ func runContainer(w *World, wl workloads.Workload, cfg ScenarioConfig,
 	return nil
 }
 
-func snapshotMonStats(m *monitor.Monitor) monitor.Stats {
-	s := m.Stats
-	s.EMCByKind = make(map[string]uint64, len(m.Stats.EMCByKind))
-	for k, v := range m.Stats.EMCByKind {
-		s.EMCByKind[k] = v
+// monSnapshot pairs the scalar Stats with the per-kind breakdowns, which
+// now live in the metrics registry rather than on Stats itself.
+type monSnapshot struct {
+	monitor.Stats
+	EMCByKind    map[string]uint64
+	CyclesByKind map[string]uint64
+}
+
+func snapshotMonStats(m *monitor.Monitor) monSnapshot {
+	return monSnapshot{
+		Stats:        m.Stats,
+		EMCByKind:    m.EMCByKind(),
+		CyclesByKind: m.EMCCyclesByKind(),
 	}
-	s.CyclesByKind = make(map[string]uint64, len(m.Stats.CyclesByKind))
-	for k, v := range m.Stats.CyclesByKind {
-		s.CyclesByKind[k] = v
-	}
-	return s
 }

@@ -71,7 +71,7 @@ func TestFullGHCIProxyPath(t *testing.T) {
 		}
 	}
 	// The proxy's traffic went through EMC-delegated vmcalls.
-	if w.Mon.Stats.EMCByKind["ghci"] == 0 {
+	if w.Mon.EMCByKind()["ghci"] == 0 {
 		t.Fatal("no GHCI EMCs recorded for the proxy path")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/kernel"
 	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
 	"github.com/asterisc-release/erebor-go/internal/trace"
@@ -30,6 +31,17 @@ type World struct {
 	// Rec is the flight recorder shared by every layer of this world (nil
 	// when tracing is off).
 	Rec *trace.Recorder
+
+	// Met is the telemetry registry shared by every layer (always non-nil:
+	// recording never charges the virtual clock, so there is no metered/
+	// unmetered cycle split to preserve — byte- and cycle-identity per seed
+	// holds with the registry always on).
+	Met *metrics.Registry
+
+	// Attr is the ambient (tenant, phase) attribution context the serving
+	// loop mutates; monitor gates, kernel dispatch and secure channels read
+	// it at record time. Always non-nil; Tenant is NoTenant outside serving.
+	Attr *metrics.Attr
 
 	bootCycles uint64
 }
@@ -78,12 +90,16 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	m.TDX = module
 	module.MeasureBoot("firmware", firmware)
 
-	w := &World{Phys: phys, M: m, TDX: module, Host: host, Mode: cfg.Mode}
+	w := &World{Phys: phys, M: m, TDX: module, Host: host, Mode: cfg.Mode,
+		Met: metrics.New(), Attr: metrics.NewAttr()}
 	if cfg.Trace {
 		// The recorder reads the machine clock but never charges it: a
 		// traced world and an untraced world run the same workload to the
 		// same cycle count.
 		w.Rec = trace.New(cfg.TraceCapacity, m.Clock.Now)
+		// Single-sink: the recorder's event tallies live in the registry
+		// (Counts reads back through it, so trace exports are unchanged).
+		w.Rec.SetCountStore(w.Met)
 	}
 
 	switch cfg.Mode {
@@ -101,6 +117,11 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		}
 		w.Mon = mon
 		mon.Rec = w.Rec
+		// Same wiring point as the recorder: before LoadKernel/kernel.New,
+		// so boot-time EMCs land in the shared registry (the histogram/Stats
+		// reconciliation tests count them).
+		mon.Met = w.Met
+		mon.Attr = w.Attr
 		img := kernel.BuildKernelImage(kernel.ImageOptions{Instrumented: true})
 		if _, err := mon.LoadKernel(img); err != nil {
 			return nil, fmt.Errorf("harness: kernel load: %w", err)
@@ -110,6 +131,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			return nil, err
 		}
 		k.Rec = w.Rec
+		k.Met, k.Attr = w.Met, w.Attr
 		w.K = k
 
 	case kernel.ModeNative:
@@ -123,6 +145,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			return nil, err
 		}
 		k.Rec = w.Rec
+		k.Met, k.Attr = w.Met, w.Attr
 		w.K = k
 
 	default:

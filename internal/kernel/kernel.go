@@ -19,6 +19,7 @@ import (
 
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
@@ -109,6 +110,14 @@ type Kernel struct {
 	// Rec is the optional flight recorder shared with the monitor (nil =
 	// tracing disabled; hooks cost one nil compare).
 	Rec *trace.Recorder
+
+	// Met is the shared telemetry registry (nil-safe; the harness wires the
+	// world-wide registry here). Recording never charges the virtual clock.
+	Met *metrics.Registry
+
+	// Attr is the ambient attribution context set by the serving loop; when
+	// a tenant is bound, scheduler dispatch cycles are attributed per tenant.
+	Attr *metrics.Attr
 
 	Stats Stats
 }

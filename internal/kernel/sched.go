@@ -8,6 +8,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/costs"
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/task"
@@ -238,9 +239,19 @@ func (k *Kernel) stepPidOn(pid Pid, c *cpu.Core) bool {
 func (k *Kernel) dispatch(t *Task, c *cpu.Core) {
 	k.curCore = c
 	defer func() { k.curCore = nil }()
-	dispStart := k.Rec.Now()
+	dispStart := k.M.Clock.Now()
 	if k.Rec.Enabled() {
 		defer k.Rec.Span(trace.KindDispatch, trace.CoreTrack(c.ID), t.Name, dispStart)
+	}
+	if k.Attr.Active() {
+		// Per-tenant dispatch attribution: the whole slice — context switch,
+		// syscalls, faults, user compute — lands on the tenant the serving
+		// loop currently names. Reading the clock twice charges nothing.
+		tenant := k.Attr.TenantLabel()
+		defer func() {
+			k.Met.Add(metrics.FamilyTenantDispatchCycles,
+				k.M.Clock.Now()-dispStart, metrics.KV("tenant", tenant))
+		}()
 	}
 	k.Stats.ContextSwitches++
 	k.M.Clock.Charge(costs.ContextSwitch)

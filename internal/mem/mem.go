@@ -18,6 +18,11 @@ const (
 // Frame is a physical frame number (pfn).
 type Frame uint64
 
+// NoFrame is the sentinel for "no frame involved" (audit violations and
+// other frame-optional records). No real frame can have this pfn: physical
+// memory is sized in MiB, far below 2^64 pages.
+const NoFrame Frame = ^Frame(0)
+
 // Addr is a physical byte address.
 type Addr uint64
 

@@ -1,0 +1,90 @@
+package metrics
+
+import "strconv"
+
+// Well-known registry families. Exporters append `_total` to counters, so
+// e.g. FamilyEMC surfaces as `erebor_emc_total` in OpenMetrics output.
+const (
+	// FamilyEMC counts EMC gate entries, labeled {kind}.
+	FamilyEMC = "erebor_emc"
+	// FamilyEMCCycles attributes gate-to-gate virtual cycles, labeled {kind}.
+	FamilyEMCCycles = "erebor_emc_cycles"
+	// FamilyTenantEMCCycles splits EMC gate cycles by the tenant whose
+	// session was being served, labeled {tenant, kind}. Only written while
+	// an attribution context names a tenant.
+	FamilyTenantEMCCycles = "erebor_tenant_emc_cycles"
+	// FamilyTenantPhaseCycles is the serving path's causal breakdown:
+	// virtual cycles per tenant per session phase, labeled {tenant, phase}.
+	FamilyTenantPhaseCycles = "erebor_tenant_phase_cycles"
+	// FamilyTenantDispatchCycles attributes kernel scheduler slices,
+	// labeled {tenant}.
+	FamilyTenantDispatchCycles = "erebor_tenant_dispatch_cycles"
+	// FamilyWatchdogSweeps counts invariant sweeps, labeled {trigger}.
+	FamilyWatchdogSweeps = "erebor_watchdog_sweeps"
+	// FamilyWatchdogViolations counts violations found by sweeps, labeled
+	// {code, severity}.
+	FamilyWatchdogViolations = "erebor_watchdog_violations"
+	// FamilyRuntimeViolations counts kernel misbehavior contained at the
+	// interpose boundary (no labels).
+	FamilyRuntimeViolations = "erebor_runtime_violations"
+	// FamilySessions counts completed serve sessions, labeled
+	// {tenant, outcome}.
+	FamilySessions = "erebor_sessions"
+	// FamilySessionCycles is the per-session latency histogram in virtual
+	// cycles, labeled {tenant}.
+	FamilySessionCycles = "erebor_session_cycles"
+	// FamilyShootdownCycles attributes TLB-shootdown overhead, labeled
+	// {tenant} ("-1" for unattributed).
+	FamilyShootdownCycles = "erebor_shootdown_cycles"
+	// FamilyChannelFrames counts secure-channel frame events, labeled
+	// {dir, tenant}: dir is send/recv/retransmit/drop, tenant is the session
+	// attribution at frame time ("-1" outside serving).
+	FamilyChannelFrames = "erebor_channel_frames"
+)
+
+// Session phases used in FamilyTenantPhaseCycles labels. The serving loop
+// attributes every cycle of Server.Run to exactly one (tenant, phase) pair;
+// PhaseFleet covers shared work (mux pumping, admission) that belongs to no
+// single tenant.
+const (
+	PhaseHandshake = "handshake"
+	PhaseInstall   = "install"
+	PhaseCompute   = "compute"
+	PhaseOutput    = "output"
+	PhaseRecycle   = "recycle"
+	PhaseLaunch    = "launch"
+	PhaseFleet     = "fleet"
+)
+
+// NoTenant is the Attr.Tenant value meaning "no tenant context".
+const NoTenant = -1
+
+// Attr is the ambient attribution context threaded from the serving loop
+// down through secchan, the monitor's EMC gates and kernel dispatch. The
+// serving loop mutates it as its slot FSM advances; lower layers read it at
+// record time. It is deliberately a plain shared struct, not a lock: the
+// simulation is single-threaded per world, and the context changes only at
+// slot boundaries.
+type Attr struct {
+	// Tenant is the tenant index being served (NoTenant when none).
+	Tenant int
+	// Phase is the session phase (one of the Phase* constants, "" if none).
+	Phase string
+}
+
+// NewAttr returns an attribution context with no tenant bound.
+func NewAttr() *Attr { return &Attr{Tenant: NoTenant} }
+
+// TenantLabel renders the tenant index as a metrics label value.
+func (a *Attr) TenantLabel() string {
+	if a == nil {
+		return "-1"
+	}
+	return strconv.Itoa(a.Tenant)
+}
+
+// Active reports whether a tenant is currently bound.
+func (a *Attr) Active() bool { return a != nil && a.Tenant != NoTenant }
+
+// TenantLabelOf renders any tenant index as a label value.
+func TenantLabelOf(tenant int) string { return strconv.Itoa(tenant) }

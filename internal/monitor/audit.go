@@ -2,16 +2,19 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 
+	"github.com/asterisc-release/erebor-go/internal/audit"
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 )
 
 // Audit verifies the monitor's global security invariants over the entire
-// machine state and returns a description of every violation found. It is
-// the executable form of the §8 claims: after any sequence of EMCs the
-// invariants must hold. Tests drive random operation sequences against it;
-// operators can run it as a self-check.
+// machine state and returns a typed audit.Violation for every break found.
+// It is the executable form of the §8 claims: after any sequence of EMCs
+// the invariants must hold. Tests drive random operation sequences against
+// it, and the continuous watchdog (watchdog.go) sweeps it at virtual-clock
+// cadence and at phase boundaries while serving.
 //
 // Invariants:
 //
@@ -24,12 +27,16 @@ import (
 //	I4. Confined frames are pinned, CVM-private, and mapped in at most one
 //	    address space — the one hosting their owning sandbox.
 //	I5. Sealed common regions have no writable mapping anywhere.
-//	6. Only shared-io frames are CVM-shared.
+//	I6. Only shared-io frames are CVM-shared.
 //	I7. No monitor or PTP frame is mapped into any user address space.
-func (mon *Monitor) Audit() []string {
-	var v []string
-	report := func(format string, args ...any) {
-		v = append(v, fmt.Sprintf(format, args...))
+func (mon *Monitor) Audit() []audit.Violation {
+	var v []audit.Violation
+	report := func(code audit.Code, frame mem.Frame, format string, args ...any) {
+		v = append(v, audit.Violation{
+			Code:   code,
+			Frame:  frame,
+			Detail: fmt.Sprintf(format, args...),
+		})
 	}
 
 	phys := mon.M.Phys
@@ -39,11 +46,11 @@ func (mon *Monitor) Audit() []string {
 	for f := range mon.ptps {
 		e, _, fault := mon.kernelTables.Walk(DirectMapAddr(f))
 		if fault != nil {
-			report("I1: PTP frame %d unmapped in direct map", f)
+			report(audit.PTPUnmapped, f, "unmapped in direct map")
 			continue
 		}
 		if e.Key() != KeyPTP {
-			report("I1: PTP frame %d keyed %d, want %d", f, e.Key(), KeyPTP)
+			report(audit.PTPMiskeyed, f, "keyed %d, want %d", e.Key(), KeyPTP)
 		}
 	}
 	for f := range mon.monitorFrames {
@@ -52,11 +59,11 @@ func (mon *Monitor) Audit() []string {
 		}
 		e, _, fault := mon.kernelTables.Walk(DirectMapAddr(f))
 		if fault != nil {
-			report("I2: monitor frame %d unmapped in direct map", f)
+			report(audit.MonitorFrameUnmapped, f, "unmapped in direct map")
 			continue
 		}
 		if e.Key() != KeyMonitor {
-			report("I2: monitor frame %d keyed %d, want %d", f, e.Key(), KeyMonitor)
+			report(audit.MonitorFrameMiskeyed, f, "keyed %d, want %d", e.Key(), KeyMonitor)
 		}
 	}
 
@@ -65,7 +72,7 @@ func (mon *Monitor) Audit() []string {
 	for f := range mon.kernelText {
 		e, _, fault := mon.kernelTables.Walk(DirectMapAddr(f))
 		if fault == nil && e.Is(paging.Writable) {
-			report("I3: kernel-text frame %d writable via direct map", f)
+			report(audit.KernelTextWritable, f, "writable via direct map")
 		}
 	}
 
@@ -90,23 +97,23 @@ func (mon *Monitor) Audit() []string {
 	for f, owner := range mon.confinedOwner {
 		meta, err := phys.Meta(f)
 		if err != nil {
-			report("I4: confined frame %d: %v", f, err)
+			report(audit.ConfinedMetaMissing, f, "%v", err)
 			continue
 		}
 		if !meta.Pinned {
-			report("I4: confined frame %d not pinned", f)
+			report(audit.ConfinedUnpinned, f, "not pinned")
 		}
 		if meta.Shared {
-			report("I4: confined frame %d is CVM-shared", f)
+			report(audit.ConfinedShared, f, "is CVM-shared")
 		}
 		maps := userMaps[f]
 		if len(maps) > 1 {
-			report("I4: confined frame %d mapped %d times", f, len(maps))
+			report(audit.ConfinedMultiMapped, f, "mapped %d times", len(maps))
 		}
 		sb := mon.sandboxes[owner]
 		for _, m := range maps {
 			if sb == nil || m.asid != sb.asid {
-				report("I4: confined frame %d mapped outside sandbox %d's address space", f, owner)
+				report(audit.ConfinedForeignMapping, f, "mapped outside sandbox %d's address space (AS %d)", owner, m.asid)
 			}
 		}
 	}
@@ -119,7 +126,7 @@ func (mon *Monitor) Audit() []string {
 		for _, f := range cr.frames {
 			for _, m := range userMaps[f] {
 				if m.pte.Is(paging.Writable) {
-					report("I5: sealed region %q frame %d writable at %#x in AS %d", name, f, m.va, m.asid)
+					report(audit.SealedWritable, f, "sealed region %q writable at %#x in AS %d", name, m.va, m.asid)
 				}
 			}
 		}
@@ -129,18 +136,31 @@ func (mon *Monitor) Audit() []string {
 	for f := mem.Frame(0); uint64(f) < n; f++ {
 		meta, _ := phys.Meta(f)
 		if meta.Shared && meta.Region != RegionSharedIO {
-			report("I6: frame %d (%s, region %q) is CVM-shared", f, meta.Owner, meta.Region)
+			report(audit.SharedOutsideIO, f, "(%s, region %q) is CVM-shared", meta.Owner, meta.Region)
 		}
 	}
 
 	// I7: no monitor/PTP frame reachable from user space.
 	for f := range userMaps {
 		if mon.ptps[f] {
-			report("I7: PTP frame %d mapped into user space", f)
+			report(audit.PTPUserMapped, f, "mapped into user space")
 		}
 		if mon.monitorFrames[f] {
-			report("I7: monitor frame %d mapped into user space", f)
+			report(audit.MonitorFrameUserMapped, f, "mapped into user space")
 		}
 	}
+
+	// Several sweeps above walk Go maps, whose iteration order is random;
+	// the watchdog's JSONL event log and metrics series must be
+	// byte-identical across runs, so fix a total order here.
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Code != v[j].Code {
+			return v[i].Code < v[j].Code
+		}
+		if v[i].Frame != v[j].Frame {
+			return v[i].Frame < v[j].Frame
+		}
+		return v[i].Detail < v[j].Detail
+	})
 	return v
 }

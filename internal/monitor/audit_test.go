@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/asterisc-release/erebor-go/internal/audit"
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 )
@@ -112,6 +113,155 @@ func (f *auditFuzzer) step(op uint8, t *testing.T) {
 		f.sbs = f.sbs[1:]
 		_ = f.mon.EMCSandboxEnd(c, sb)
 	}
+}
+
+// confinedSandbox boots a monitor with one sandbox holding a faulted-in
+// confined frame, returning the monitor, the sandbox ID and the frame.
+func confinedSandbox(t *testing.T) (*Monitor, SandboxID, mem.Frame) {
+	t.Helper()
+	mon := bootedMonitor(t)
+	c := mon.M.Cores[0]
+	asid, err := mon.EMCCreateAS(c, mem.OwnerTaskBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := mon.EMCCreateSandbox(c, asid, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.EMCDeclareConfined(c, sb, 0x2000_0000, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	state := mon.sandboxes[sb]
+	for va := range state.confinedLeaf {
+		if err := mon.EMCMapSandboxFault(c, state.asid, va, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var frame mem.Frame
+	found := false
+	for f, owner := range mon.confinedOwner {
+		if owner == sb {
+			frame, found = f, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no confined frame materialized")
+	}
+	if v := mon.Audit(); len(v) != 0 {
+		t.Fatalf("violations before tampering: %v", v)
+	}
+	return mon, sb, frame
+}
+
+// TestAuditTypedViolationCodes tampers with machine state behind the
+// monitor's back and asserts the audit reports each break with its typed
+// code — the contract the continuous watchdog and the JSONL event log
+// build on.
+func TestAuditTypedViolationCodes(t *testing.T) {
+	t.Run("confined-multi-mapped", func(t *testing.T) {
+		mon, sb, frame := confinedSandbox(t)
+		c := mon.M.Cores[0]
+		// A second, foreign mapping of a confined frame: the cross-tenant
+		// leak the single-mapping invariant exists to prevent.
+		asid2, err := mon.EMCCreateAS(c, mem.OwnerTaskBase+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as2 := mon.addrSpaces[asid2]
+		va := paging.Addr(0x3000_0000)
+		if err := as2.tables.Map(va, leafFor(frame, MapFlags{Writable: true})); err != nil {
+			t.Fatal(err)
+		}
+		as2.userFrames[va] = frame
+		v := mon.Audit()
+		if !audit.Contains(v, audit.ConfinedMultiMapped) {
+			t.Fatalf("missing ConfinedMultiMapped: %v", v)
+		}
+		if !audit.Contains(v, audit.ConfinedForeignMapping) {
+			t.Fatalf("missing ConfinedForeignMapping: %v", v)
+		}
+		for _, viol := range v {
+			if viol.Code == audit.ConfinedMultiMapped {
+				if viol.Frame != frame {
+					t.Fatalf("violation frame = %d, want %d", viol.Frame, frame)
+				}
+				if viol.Code.Invariant() != "I4" {
+					t.Fatalf("invariant = %q, want I4", viol.Code.Invariant())
+				}
+			}
+		}
+		_ = sb
+	})
+
+	t.Run("confined-unpinned-and-shared", func(t *testing.T) {
+		mon, _, frame := confinedSandbox(t)
+		if err := mon.M.Phys.SetPinned(frame, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.M.Phys.SetShared(frame, true); err != nil {
+			t.Fatal(err)
+		}
+		v := mon.Audit()
+		if !audit.Contains(v, audit.ConfinedUnpinned) {
+			t.Fatalf("missing ConfinedUnpinned: %v", v)
+		}
+		if !audit.Contains(v, audit.ConfinedShared) {
+			t.Fatalf("missing ConfinedShared: %v", v)
+		}
+		// Sharing a non-shared-io frame also breaks I6.
+		if !audit.Contains(v, audit.SharedOutsideIO) {
+			t.Fatalf("missing SharedOutsideIO: %v", v)
+		}
+	})
+
+	t.Run("ptp-user-mapped", func(t *testing.T) {
+		mon, _, _ := confinedSandbox(t)
+		c := mon.M.Cores[0]
+		asid2, err := mon.EMCCreateAS(c, mem.OwnerTaskBase+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ptp mem.Frame
+		for f := range mon.ptps {
+			ptp = f
+			break
+		}
+		as2 := mon.addrSpaces[asid2]
+		va := paging.Addr(0x3100_0000)
+		if err := as2.tables.Map(va, leafFor(ptp, MapFlags{})); err != nil {
+			t.Fatal(err)
+		}
+		as2.userFrames[va] = ptp
+		if v := mon.Audit(); !audit.Contains(v, audit.PTPUserMapped) {
+			t.Fatalf("missing PTPUserMapped: %v", v)
+		}
+	})
+
+	t.Run("deterministic-order", func(t *testing.T) {
+		// Violation order must be stable across audits of the same state
+		// (map iteration inside the sweep is randomized; the sort is not).
+		mon, _, frame := confinedSandbox(t)
+		if err := mon.M.Phys.SetShared(frame, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.M.Phys.SetPinned(frame, false); err != nil {
+			t.Fatal(err)
+		}
+		first := mon.Audit()
+		for i := 0; i < 8; i++ {
+			again := mon.Audit()
+			if len(again) != len(first) {
+				t.Fatalf("audit %d: %d violations, first had %d", i, len(again), len(first))
+			}
+			for j := range again {
+				if again[j] != first[j] {
+					t.Fatalf("audit %d reordered: %v vs %v", i, again[j], first[j])
+				}
+			}
+		}
+	})
 }
 
 func TestAuditPropertyUnderRandomOps(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/costs"
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/trace"
 )
@@ -35,7 +36,7 @@ func (mon *Monitor) gate(c *cpu.Core, kind string, body func() error) error {
 		return err
 	}
 	mon.Stats.EMCs++
-	mon.Stats.EMCByKind[kind]++
+	mon.Met.Inc(metrics.FamilyEMC, metrics.KV("kind", kind))
 
 	prevGateCore := mon.gateCore
 	mon.gateCore = c
@@ -44,14 +45,23 @@ func (mon *Monitor) gate(c *cpu.Core, kind string, body func() error) error {
 	clock := &mon.M.Clock
 	gateStart := clock.Now()
 	// This defer runs after the exit-gate charge below, so both the
-	// CyclesByKind attribution and the recorded span cover the full EMC
+	// per-kind cycle attribution and the recorded span cover the full EMC
 	// round trip — which is what lets trace histogram sums reconcile
 	// exactly against the Stats counters.
 	defer func() {
-		mon.Stats.CyclesByKind[kind] += clock.Now() - gateStart
+		delta := clock.Now() - gateStart
+		mon.Met.Add(metrics.FamilyEMCCycles, delta, metrics.KV("kind", kind))
+		if mon.Attr.Active() {
+			mon.Met.Add(metrics.FamilyTenantEMCCycles, delta,
+				metrics.KV("tenant", mon.Attr.TenantLabel()), metrics.KV("kind", kind))
+		}
 		if mon.Rec.Enabled() {
 			mon.Rec.Span(trace.KindEMC, trace.TrackMonitor, "emc/"+kind, gateStart)
 		}
+		// The cadence sweep runs at gate exit — the natural deterministic
+		// pulse: every simulation makes progress through EMCs, and the sweep
+		// itself never charges the clock.
+		mon.wdMaybeSweep()
 	}()
 	clock.Charge(costs.EMCEntryGate)
 	c.EnterMonitorMode(mon.tok)

@@ -82,6 +82,9 @@ func (mon *Monitor) EMCDestroyAS(c *cpu.Core, asid ASID) error {
 		mon.M.ShootdownRoot(c, as.tables.Root)
 		delete(mon.rootIndex, as.tables.Root)
 		delete(mon.addrSpaces, asid)
+		// Phase boundary: the root and user frames are reclaimable from here
+		// on; no stale mapping census may still reference them.
+		mon.wdPhaseSweep(TriggerDestroyAS)
 		return nil
 	})
 }

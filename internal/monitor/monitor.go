@@ -17,6 +17,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/cet"
 	"github.com/asterisc-release/erebor-go/internal/cpu"
 	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/paging"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
@@ -75,14 +76,12 @@ func DefaultConfig(nframes uint64) Config {
 	}
 }
 
-// Stats counts monitor activity for the evaluation harness. CyclesByKind
-// attributes the virtual cycles spent inside EMC gates per request class,
-// which the harness uses for the Fig 9 overhead breakdown (memory isolation
-// vs exit protection).
+// Stats counts monitor activity for the evaluation harness. The per-kind
+// EMC breakdowns that used to live here as ad-hoc maps are now registry
+// families (metrics.FamilyEMC / FamilyEMCCycles); read them through
+// Monitor.EMCByKind and Monitor.EMCCyclesByKind.
 type Stats struct {
 	EMCs                  uint64
-	EMCByKind             map[string]uint64
-	CyclesByKind          map[string]uint64
 	InterposeCycles       uint64
 	PTEWrites             uint64
 	SyscallInterpositions uint64
@@ -191,6 +190,20 @@ type Monitor struct {
 	// identical cycle counts.
 	Rec *trace.Recorder
 
+	// Met is the telemetry registry — always non-nil after Boot (recording
+	// never charges the virtual clock, so there is no "metrics off" cycle
+	// difference to preserve). The harness replaces it with the world-wide
+	// shared registry right after Boot, before any EMC fires.
+	Met *metrics.Registry
+
+	// Attr is the ambient attribution context (tenant + session phase) set
+	// by the serving loop; when a tenant is bound, EMC gate cycles are
+	// additionally broken down per tenant. Nil outside serving.
+	Attr *metrics.Attr
+
+	// wd is the continuous invariant watchdog state (nil = disabled).
+	wd *watchdogState
+
 	// nextModuleVA places dynamically loaded kernel code.
 	nextModuleVA uint64
 
@@ -235,8 +248,7 @@ func Boot(m *cpu.Machine, module *tdx.Module, qk *attest.QuotingKey, cfg Config)
 		cpuidCache:    make(map[uint64][4]uint64),
 		padBlock:      cfg.PadBlock,
 	}
-	mon.Stats.EMCByKind = make(map[string]uint64)
-	mon.Stats.CyclesByKind = make(map[string]uint64)
+	mon.Met = metrics.New()
 	mon.tok = m.MintMonitorToken()
 
 	phys := m.Phys
@@ -443,6 +455,18 @@ func (mon *Monitor) mapMonitorImage() error {
 // (exercises the #INT gate, Fig 5c-right).
 func (mon *Monitor) SetPreemptHook(h func(c *cpu.Core)) { mon.preemptHook = h }
 
+// EMCByKind snapshots the per-kind EMC entry counts from the registry
+// (formerly Stats.EMCByKind).
+func (mon *Monitor) EMCByKind() map[string]uint64 {
+	return mon.Met.CounterMap(metrics.FamilyEMC, "kind")
+}
+
+// EMCCyclesByKind snapshots the per-kind EMC gate-cycle attribution from
+// the registry (formerly Stats.CyclesByKind).
+func (mon *Monitor) EMCCyclesByKind() map[string]uint64 {
+	return mon.Met.CounterMap(metrics.FamilyEMCCycles, "kind")
+}
+
 // recordViolation logs kernel misbehavior at the monitor boundary. The
 // event is contained (the offending transition is dropped or killed), the
 // record is available to operators via RuntimeViolations, and the monitor
@@ -451,6 +475,7 @@ func (mon *Monitor) recordViolation(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	mon.violations = append(mon.violations, msg)
 	mon.Stats.RuntimeViolations++
+	mon.Met.Inc(metrics.FamilyRuntimeViolations)
 	mon.Rec.Emit(trace.KindViolation, trace.TrackMonitor, msg)
 }
 

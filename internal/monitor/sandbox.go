@@ -269,6 +269,7 @@ func (mon *Monitor) commonAttachLocked(id SandboxID, name string, base paging.Ad
 // a batched shootdown of the leaves that actually changed — without it a
 // sibling sandbox on another vCPU could keep writing a sealed region.
 func (mon *Monitor) sealCommons(c *cpu.Core, sb *sbState) {
+	defer mon.wdPhaseSweep(TriggerSeal)
 	for name := range sb.commons {
 		cr := mon.commons[name]
 		if cr.sealed {
@@ -427,6 +428,10 @@ func (mon *Monitor) EMCRecycleSandbox(c *cpu.Core, id SandboxID) (SandboxID, err
 		mon.Stats.SandboxRecycles++
 		mon.Rec.Emit(trace.KindSandboxRecycle, trace.SandboxTrack(int(newID)),
 			fmt.Sprintf("recycle %d->%d", id, newID))
+		// Phase boundary: the warm carcass is about to carry a new tenant
+		// identity — the single-mapping and zero-on-recycle claims must hold
+		// right here, not just at the next cadence tick.
+		mon.wdPhaseSweep(TriggerRecycle)
 		return nil
 	})
 	return newID, err
@@ -489,6 +494,7 @@ func (mon *Monitor) endSandboxLocked(c *cpu.Core, sb *sbState, reason string) {
 	}
 	sb.destroyed = true
 	sb.killReason = reason
+	mon.wdPhaseSweep(TriggerEnd)
 }
 
 // installInput writes one client message into the sandbox buffer described

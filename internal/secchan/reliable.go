@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
@@ -52,6 +53,22 @@ type Reliable struct {
 	// frame contents or lengths, so tracing cannot leak or perturb anything.
 	Rec   *trace.Recorder
 	Track int32
+
+	// Met, when non-nil, tallies frame events into the shared telemetry
+	// registry; Attr supplies the tenant label the serving loop currently
+	// names (nil or unbound renders as tenant="-1"). Like Rec, recording
+	// never charges the virtual clock and never touches frame contents.
+	Met  *metrics.Registry
+	Attr *metrics.Attr
+}
+
+// count tallies one frame event into the registry under the ambient tenant.
+func (r *Reliable) count(dir string) {
+	if r.Met == nil {
+		return
+	}
+	r.Met.Inc(metrics.FamilyChannelFrames,
+		metrics.KV("dir", dir), metrics.KV("tenant", r.Attr.TenantLabel()))
 }
 
 // ReliableStats counts what the resilience layer absorbed.
@@ -97,6 +114,7 @@ func (r *Reliable) Send(msg []byte) error {
 	r.history[seq] = ct
 	r.Stats.Sent++
 	r.Rec.Emit(trace.KindFrameSend, r.Track, "")
+	r.count("send")
 	for len(r.history) > r.HistoryCap {
 		delete(r.history, r.histLo)
 		r.histLo++
@@ -116,6 +134,7 @@ func (r *Reliable) Retransmit() {
 		if err := r.c.tr.Send(ct); err == nil {
 			r.Stats.Retransmits++
 			r.Rec.Emit(trace.KindFrameRetransmit, r.Track, "")
+			r.count("retransmit")
 		}
 	}
 }
@@ -132,6 +151,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 			r.c.recvSeq++
 			r.Stats.Delivered++
 			r.Rec.Emit(trace.KindFrameRecv, r.Track, "")
+			r.count("recv")
 			return msg, nil
 		}
 		ct, err := r.c.tr.Recv()
@@ -144,6 +164,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 			r.c.recvSeq++
 			r.Stats.Delivered++
 			r.Rec.Emit(trace.KindFrameRecv, r.Track, "")
+			r.count("recv")
 			return msg, nil
 		}
 		// Duplicate of something already consumed (network duplication or a
@@ -152,6 +173,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 		if r.c.wasAccepted(ct) {
 			r.Stats.Duplicates++
 			r.Rec.Emit(trace.KindFrameDrop, r.Track, "duplicate")
+			r.count("drop")
 			if r.RetransmitOnDup {
 				r.Retransmit()
 			}
@@ -169,6 +191,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 				r.ooo[seq] = msg
 				r.Stats.Reordered++
 				r.Rec.Emit(trace.KindFrameDrop, r.Track, "reorder")
+				r.count("reorder")
 				buffered = true
 				break
 			}
@@ -180,6 +203,7 @@ func (r *Reliable) Recv() ([]byte, error) {
 		// corruption/truncation. Drop it and keep draining.
 		r.Stats.Corrupt++
 		r.Rec.Emit(trace.KindFrameDrop, r.Track, "corrupt")
+		r.count("drop")
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"github.com/asterisc-release/erebor-go/internal/costs"
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
@@ -28,6 +29,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/kernel"
 	"github.com/asterisc-release/erebor-go/internal/libos"
 	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/sandbox"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/trace"
@@ -81,7 +83,18 @@ type Config struct {
 	Trace bool
 	// TraceCapacity bounds the recorder ring (0 = default).
 	TraceCapacity int
+	// Watchdog enables the monitor's continuous invariant watchdog for the
+	// run: §8 audit sweeps at WatchdogEvery-cycle cadence plus at every
+	// seal/recycle/destroy phase boundary. Sweeps never charge the clock,
+	// so a watchdog run is cycle-identical to a watchdog-off run.
+	Watchdog bool
+	// WatchdogEvery is the sweep cadence in virtual cycles (0 = default).
+	WatchdogEvery uint64
 }
+
+// DefaultWatchdogEvery is the default cadence between watchdog sweeps:
+// ~5 ms of virtual time at the simulated 2.1 GHz.
+const DefaultWatchdogEvery = 10_000_000
 
 func (cfg Config) withDefaults() Config {
 	if cfg.Tenants <= 0 {
@@ -108,6 +121,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Retry == (harness.RetryPolicy{}) {
 		cfg.Retry = harness.DefaultRetryPolicy()
+	}
+	if cfg.Watchdog && cfg.WatchdogEvery == 0 {
+		cfg.WatchdogEvery = DefaultWatchdogEvery
 	}
 	return cfg
 }
@@ -209,6 +225,21 @@ type Server struct {
 	// overlap-adjusted elapsed total across rounds (see Report).
 	coreLoad []uint64
 	wall     uint64
+
+	// Attribution cursor: every virtual cycle of Run() is charged to exactly
+	// one (tenant, phase) registry series — the cursor flushes the elapsed
+	// delta to the previous pair at each transition, so per-tenant phase
+	// cycles sum to the serial total by construction. attrSD tracks
+	// Machine.ShootdownCycles to split shootdown overhead out per tenant.
+	attrTenant int
+	attrPhase  string
+	attrLast   uint64
+	attrSD     uint64
+
+	// Hook, when non-nil, runs at the top of every round (before the fleet
+	// pump). Tests use it to tamper with machine state mid-serve — e.g.
+	// InjectAuditViolation — and assert the watchdog catches it.
+	Hook func(round int)
 }
 
 // maxBackoff caps exponential growth (mirrors the harness resilient path).
@@ -239,7 +270,10 @@ func New(cfg Config) (*Server, error) {
 		winLen = len(model)
 	}
 	s := &Server{cfg: cfg, pol: cfg.Retry, w: w, model: model, win: model[:winLen],
-		coreLoad: make([]uint64, cfg.VCPUs)}
+		coreLoad: make([]uint64, cfg.VCPUs), attrTenant: metrics.NoTenant}
+	if cfg.Watchdog {
+		w.Mon.EnableWatchdog(cfg.WatchdogEvery)
+	}
 	if cfg.Chaos != nil {
 		s.inj = faultinject.New(*cfg.Chaos)
 		s.inj.Rec = w.Rec
@@ -358,6 +392,41 @@ func (s *Server) expectedReply(req []byte) []byte {
 	return out
 }
 
+// phaseOf maps a slot FSM state to its attribution phase.
+func phaseOf(st state) string {
+	switch st {
+	case stConnect:
+		return metrics.PhaseHandshake
+	case stSend:
+		return metrics.PhaseInstall
+	default:
+		return metrics.PhaseCompute
+	}
+}
+
+// setPhase moves the attribution cursor: the cycles elapsed since the last
+// transition are flushed to the previous (tenant, phase) series, and the
+// ambient Attr context the monitor/kernel/secchan read is updated. Reading
+// the clock charges nothing, so attribution is cycle-neutral. phase "" parks
+// the cursor (nothing accumulates until the next setPhase).
+func (s *Server) setPhase(tenant int, phase string) {
+	now := s.w.M.Clock.Now()
+	if s.attrPhase != "" {
+		if delta := now - s.attrLast; delta > 0 {
+			s.w.Met.Add(metrics.FamilyTenantPhaseCycles, delta,
+				metrics.KV("phase", s.attrPhase),
+				metrics.KV("tenant", metrics.TenantLabelOf(s.attrTenant)))
+		}
+		if sd := s.w.M.ShootdownCycles; sd > s.attrSD {
+			s.w.Met.Add(metrics.FamilyShootdownCycles, sd-s.attrSD,
+				metrics.KV("tenant", metrics.TenantLabelOf(s.attrTenant)))
+		}
+	}
+	s.attrSD = s.w.M.ShootdownCycles
+	s.attrTenant, s.attrPhase, s.attrLast = tenant, phase, now
+	s.w.Attr.Tenant, s.w.Attr.Phase = tenant, phase
+}
+
 // Run serves every session to completion (or typed failure) and returns
 // the report. It never hangs: every wait is bounded, and a global round
 // budget fails any still-pending session with a typed stall error.
@@ -368,7 +437,11 @@ func (s *Server) Run() (*Report, error) {
 
 	mux := &secchan.MuxProxy{}
 	clock := &s.w.M.Clock
+	s.setPhase(metrics.NoTenant, metrics.PhaseFleet)
 	for round := 0; ; round++ {
+		if s.Hook != nil {
+			s.Hook(round)
+		}
 		roundStart := clock.Now()
 		for i := range s.coreLoad {
 			s.coreLoad[i] = 0
@@ -389,9 +462,11 @@ func (s *Server) Run() (*Report, error) {
 		mux.PumpAll(8)
 		for _, sl := range s.slots {
 			if !sl.done {
+				s.setPhase(sl.tenant, phaseOf(sl.state))
 				tickStart := clock.Now()
 				s.tick(sl)
 				s.coreLoad[sl.idx%s.cfg.VCPUs] += clock.Now() - tickStart
+				s.setPhase(metrics.NoTenant, metrics.PhaseFleet)
 			}
 		}
 		if round >= maxRounds {
@@ -416,6 +491,9 @@ func (s *Server) Run() (*Report, error) {
 		}
 		s.wall += roundTotal - sum + max
 	}
+	// Park the cursor: the trailing fleet span flushes and attribution goes
+	// inert, so per-tenant phase cycles sum exactly to Run()'s elapsed total.
+	s.setPhase(metrics.NoTenant, "")
 
 	return s.report(), nil
 }
@@ -529,7 +607,12 @@ func (s *Server) finish(sl *slot, msg []byte) {
 		s.fail(sl, err)
 		return
 	}
+	s.setPhase(sl.tenant, metrics.PhaseOutput)
 	cycles := s.w.M.Clock.Now() - sl.start
+	tenant := metrics.TenantLabelOf(sl.tenant)
+	s.w.Met.Inc(metrics.FamilySessions,
+		metrics.KV("outcome", "ok"), metrics.KV("tenant", tenant))
+	s.w.Met.Observe(metrics.FamilySessionCycles, cycles, metrics.KV("tenant", tenant))
 	s.w.Rec.Span(trace.KindServeSession, trace.TrackServer,
 		fmt.Sprintf("serve/tenant/%d", sl.tenant), sl.start)
 	s.results = append(s.results, SessionResult{
@@ -546,6 +629,8 @@ func (s *Server) finish(sl *slot, msg []byte) {
 // fail records a typed session failure and turns the slot over.
 func (s *Server) fail(sl *slot, err error) {
 	cycles := s.w.M.Clock.Now() - sl.start
+	s.w.Met.Inc(metrics.FamilySessions,
+		metrics.KV("outcome", "fail"), metrics.KV("tenant", metrics.TenantLabelOf(sl.tenant)))
 	s.results = append(s.results, SessionResult{
 		Tenant: sl.tenant, Slot: sl.idx, Sandbox: int(sl.c.ID),
 		Warm: sl.warm, Cycles: cycles, Err: err.Error(),
@@ -557,6 +642,9 @@ func (s *Server) fail(sl *slot, err error) {
 // turnover retires the finished session and prepares the slot for its next
 // tenant: warm recycle after a clean completion, cold relaunch otherwise.
 func (s *Server) turnover(sl *slot, clean bool) {
+	// The retiring tenant owns the teardown/recycle work (scrub, shootdowns,
+	// destroy-AS) — it is the cost of *their* confidentiality cleanup.
+	s.setPhase(sl.tenant, metrics.PhaseRecycle)
 	sl.served++
 	next := sl.idx + sl.served*s.cfg.Tenants
 	if next >= s.cfg.Sessions {
@@ -596,6 +684,8 @@ func (s *Server) turnover(sl *slot, clean bool) {
 		_ = s.w.Mon.EMCSandboxEnd(s.w.Core(), sl.c.ID)
 	}
 	_ = s.w.Mon.EMCDestroyAS(s.w.Core(), asid)
+	// Cold relaunch is the incoming tenant's setup cost.
+	s.setPhase(next, metrics.PhaseLaunch)
 	c, err := s.launchContainer(sl)
 	if err != nil {
 		// Irrecoverable slot: fail its remaining tenants typed, no hangs.
@@ -642,6 +732,64 @@ func (s *Server) report() *Report {
 		rep.SessionsPerSec = float64(s.completed) / (float64(total) / float64(costs.HzPerSecond))
 	}
 	return rep
+}
+
+// PhaseRow is one tenant's causal cycle breakdown across session phases.
+// Tenant -1 is the fleet row: shared relay/bookkeeping work that belongs to
+// no single tenant.
+type PhaseRow struct {
+	Tenant int `json:"tenant"`
+	// Cycles maps phase name -> virtual cycles attributed to this tenant in
+	// that phase.
+	Cycles map[string]uint64 `json:"cycles"`
+	// Total sums the row; summing Total across all rows reproduces the
+	// serial elapsed cycles of Run() exactly (conservation by construction).
+	Total uint64 `json:"total"`
+	// Shootdown is the TLB-shootdown share of the row (informational: these
+	// cycles are already inside the phase figures, not in addition to them).
+	Shootdown uint64 `json:"shootdown"`
+}
+
+// PhaseBreakdown reads the per-tenant phase attribution out of the registry,
+// sorted by tenant with the fleet row (-1) first. Call after Run.
+func (s *Server) PhaseBreakdown() []PhaseRow {
+	rows := make(map[int]*PhaseRow)
+	get := func(tenant int) *PhaseRow {
+		r := rows[tenant]
+		if r == nil {
+			r = &PhaseRow{Tenant: tenant, Cycles: make(map[string]uint64)}
+			rows[tenant] = r
+		}
+		return r
+	}
+	for _, sv := range s.w.Met.Series(metrics.FamilyTenantPhaseCycles) {
+		var tenant, phase = metrics.NoTenant, ""
+		for _, l := range sv.Labels {
+			switch l.Key {
+			case "tenant":
+				tenant, _ = strconv.Atoi(l.Value)
+			case "phase":
+				phase = l.Value
+			}
+		}
+		r := get(tenant)
+		r.Cycles[phase] += sv.Value
+		r.Total += sv.Value
+	}
+	for _, sv := range s.w.Met.Series(metrics.FamilyShootdownCycles) {
+		for _, l := range sv.Labels {
+			if l.Key == "tenant" {
+				t, _ := strconv.Atoi(l.Value)
+				get(t).Shootdown += sv.Value
+			}
+		}
+	}
+	out := make([]PhaseRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // Run boots a server for cfg and drives it to completion.

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"github.com/asterisc-release/erebor-go/internal/metrics"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+)
+
+// Status is an immutable post-run introspection snapshot: the registry's
+// OpenMetrics export, the watchdog verdict, the fleet report and the
+// per-tenant phase breakdown, all captured at one instant. The -statusz
+// endpoint serves these frozen bytes — never live simulation state — so
+// introspection cannot race the single-threaded world or perturb the
+// deterministic clock.
+type Status struct {
+	// Metrics is the OpenMetrics text exposition of the registry.
+	Metrics []byte
+	// Healthy is false when the watchdog observed any violation that was not
+	// announced via InjectAuditViolation.
+	Healthy bool
+	// Sweeps and NonInjected summarize the watchdog run.
+	Sweeps      uint64
+	NonInjected uint64
+	// Events is the watchdog violation log in observation order.
+	Events []monitor.WatchdogEvent
+	// Report is the fleet report (nil if Run has not finished).
+	Report *Report
+	// Phases is the per-tenant causal cycle breakdown.
+	Phases []PhaseRow
+}
+
+// Status captures the server's introspection snapshot. Call after Run; rep
+// may be nil when the run failed before producing a report.
+func (s *Server) Status(rep *Report) *Status {
+	var buf bytes.Buffer
+	_ = s.w.Met.ExportOpenMetrics(&buf)
+	st := &Status{
+		Metrics: buf.Bytes(),
+		Healthy: true,
+		Report:  rep,
+		Phases:  s.PhaseBreakdown(),
+	}
+	if mon := s.w.Mon; mon != nil && mon.WatchdogEnabled() {
+		st.Sweeps = mon.WatchdogSweeps()
+		st.NonInjected = mon.WatchdogNonInjected()
+		st.Events = mon.WatchdogEvents()
+		st.Healthy = st.NonInjected == 0
+	}
+	return st
+}
+
+// Handler serves the snapshot over HTTP:
+//
+//	/metrics  — OpenMetrics text exposition (frozen at snapshot time)
+//	/healthz  — "ok" (200) or "unhealthy" (503) by the watchdog verdict
+//	/statusz  — human-readable fleet status page
+func (st *Status) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_, _ = w.Write(st.Metrics)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !st.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: %d non-injected invariant violations\n", st.NonInjected)
+			return
+		}
+		fmt.Fprintf(w, "ok: %d sweeps, 0 non-injected violations\n", st.Sweeps)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		st.WriteText(w)
+	})
+	return mux
+}
+
+// WriteText renders the status page: run headline, watchdog verdict, and the
+// per-tenant phase table.
+func (st *Status) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "erebor-serve status\n")
+	if rep := st.Report; rep != nil {
+		fmt.Fprintf(w, "sessions: %d completed, %d failed (%d warm, %d cold) on %d slots / %d vcpus\n",
+			rep.Completed, rep.Failed, rep.WarmSessions, rep.ColdSessions, rep.Tenants, rep.VCPUs)
+		fmt.Fprintf(w, "cycles: %d total, %d/session\n", rep.TotalCycles, rep.CyclesPerSession)
+	}
+	if st.Healthy {
+		fmt.Fprintf(w, "watchdog: healthy (%d sweeps, %d injected events)\n", st.Sweeps, len(st.Events))
+	} else {
+		fmt.Fprintf(w, "watchdog: UNHEALTHY (%d non-injected violations in %d sweeps)\n",
+			st.NonInjected, st.Sweeps)
+	}
+	for _, ev := range st.Events {
+		fmt.Fprintf(w, "  [%s] %s %s (%s) frame=%d tenant=%d cycles=%d %s\n",
+			ev.Severity, ev.Code, ev.Invariant, ev.Trigger, ev.Frame, ev.Tenant, ev.Cycles, ev.Detail)
+	}
+	fmt.Fprintf(w, "\n")
+	WritePhaseTable(w, st.Phases)
+}
+
+// phaseColumns is the fixed column order of the fleet phase table.
+var phaseColumns = []string{
+	metrics.PhaseHandshake, metrics.PhaseInstall, metrics.PhaseCompute,
+	metrics.PhaseOutput, metrics.PhaseRecycle, metrics.PhaseLaunch,
+	metrics.PhaseFleet,
+}
+
+// WritePhaseTable renders the per-tenant phase breakdown as an aligned text
+// table (tenant -1 is the shared fleet row). The trailing TOTAL row sums
+// every column; its total equals the run's serial elapsed cycles.
+func WritePhaseTable(w io.Writer, rows []PhaseRow) {
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "no phase attribution recorded\n")
+		return
+	}
+	cols := append([]string(nil), phaseColumns...)
+	// Pick up any phase not in the canonical list (forward compatibility).
+	known := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		known[c] = true
+	}
+	extra := map[string]bool{}
+	for _, r := range rows {
+		for p := range r.Cycles {
+			if !known[p] && !extra[p] {
+				extra[p] = true
+				cols = append(cols, p)
+			}
+		}
+	}
+	sort.Strings(cols[len(phaseColumns):])
+
+	fmt.Fprintf(w, "%8s", "tenant")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintf(w, " %14s %12s\n", "total", "shootdown")
+
+	total := PhaseRow{Tenant: 0, Cycles: make(map[string]uint64)}
+	for _, r := range rows {
+		name := fmt.Sprint(r.Tenant)
+		if r.Tenant == metrics.NoTenant {
+			name = "fleet"
+		}
+		fmt.Fprintf(w, "%8s", name)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %12d", r.Cycles[c])
+			total.Cycles[c] += r.Cycles[c]
+		}
+		fmt.Fprintf(w, " %14d %12d\n", r.Total, r.Shootdown)
+		total.Total += r.Total
+		total.Shootdown += r.Shootdown
+	}
+	fmt.Fprintf(w, "%8s", "TOTAL")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %12d", total.Cycles[c])
+	}
+	fmt.Fprintf(w, " %14d %12d\n", total.Total, total.Shootdown)
+}

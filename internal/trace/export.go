@@ -130,7 +130,9 @@ func (r *Recorder) ExportChromeTrace(w io.Writer) error {
 	return err
 }
 
-// promEscape escapes a Prometheus label value.
+// promEscape escapes a Prometheus label value: backslash, double quote and
+// newline. Callers embed the result in plain "..." — formatting it with %q
+// would escape a second time (the bug TestPrometheusLabelEscaping guards).
 func promEscape(s string) string {
 	out := make([]byte, 0, len(s))
 	for i := 0; i < len(s); i++ {
@@ -176,7 +178,7 @@ func (r *Recorder) ExportPrometheus(w io.Writer) error {
 				break
 			}
 		}
-		if _, err := fmt.Fprintf(w, "erebor_trace_events_total{kind=%q,label=%q} %d\n",
+		if _, err := fmt.Fprintf(w, "erebor_trace_events_total{kind=\"%s\",label=\"%s\"} %d\n",
 			promEscape(kind), promEscape(label), counts[k]); err != nil {
 			return err
 		}
@@ -214,18 +216,18 @@ func (r *Recorder) ExportPrometheus(w io.Writer) error {
 		}
 		for i := lo; i >= 0 && i <= hi; i++ {
 			cum += h.Buckets[i]
-			if _, err := fmt.Fprintf(w, "erebor_span_cycles_bucket{span=%q,le=\"%d\"} %d\n",
+			if _, err := fmt.Fprintf(w, "erebor_span_cycles_bucket{span=\"%s\",le=\"%d\"} %d\n",
 				span, BucketUpper(i), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "erebor_span_cycles_bucket{span=%q,le=\"+Inf\"} %d\n", span, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "erebor_span_cycles_bucket{span=\"%s\",le=\"+Inf\"} %d\n", span, h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "erebor_span_cycles_sum{span=%q} %d\n", span, h.Sum); err != nil {
+		if _, err := fmt.Fprintf(w, "erebor_span_cycles_sum{span=\"%s\"} %d\n", span, h.Sum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "erebor_span_cycles_count{span=%q} %d\n", span, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "erebor_span_cycles_count{span=\"%s\"} %d\n", span, h.Count); err != nil {
 			return err
 		}
 	}

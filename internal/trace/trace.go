@@ -149,6 +149,20 @@ type Event struct {
 // not specify one (~64k events; a full chaos session fits comfortably).
 const DefaultCapacity = 65536
 
+// CountStore is an external sink for event tallies. When a recorder is
+// bound to one (SetCountStore), every event count is written through the
+// store instead of the recorder's internal map, and Counts reads back from
+// it — making the store the single source of truth. The metrics registry
+// implements this interface; the indirection (rather than a direct import)
+// exists because metrics depends on trace for its histograms.
+type CountStore interface {
+	// AddTraceCount adds delta to the tally for (kind, label).
+	AddTraceCount(kind, label string, delta uint64)
+	// TraceCounts snapshots every tally, keyed like Recorder.Counts
+	// ("kind" or "kind|label").
+	TraceCounts() map[string]uint64
+}
+
 // Recorder is the flight recorder. The zero of *Recorder (nil) is a valid,
 // permanently disabled recorder: every method is nil-safe.
 type Recorder struct {
@@ -161,6 +175,7 @@ type Recorder struct {
 
 	hists  map[string]*Histogram
 	counts map[string]uint64
+	store  CountStore
 }
 
 // New builds a recorder with a bounded ring of capacity events, stamping
@@ -198,9 +213,25 @@ func countKey(kind Kind, label string) string {
 	return kind.String() + "|" + label
 }
 
+// SetCountStore redirects event tallies to an external store (the metrics
+// registry). Wire it before the first event: counts already accumulated in
+// the internal map are not migrated.
+func (r *Recorder) SetCountStore(s CountStore) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.store = s
+	r.mu.Unlock()
+}
+
 // append adds ev to the ring, overwriting the oldest event when full.
 func (r *Recorder) append(ev Event) {
-	r.counts[countKey(ev.Kind, ev.Label)]++
+	if r.store != nil {
+		r.store.AddTraceCount(ev.Kind.String(), ev.Label, 1)
+	} else {
+		r.counts[countKey(ev.Kind, ev.Label)]++
+	}
 	if r.n < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 		r.n++
@@ -299,22 +330,32 @@ func (r *Recorder) Histograms() map[string]Histogram {
 	return out
 }
 
-// Counts copies the event tallies (key = kind or "kind|label").
+// Counts copies the event tallies (key = kind or "kind|label"). When a
+// CountStore is bound, the tallies come from the store, so a registry-backed
+// recorder exports identical bytes to a standalone one.
 func (r *Recorder) Counts() map[string]uint64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]uint64, len(r.counts))
-	for k, v := range r.counts {
-		out[k] = v
+	store := r.store
+	if store == nil {
+		out := make(map[string]uint64, len(r.counts))
+		for k, v := range r.counts {
+			out[k] = v
+		}
+		r.mu.Unlock()
+		return out
 	}
-	return out
+	r.mu.Unlock()
+	// Read outside r.mu: the store has its own lock, and holding both here
+	// would order them opposite to the append path.
+	return store.TraceCounts()
 }
 
 // Reset discards events, histograms, counters and the dropped count; the
-// capacity and clock binding are kept.
+// capacity, clock binding and count store are kept. Tallies held by a bound
+// CountStore belong to the store and are not cleared here.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
@@ -389,7 +430,10 @@ func (h Histogram) Mean() float64 {
 
 // Quantile returns an upper bound (in cycles) for the q-quantile: the
 // inclusive upper edge of the bucket where that quantile falls, clamped to
-// the observed Max. q outside (0,1] is clamped.
+// the observed Max. Edge cases are fixed deterministically: an empty
+// histogram returns 0 regardless of q, q <= 0 returns Min, and q >= 1
+// returns exactly Max (the tightest upper bound for the last observation —
+// never the log2 bucket edge above it).
 func (h Histogram) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
@@ -397,8 +441,8 @@ func (h Histogram) Quantile(q float64) uint64 {
 	if q <= 0 {
 		return h.Min
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.Max
 	}
 	rank := uint64(math.Ceil(q * float64(h.Count)))
 	if rank == 0 {

@@ -278,6 +278,150 @@ func TestSummaries(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every q, including the clamped extremes, is 0.
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1.0, 2.0} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Errorf("empty.Mean() = %v, want 0", empty.Mean())
+	}
+
+	// q=1.0 must return exactly the max observation, not its log2 bucket
+	// edge: 1224 sits in bucket [1024,2048) whose upper bound is 2047.
+	var h Histogram
+	h.Observe(100)
+	h.Observe(1224)
+	if got := h.Quantile(1.0); got != 1224 {
+		t.Errorf("Quantile(1.0) = %d, want 1224", got)
+	}
+	if got := h.Quantile(2.0); got != 1224 {
+		t.Errorf("Quantile(2.0) = %d, want clamp to Max", got)
+	}
+	if got := h.Quantile(-0.5); got != 100 {
+		t.Errorf("Quantile(-0.5) = %d, want Min", got)
+	}
+
+	// Single observation: every in-range q lands on it (bucket upper bound
+	// clamped to Max).
+	var one Histogram
+	one.Observe(7)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("one.Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	clk := &fakeClock{}
+	r := New(0, clk.now)
+	r.Emit(KindSandboxKill, TrackMonitor, "quote\"back\\slash\nnewline")
+	var buf bytes.Buffer
+	if err := r.ExportPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `erebor_trace_events_total{kind="sandbox-kill",label="quote\"back\\slash\nnewline"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped label missing:\n%s\nwant %q", buf.String(), want)
+	}
+	// The escaped export must stay on one line per sample (raw newline
+	// would split it).
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "newline") && !strings.Contains(line, `\n`) {
+			t.Fatalf("raw newline leaked into export line %q", line)
+		}
+	}
+}
+
+func TestExportStableAcrossIdenticalRuns(t *testing.T) {
+	// Two independently-driven but identical recorders export identical
+	// bytes: the map traversals inside both exporters are sorted.
+	mk := func() *Recorder {
+		clk := &fakeClock{}
+		r := New(0, clk.now)
+		fill(r, clk)
+		return r
+	}
+	a, b := mk(), mk()
+	var pa, pb, ca, cb bytes.Buffer
+	if err := a.ExportPrometheus(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExportPrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if pa.String() != pb.String() {
+		t.Fatal("prometheus export differs across identical runs")
+	}
+	if err := a.ExportChromeTrace(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExportChromeTrace(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if ca.String() != cb.String() {
+		t.Fatal("chrome export differs across identical runs")
+	}
+}
+
+// mapCountStore is a test double for the registry-backed count sink.
+type mapCountStore struct{ m map[string]uint64 }
+
+func (s *mapCountStore) AddTraceCount(kind, label string, delta uint64) {
+	if s.m == nil {
+		s.m = make(map[string]uint64)
+	}
+	key := kind
+	if label != "" {
+		key += "|" + label
+	}
+	s.m[key] += delta
+}
+
+func (s *mapCountStore) TraceCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestCountStoreBackedCounts(t *testing.T) {
+	// A store-backed recorder and a standalone one driven identically must
+	// agree on Counts() and on the Prometheus export bytes.
+	clkA, clkB := &fakeClock{}, &fakeClock{}
+	plain := New(0, clkA.now)
+	backed := New(0, clkB.now)
+	store := &mapCountStore{}
+	backed.SetCountStore(store)
+	fill(plain, clkA)
+	fill(backed, clkB)
+
+	ca, cb := plain.Counts(), backed.Counts()
+	if len(ca) != len(cb) {
+		t.Fatalf("count keys differ: %d vs %d", len(ca), len(cb))
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			t.Fatalf("count %q = %d store-backed, %d plain", k, cb[k], v)
+		}
+	}
+	var pa, pb bytes.Buffer
+	if err := plain.ExportPrometheus(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := backed.ExportPrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if pa.String() != pb.String() {
+		t.Fatalf("store-backed export differs:\n--- plain ---\n%s--- backed ---\n%s", pa.String(), pb.String())
+	}
+}
+
 func TestReset(t *testing.T) {
 	clk := &fakeClock{}
 	r := New(2, clk.now)
