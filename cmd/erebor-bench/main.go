@@ -11,6 +11,7 @@
 //	erebor-bench -exp memshare      # memory-sharing savings
 //	erebor-bench -exp serve         # multi-tenant serving: warm pool vs cold
 //	erebor-bench -exp phases        # per-tenant session-phase cycle breakdown
+//	erebor-bench -exp egress        # deny-by-default egress enforcement under chaos
 //
 // -scale grows the workloads (1 = quick, 4 = closer to paper proportions).
 package main
@@ -22,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/harness"
 	"github.com/asterisc-release/erebor-go/internal/serve"
 	"github.com/asterisc-release/erebor-go/internal/trace"
@@ -38,7 +40,7 @@ import (
 var traceBench bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|phases|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|phases|egress|all")
 	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
 	vcpus := flag.Int("vcpus", 1, "simulated vCPUs for the serve fleet-size sweep (the vCPU sweep always runs P∈{1,2,4})")
 	flag.BoolVar(&traceBench, "trace", false,
@@ -80,6 +82,7 @@ func main() {
 	run("memshare", func() error { return memshare(*scale) })
 	run("serve", func() error { return serveBench(*scale, *vcpus) })
 	run("phases", func() error { return phasesBench(*scale, *vcpus) })
+	run("egress", func() error { return egressBench(*scale, *vcpus) })
 	run("ablations", ablations)
 
 	if traceBench && sets != nil {
@@ -331,6 +334,53 @@ func phasesBench(scale, vcpus int) error {
 	}
 	fmt.Printf("\nconservation: %d attributed == %d elapsed; sessions %d ok, %d failed; watchdog %d sweeps, healthy\n",
 		attributed, elapsed, rep.Completed, rep.Failed, s.World().Mon.WatchdogSweeps())
+	return nil
+}
+
+// egressBench serves a warm fleet under deny-by-default egress enforcement
+// and sweeps the proxy-edge fault rate (frame-redirect + policy-load
+// corruption). The exfil column must stay zero at every rate: no frame ever
+// reaches a non-allowlisted destination, faults only convert would-be allows
+// into typed denials. The watchdog sweeps I8 throughout.
+func egressBench(scale, vcpus int) error {
+	const tenants = 8
+	sessions := 2 * tenants * scale
+	fmt.Printf("%-10s %9s %9s %9s %9s %8s      (deny-by-default egress, %d-tenant fleet, %d vCPU)\n",
+		"proxy-rate", "sessions", "allowed", "denied", "exfil", "I8", tenants, vcpus)
+	for _, rate := range []float64{0, 0.05, 0.20} {
+		cfg := serve.Config{
+			Tenants: tenants, Sessions: sessions, Seed: 1, VCPUs: vcpus,
+			Watchdog: true, Egress: serve.DefaultEgressSpec(),
+		}
+		if rate > 0 {
+			plan := faultinject.Uniform(1, 0).WithProxyFaults(rate, rate/2)
+			cfg.Chaos = &plan
+		}
+		s, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
+		rep, err := s.Run()
+		if err != nil {
+			return err
+		}
+		if rep.Completed+rep.Failed != sessions {
+			return fmt.Errorf("egress rate=%.2f: %d/%d sessions accounted", rate, rep.Completed+rep.Failed, sessions)
+		}
+		exfil := s.ServiceDeliveries()[serve.ExfilDest.String()]
+		if exfil != 0 {
+			return fmt.Errorf("egress rate=%.2f: %d frames exfiltrated past the allowlist", rate, exfil)
+		}
+		if n := s.World().Mon.WatchdogNonInjected(); n > 0 {
+			return fmt.Errorf("egress rate=%.2f: %d non-injected invariant violations", rate, n)
+		}
+		if rep.EgressDenied != rep.EgressDenialsSeen+rep.EgressDenialDrops {
+			return fmt.Errorf("egress rate=%.2f: denial accounting leak (%d denied, %d seen + %d dropped)",
+				rate, rep.EgressDenied, rep.EgressDenialsSeen, rep.EgressDenialDrops)
+		}
+		fmt.Printf("%-10.2f %9d %9d %9d %9d %8s\n",
+			rate, rep.Completed, rep.EgressAllowed, rep.EgressDenied, exfil, "clean")
+	}
 	return nil
 }
 

@@ -12,6 +12,8 @@
 //	erebor-serve -tenants 8 -watchdog -phases         # invariant watchdog + phase table
 //	erebor-serve -tenants 8 -metrics m.txt -events e.jsonl
 //	erebor-serve -tenants 8 -watchdog -statusz :8080  # post-run introspection endpoint
+//	erebor-serve -tenants 8 -egress-policy default    # deny-by-default egress enforcement
+//	erebor-serve -tenants 8 -egress-policy default -chaos-proxy 0.03 -egress-log d.jsonl
 //
 // Runs are deterministic: the same flags and seed reproduce the same report
 // bytes (and, fault-free, the same trace bytes — plus byte-identical
@@ -28,6 +30,7 @@ import (
 	"net/http"
 	"os"
 
+	"github.com/asterisc-release/erebor-go/internal/egress"
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/serve"
 )
@@ -67,6 +70,10 @@ func main() {
 	eventsPath := flag.String("events", "", "write the watchdog event log (JSONL) to this file (- for stdout)")
 	phases := flag.Bool("phases", false, "print the per-tenant phase-cycle table after the report")
 	statusz := flag.String("statusz", "", "serve /metrics, /healthz and /statusz on this address after the run (blocks)")
+	egressPolicy := flag.String("egress-policy", "",
+		"deny-by-default egress allowlist spec (e.g. 'allow client/self; allow service/model-registry'; 'default' for the stock policy; empty disables enforcement)")
+	egressLog := flag.String("egress-log", "", "write the egress decision log (JSONL) to this file (- for stdout)")
+	chaosProxy := flag.Float64("chaos-proxy", 0, "per-frame rate of the proxy-edge fault classes (frame-redirect + policy-corrupt; needs -egress-policy)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -90,12 +97,30 @@ func main() {
 	if cfg.MemMB == 0 && *tenants >= 64 {
 		cfg.MemMB = uint64(256 + *tenants*4)
 	}
-	if *chaos > 0 {
+	if *egressPolicy != "" {
+		if *egressPolicy == "default" {
+			cfg.Egress = serve.DefaultEgressSpec()
+		} else {
+			sp, err := egress.ParseSpec(*egressPolicy)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erebor-serve: -egress-policy: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Egress = sp
+		}
+	}
+	if *chaosProxy > 0 && cfg.Egress == nil {
+		fmt.Fprintf(os.Stderr, "erebor-serve: -chaos-proxy needs -egress-policy (proxy faults act on the policed egress edge)\n")
+		os.Exit(1)
+	}
+	if *chaos > 0 || *chaosProxy > 0 {
 		cs := *chaosSeed
 		if cs == 0 {
 			cs = *seed
 		}
-		plan := faultinject.Uniform(cs, *chaos)
+		// Proxy-edge faults draw from their own PRNG stream, so arming them
+		// (even with -chaos 0) never perturbs the wire fault schedule.
+		plan := faultinject.Uniform(cs, *chaos).WithProxyFaults(*chaosProxy, *chaosProxy/2)
 		cfg.Chaos = &plan
 	}
 
@@ -142,6 +167,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *egressLog != "" {
+		if s.Ledger() == nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: -egress-log needs -egress-policy\n")
+			os.Exit(1)
+		}
+		if err := writeFile(*egressLog, func(f *os.File) error {
+			return s.ExportEgressJSONL(f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: egress log export: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *quiet {
 		fmt.Printf("tenants=%d vcpus=%d sessions=%d completed=%d failed=%d warm=%d recycles=%d cycles/session=%d sessions/s=%.1f\n",
@@ -153,6 +190,11 @@ func main() {
 	}
 	if *phases {
 		serve.WritePhaseTable(os.Stdout, s.PhaseBreakdown())
+	}
+	if s.Ledger() != nil && !*quiet {
+		allowed, denied := s.Ledger().Counts()
+		fmt.Printf("egress: policy %q — %d allowed, %d denied (%d typed denials drained, %d dropped at queue cap)\n",
+			cfg.Egress.String(), allowed, denied, rep.EgressDenialsSeen, rep.EgressDenialDrops)
 	}
 
 	status := s.Status(rep)

@@ -1,7 +1,8 @@
 // Package audit defines the typed vocabulary of security-invariant
 // violations that Monitor.Audit and the continuous watchdog report.
 //
-// Each Code names one way a §8 invariant (I1–I7) can fail. Typed codes —
+// Each Code names one way a §8 invariant (I1–I7, plus the serving path's
+// egress invariant I8) can fail. Typed codes —
 // instead of the fmt.Sprintf strings Audit originally returned — let tests
 // assert on the class of a violation rather than a substring, let the
 // watchdog aggregate violations into metrics series, and give the JSONL
@@ -52,6 +53,11 @@ const (
 	PTPUserMapped
 	MonitorFrameUserMapped
 
+	// I8 — no frame crosses the proxy to a destination outside the
+	// tenant's compiled egress allowlist.
+	EgressBypass
+	EgressPolicyMissing
+
 	numCodes
 )
 
@@ -71,6 +77,8 @@ var codeNames = [numCodes]string{
 	SharedOutsideIO:        "shared-outside-io",
 	PTPUserMapped:          "ptp-user-mapped",
 	MonitorFrameUserMapped: "monitor-frame-user-mapped",
+	EgressBypass:           "egress-bypass",
+	EgressPolicyMissing:    "egress-policy-missing",
 }
 
 var codeInvariants = [numCodes]string{
@@ -89,6 +97,8 @@ var codeInvariants = [numCodes]string{
 	SharedOutsideIO:        "I6",
 	PTPUserMapped:          "I7",
 	MonitorFrameUserMapped: "I7",
+	EgressBypass:           "I8",
+	EgressPolicyMissing:    "I8",
 }
 
 // String names the code (stable; used in metrics labels and event logs).
@@ -99,7 +109,7 @@ func (c Code) String() string {
 	return "unknown"
 }
 
-// Invariant names the §8 invariant the code violates ("I1".."I7").
+// Invariant names the invariant the code violates ("I1".."I8").
 func (c Code) Invariant() string {
 	if int(c) < len(codeInvariants) {
 		return codeInvariants[c]

@@ -24,6 +24,8 @@ func TestCodeStringsStable(t *testing.T) {
 		SharedOutsideIO:        "shared-outside-io",
 		PTPUserMapped:          "ptp-user-mapped",
 		MonitorFrameUserMapped: "monitor-frame-user-mapped",
+		EgressBypass:           "egress-bypass",
+		EgressPolicyMissing:    "egress-policy-missing",
 	}
 	if len(want) != int(numCodes) {
 		t.Fatalf("test covers %d codes, enum has %d", len(want), numCodes)
@@ -47,6 +49,8 @@ func TestCodeInvariants(t *testing.T) {
 		SealedWritable:         "I5",
 		SharedOutsideIO:        "I6",
 		MonitorFrameUserMapped: "I7",
+		EgressBypass:           "I8",
+		EgressPolicyMissing:    "I8",
 	}
 	for c, inv := range cases {
 		if c.Invariant() != inv {

@@ -1,0 +1,192 @@
+package egress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/audit"
+)
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("allow client/self; allow service/model-registry, service/cache-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"client/self", "service/model-registry", "service/cache-*"}
+	if len(sp.Allow) != len(want) {
+		t.Fatalf("parsed %v, want %v", sp.Allow, want)
+	}
+	for i := range want {
+		if sp.Allow[i] != want[i] {
+			t.Fatalf("pattern %d: %q, want %q", i, sp.Allow[i], want[i])
+		}
+	}
+	if got := sp.String(); got != "allow client/self; allow service/model-registry; allow service/cache-*" {
+		t.Fatalf("String() = %q", got)
+	}
+
+	if sp, err := ParseSpec("  ;; , "); err != nil || len(sp.Allow) != 0 {
+		t.Fatalf("empty spec: %v, %v", sp, err)
+	}
+	if (&Spec{}).String() != "(deny all)" {
+		t.Fatal("empty spec should render as (deny all)")
+	}
+
+	for _, bad := range []string{"no-class", "service/mid*fix/x", "*/everything"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed pattern", bad)
+		}
+	}
+}
+
+func TestDenyByDefault(t *testing.T) {
+	p := MustParseSpec("allow client/self").CompileFor(3)
+
+	if d := p.Decide(ClientDest(3)); !d.Allowed || d.Rule != SelfPattern {
+		t.Fatalf("own client: %+v", d)
+	}
+	// Another tenant's client, a service, a peer, the redirect target: all
+	// denied with the default-deny rule label.
+	for _, dst := range []Destination{ClientDest(4), Dest("service", "model-registry"), Dest("peer", "exfil"), RedirectDest} {
+		if d := p.Decide(dst); d.Allowed || d.Rule != RuleDefaultDeny {
+			t.Errorf("%s: %+v, want deny/default-deny", dst, d)
+		}
+	}
+	// A nil policy must never fail open.
+	var nilPol *Policy
+	if d := nilPol.Decide(ClientDest(3)); d.Allowed {
+		t.Fatal("nil policy allowed a frame")
+	}
+}
+
+func TestWildcardPrefix(t *testing.T) {
+	p := MustParseSpec("allow service/model-*").CompileFor(0)
+	if d := p.Decide(Dest("service", "model-registry")); !d.Allowed || d.Rule != "service/model-*" {
+		t.Fatalf("prefix match: %+v", d)
+	}
+	if d := p.Decide(Dest("service", "cache")); d.Allowed {
+		t.Fatalf("non-matching service allowed: %+v", d)
+	}
+	// The class is part of the matched text: a wildcard never spans classes.
+	if d := p.Decide(Dest("peer", "model-registry")); d.Allowed {
+		t.Fatalf("wildcard leaked across classes: %+v", d)
+	}
+}
+
+func TestCorruptFailsClosed(t *testing.T) {
+	p := MustParseSpec("allow client/self; allow service/*").CompileFor(7)
+	bad := p.Corrupt()
+	if p == bad {
+		t.Fatal("Corrupt returned the receiver")
+	}
+	if !p.Intact() {
+		t.Fatal("Corrupt mutated the original policy")
+	}
+	if bad.Intact() {
+		t.Fatal("corrupted policy still verifies")
+	}
+	// Every destination — including ones the intact policy allows — denies
+	// with the corrupt rule label.
+	for _, dst := range []Destination{ClientDest(7), Dest("service", "model-registry"), Dest("peer", "x")} {
+		if d := bad.Decide(dst); d.Allowed || d.Rule != RuleCorrupt {
+			t.Errorf("corrupt policy on %s: %+v, want deny/policy-corrupt", dst, d)
+		}
+	}
+	// The original still allows what it allowed.
+	if d := p.Decide(ClientDest(7)); !d.Allowed {
+		t.Fatal("original policy changed behavior after Corrupt")
+	}
+	// Empty policy corrupts its seal instead of a rule.
+	if d := MustParseSpec("").CompileFor(0).Corrupt().Decide(ClientDest(0)); d.Allowed || d.Rule != RuleCorrupt {
+		t.Fatalf("corrupted empty policy: %+v", d)
+	}
+}
+
+func TestLedgerAuditCatchesBypass(t *testing.T) {
+	l := NewLedger()
+	pol := MustParseSpec("allow client/self").CompileFor(0)
+	l.Register(0, pol)
+
+	// Honest decisions: one allow, one deny. Clean audit.
+	l.Record(0, ClientDest(0), pol.Decide(ClientDest(0)))
+	l.Record(0, Dest("peer", "exfil"), pol.Decide(Dest("peer", "exfil")))
+	if v := l.AuditViolations(); v != nil {
+		t.Fatalf("clean ledger audited dirty: %v", v)
+	}
+	if a, d := l.Counts(); a != 1 || d != 1 {
+		t.Fatalf("counts %d/%d, want 1/1", a, d)
+	}
+
+	// A proxy that *claims* allow for a denied destination — the forged
+	// record a compromised relay would write — is caught against the
+	// registered ground truth.
+	l.Record(0, Dest("peer", "exfil"), Decision{Allowed: true, Rule: "forged"})
+	v := l.AuditViolations()
+	if len(v) != 1 || v[0].Code != audit.EgressBypass {
+		t.Fatalf("forged allow not caught: %v", v)
+	}
+	if v[0].Code.Invariant() != "I8" {
+		t.Fatalf("bypass maps to %q, want I8", v[0].Code.Invariant())
+	}
+
+	// An allowed record for a tenant with no registered policy is its own
+	// violation class.
+	l.Record(9, ClientDest(9), Decision{Allowed: true, Rule: "client/self"})
+	v = l.AuditViolations()
+	if len(v) != 2 || v[1].Code != audit.EgressPolicyMissing {
+		t.Fatalf("missing-policy allow not caught: %v", v)
+	}
+}
+
+func TestInjectBypass(t *testing.T) {
+	l := NewLedger()
+	if _, err := l.InjectBypass(); err == nil {
+		t.Fatal("InjectBypass with no policies should fail")
+	}
+	l.Register(2, MustParseSpec("allow client/self").CompileFor(2))
+	l.Register(5, MustParseSpec("allow client/self").CompileFor(5))
+	rec, err := l.InjectBypass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Tenant != 2 || !rec.Injected || rec.Verdict != VerdictAllow {
+		t.Fatalf("forged record %+v", rec)
+	}
+	v := l.AuditViolations()
+	if len(v) != 1 || v[0].Code != audit.EgressBypass {
+		t.Fatalf("injected bypass not audited: %v", v)
+	}
+}
+
+func TestExportJSONLDeterministic(t *testing.T) {
+	build := func() *Ledger {
+		l := NewLedger()
+		pol := MustParseSpec("allow client/self").CompileFor(1)
+		l.Register(1, pol)
+		l.Record(1, ClientDest(1), pol.Decide(ClientDest(1)))
+		l.Record(1, RedirectDest, pol.Decide(RedirectDest))
+		return l
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().ExportJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().ExportJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("identical ledgers exported different bytes")
+	}
+	lines := strings.Split(strings.TrimSpace(b1.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("exported %d lines, want 2", len(lines))
+	}
+	want := `{"seq":1,"tenant":1,"dest":"client/tenant-1","rule":"client/self","verdict":"allow"}`
+	if lines[0] != want {
+		t.Fatalf("line 1:\n  got  %s\n  want %s", lines[0], want)
+	}
+	if !strings.Contains(lines[1], `"verdict":"deny"`) || !strings.Contains(lines[1], `"rule":"default-deny"`) {
+		t.Fatalf("line 2 not a typed denial: %s", lines[1])
+	}
+}

@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/secchan"
+)
+
+// Golden wire schedules captured before the proxy-edge classes existed.
+// These are load-bearing: any change to the wire PRNG draw order (adding a
+// class to decideLocked, re-seeding, reordering rolls) shows up here as a
+// counter diff, which would silently invalidate every recorded chaos seed.
+var wireScheduleGolden = []struct {
+	seed        int64
+	want        Counters
+	outFrames   int
+	first, last string
+}{
+	{1, Counters{Drops: 61, Duplicates: 34, Reorders: 60, Corrupts: 62, Truncates: 48, Replays: 36, Passed: 199}, 509, "frame-0000", "frame-0499"},
+	{42, Counters{Drops: 47, Duplicates: 67, Reorders: 50, Corrupts: 58, Truncates: 46, Replays: 44, Passed: 188}, 564, "frame-0\x2000", "frame-0499"},
+	{7, Counters{Drops: 48, Duplicates: 49, Reorders: 50, Corrupts: 54, Truncates: 46, Replays: 54, Passed: 199}, 555, "frame-0000", "fraie-0499"},
+}
+
+func checkWireSchedule(t *testing.T, label string, plan Plan, g struct {
+	seed        int64
+	want        Counters
+	outFrames   int
+	first, last string
+}) {
+	t.Helper()
+	c, out := drive(g.seed, plan, 500)
+	// Proxy counters are not part of the wire golden; mask them so an armed
+	// plan compares on the wire fields only.
+	c.Redirects, c.PolicyCorrupts = 0, 0
+	if c != g.want {
+		t.Errorf("%s seed %d: wire schedule changed:\n  got  %v\n  want %v", label, g.seed, c, g.want)
+	}
+	if len(out) != g.outFrames {
+		t.Errorf("%s seed %d: delivered %d frames, want %d", label, g.seed, len(out), g.outFrames)
+	}
+	if len(out) > 0 {
+		if string(out[0]) != g.first {
+			t.Errorf("%s seed %d: first frame %q, want %q", label, g.seed, out[0], g.first)
+		}
+		if string(out[len(out)-1]) != g.last {
+			t.Errorf("%s seed %d: last frame %q, want %q", label, g.seed, out[len(out)-1], g.last)
+		}
+	}
+}
+
+// TestWireScheduleStability pins the pre-egress wire schedules: the exact
+// per-class counts and the exact frame stream each golden seed produced
+// before FrameRedirect/PolicyCorrupt existed must still be produced now.
+func TestWireScheduleStability(t *testing.T) {
+	for _, g := range wireScheduleGolden {
+		checkWireSchedule(t, "plain", Uniform(g.seed, 0.1), g)
+	}
+}
+
+// TestProxyFaultsDoNotPerturbWireSchedule is the satellite's core claim:
+// arming the proxy-edge classes — and even consuming proxy draws mid-run —
+// leaves the wire schedule of an existing seed byte-identical, because the
+// two class families use independent PRNG streams.
+func TestProxyFaultsDoNotPerturbWireSchedule(t *testing.T) {
+	for _, g := range wireScheduleGolden {
+		checkWireSchedule(t, "armed", Uniform(g.seed, 0.1).WithProxyFaults(0.3, 0.2), g)
+	}
+	// Interleave proxy draws with wire traffic: still identical.
+	g := wireScheduleGolden[0]
+	inj := New(Uniform(g.seed, 0.1).WithProxyFaults(0.3, 0.2))
+	a, b := secchan.NewMemPipeCap(0)
+	tr := inj.Wrap(a)
+	for i := 0; i < 500; i++ {
+		_ = tr.Send([]byte(fmt.Sprintf("frame-%04d", i)))
+		if i%3 == 0 {
+			inj.ProxyFault()
+		}
+	}
+	n := 0
+	for {
+		if _, err := b.Recv(); err != nil {
+			break
+		}
+		n++
+	}
+	c := inj.Counters
+	c.Redirects, c.PolicyCorrupts = 0, 0
+	if c != g.want {
+		t.Errorf("interleaved proxy draws changed wire schedule:\n  got  %v\n  want %v", c, g.want)
+	}
+	if n != g.outFrames {
+		t.Errorf("interleaved proxy draws changed frame stream: %d frames, want %d", n, g.outFrames)
+	}
+}
+
+// TestProxyFaultStream exercises the proxy-edge classes themselves: both
+// fire at their configured rates, the stream is deterministic per seed, and
+// an unarmed plan never fires.
+func TestProxyFaultStream(t *testing.T) {
+	draw := func(plan Plan, n int) ([]secchan.EgressFault, Counters) {
+		inj := New(plan)
+		out := make([]secchan.EgressFault, n)
+		for i := range out {
+			out[i] = inj.ProxyFault()
+		}
+		return out, inj.Counters
+	}
+
+	f1, c1 := draw(Uniform(11, 0).WithProxyFaults(0.3, 0.2), 400)
+	f2, c2 := draw(Uniform(11, 0).WithProxyFaults(0.3, 0.2), 400)
+	if c1 != c2 {
+		t.Fatalf("proxy fault counters diverge across identical seeds: %v vs %v", c1, c2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("proxy fault stream diverges at draw %d", i)
+		}
+	}
+	if c1.Redirects == 0 || c1.PolicyCorrupts == 0 {
+		t.Fatalf("proxy classes under-fired at 30%%/20%% over 400 draws: %v", c1)
+	}
+	if got := c1.Redirects + c1.PolicyCorrupts; c1.Total() != got {
+		t.Fatalf("Total()=%d, want %d (proxy-only plan)", c1.Total(), got)
+	}
+
+	if f, c := draw(Uniform(11, 0.5), 400); c.Redirects != 0 || c.PolicyCorrupts != 0 || f[0] != secchan.EgressFaultNone {
+		t.Fatalf("unarmed plan drew proxy faults: %v", c)
+	}
+}
+
+// TestOnlyCoversProxyClasses keeps the Only constructor honest for the new
+// classes.
+func TestOnlyCoversProxyClasses(t *testing.T) {
+	inj := New(Only(5, FrameRedirect, 1.0))
+	if f := inj.ProxyFault(); f != secchan.EgressFaultRedirect {
+		t.Fatalf("Only(FrameRedirect, 1.0) drew %v", f)
+	}
+	inj = New(Only(5, PolicyCorrupt, 1.0))
+	if f := inj.ProxyFault(); f != secchan.EgressFaultPolicyCorrupt {
+		t.Fatalf("Only(PolicyCorrupt, 1.0) drew %v", f)
+	}
+}
+
+// TestBindProxy wires a real lane and proves the injected redirect is what
+// the policy ends up judging (the full enforcement behavior is covered in
+// secchan's own tests; this pins the binding).
+func TestBindProxy(t *testing.T) {
+	inj := New(Uniform(3, 0).WithProxyFaults(1.0, 0))
+	p := &secchan.Proxy{}
+	inj.BindProxy(p)
+	if p.FaultFn == nil {
+		t.Fatal("BindProxy left FaultFn nil")
+	}
+	if f := p.FaultFn(); f != secchan.EgressFaultRedirect {
+		t.Fatalf("bound FaultFn drew %v, want redirect", f)
+	}
+}

@@ -21,7 +21,11 @@ import (
 // Class enumerates the injectable fault classes.
 type Class int
 
-// Fault classes, in injection-priority order.
+// Fault classes, in injection-priority order. The first six act on the
+// wire (per-frame, inside Transport.Send); the last two act at the proxy
+// egress edge (per-frame, inside secchan.Proxy via ProxyFault). Wire and
+// proxy classes draw from separate PRNG streams so adding the proxy classes
+// leaves every existing seed's wire schedule byte-identical.
 const (
 	Drop Class = iota
 	Duplicate
@@ -29,7 +33,18 @@ const (
 	Corrupt
 	Truncate
 	Replay
+	// FrameRedirect steers an egress frame at a host-controlled destination
+	// (egress.RedirectDest) instead of the lane's configured one.
+	FrameRedirect
+	// PolicyCorrupt corrupts the lane's loaded egress-policy copy; the
+	// compiled seal makes later decisions fail closed.
+	PolicyCorrupt
 	NumClasses
+
+	// NumWireClasses bounds the classes drawn from the wire stream; the
+	// wire-path chaos suites iterate [0, NumWireClasses) since proxy-edge
+	// classes never act inside Transport.Send.
+	NumWireClasses = Replay + 1
 )
 
 // String names a class.
@@ -47,6 +62,10 @@ func (c Class) String() string {
 		return "truncate"
 	case Replay:
 		return "replay"
+	case FrameRedirect:
+		return "frame-redirect"
+	case PolicyCorrupt:
+		return "policy-corrupt"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
@@ -58,12 +77,23 @@ type Plan struct {
 	Seed int64
 	// Per-frame probabilities in [0,1]; their sum must be <= 1.
 	Drop, Duplicate, Reorder, Corrupt, Truncate, Replay float64
+	// Proxy-edge probabilities (drawn from a separate stream; their sum
+	// must be <= 1 independently of the wire classes above).
+	Redirect, PolicyCorrupt float64
 }
 
-// Uniform returns a plan injecting every class at the given rate.
+// Uniform returns a plan injecting every wire class at the given rate.
+// Proxy-edge classes stay off; arm them with WithProxyFaults.
 func Uniform(seed int64, rate float64) Plan {
 	return Plan{Seed: seed, Drop: rate, Duplicate: rate, Reorder: rate,
 		Corrupt: rate, Truncate: rate, Replay: rate}
+}
+
+// WithProxyFaults returns a copy of the plan with the proxy-edge classes
+// armed at the given rates.
+func (p Plan) WithProxyFaults(redirect, policyCorrupt float64) Plan {
+	p.Redirect, p.PolicyCorrupt = redirect, policyCorrupt
+	return p
 }
 
 // Only returns a plan injecting a single class at the given rate.
@@ -82,6 +112,10 @@ func Only(seed int64, class Class, rate float64) Plan {
 		p.Truncate = rate
 	case Replay:
 		p.Replay = rate
+	case FrameRedirect:
+		p.Redirect = rate
+	case PolicyCorrupt:
+		p.PolicyCorrupt = rate
 	}
 	return p
 }
@@ -89,18 +123,24 @@ func Only(seed int64, class Class, rate float64) Plan {
 // Counters tallies injected faults per class, plus frames passed clean.
 type Counters struct {
 	Drops, Duplicates, Reorders, Corrupts, Truncates, Replays uint64
+	Redirects, PolicyCorrupts                                 uint64
 	Passed                                                    uint64
 }
 
 // Total is the number of frames that had a fault injected.
 func (c Counters) Total() uint64 {
-	return c.Drops + c.Duplicates + c.Reorders + c.Corrupts + c.Truncates + c.Replays
+	return c.Drops + c.Duplicates + c.Reorders + c.Corrupts + c.Truncates +
+		c.Replays + c.Redirects + c.PolicyCorrupts
 }
 
 // String renders the tally.
 func (c Counters) String() string {
-	return fmt.Sprintf("drop=%d dup=%d reorder=%d corrupt=%d trunc=%d replay=%d pass=%d",
+	s := fmt.Sprintf("drop=%d dup=%d reorder=%d corrupt=%d trunc=%d replay=%d pass=%d",
 		c.Drops, c.Duplicates, c.Reorders, c.Corrupts, c.Truncates, c.Replays, c.Passed)
+	if c.Redirects != 0 || c.PolicyCorrupts != 0 {
+		s += fmt.Sprintf(" redirect=%d policy-corrupt=%d", c.Redirects, c.PolicyCorrupts)
+	}
+	return s
 }
 
 // capturedCap bounds the replay capture buffer.
@@ -118,7 +158,8 @@ type Injector struct {
 
 	mu       sync.Mutex
 	rng      *rand.Rand
-	captured [][]byte // retains relayed frames as replay ammunition
+	proxyRng *rand.Rand // separate stream for the proxy-edge classes
+	captured [][]byte   // retains relayed frames as replay ammunition
 
 	// Counters tallies injected faults. Concurrent readers should use
 	// Snapshot; direct field access is only safe once sending has quiesced.
@@ -131,9 +172,21 @@ type Injector struct {
 	Rec *trace.Recorder
 }
 
-// New builds an injector for a plan.
+// proxySeedSalt decorrelates the proxy-edge PRNG stream from the wire
+// stream while keeping both a pure function of Plan.Seed.
+const proxySeedSalt = 0x65677273 // "egrs"
+
+// New builds an injector for a plan. The wire and proxy-edge classes get
+// independent PRNG streams derived from the same seed: proxy draws never
+// advance the wire stream, so arming the proxy classes leaves existing
+// seeds' wire schedules untouched (asserted by the schedule-stability
+// tests).
 func New(plan Plan) *Injector {
-	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	return &Injector{
+		plan:     plan,
+		rng:      rand.New(rand.NewSource(plan.Seed)),
+		proxyRng: rand.New(rand.NewSource(plan.Seed ^ proxySeedSalt)),
+	}
 }
 
 // Plan returns the injector's schedule parameters.
@@ -156,16 +209,18 @@ func (inj *Injector) Snapshot() Counters {
 }
 
 // decideLocked draws the fault class for one frame: one uniform roll against
-// the cumulative class probabilities, NumClasses meaning "pass clean".
-// Callers hold inj.mu.
+// the cumulative wire-class probabilities, NumClasses meaning "pass clean".
+// Only wire classes are drawn here — proxy-edge classes have their own
+// stream (ProxyFault) so they cannot perturb this schedule. Callers hold
+// inj.mu.
 func (inj *Injector) decideLocked() Class {
 	r := inj.rng.Float64()
 	cum := 0.0
-	probs := [NumClasses]float64{
+	probs := [NumWireClasses]float64{
 		Drop: inj.plan.Drop, Duplicate: inj.plan.Duplicate, Reorder: inj.plan.Reorder,
 		Corrupt: inj.plan.Corrupt, Truncate: inj.plan.Truncate, Replay: inj.plan.Replay,
 	}
-	for class := Class(0); class < NumClasses; class++ {
+	for class := Class(0); class < NumWireClasses; class++ {
 		cum += probs[class]
 		if r < cum {
 			return class
@@ -173,6 +228,32 @@ func (inj *Injector) decideLocked() Class {
 	}
 	return NumClasses
 }
+
+// ProxyFault draws one proxy-edge fault decision from the proxy stream:
+// one uniform roll against the cumulative Redirect/PolicyCorrupt rates.
+// Safe for use as a secchan.Proxy.FaultFn.
+func (inj *Injector) ProxyFault() secchan.EgressFault {
+	inj.mu.Lock()
+	r := inj.proxyRng.Float64()
+	var f secchan.EgressFault
+	var class Class
+	switch {
+	case r < inj.plan.Redirect:
+		f, class = secchan.EgressFaultRedirect, FrameRedirect
+		inj.Counters.Redirects++
+	case r < inj.plan.Redirect+inj.plan.PolicyCorrupt:
+		f, class = secchan.EgressFaultPolicyCorrupt, PolicyCorrupt
+		inj.Counters.PolicyCorrupts++
+	}
+	inj.mu.Unlock()
+	if f != secchan.EgressFaultNone {
+		inj.Rec.Emit(trace.KindFaultInject, trace.TrackServer, class.String())
+	}
+	return f
+}
+
+// BindProxy arms a lane's proxy with the injector's proxy-edge schedule.
+func (inj *Injector) BindProxy(p *secchan.Proxy) { p.FaultFn = inj.ProxyFault }
 
 // captureLocked retains a copy of a frame for later replay. Callers hold
 // inj.mu.

@@ -57,7 +57,10 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 }
 
 func TestEveryClassInjects(t *testing.T) {
-	for class := Class(0); class < NumClasses; class++ {
+	// Wire classes only: the proxy-edge classes (frame-redirect,
+	// policy-corrupt) never act on the wire path — they are drawn per egress
+	// frame inside secchan.Proxy and are covered by TestProxyFaultStream.
+	for class := Class(0); class < NumWireClasses; class++ {
 		c, out := drive(7, Only(7, class, 0.5), 200)
 		var injected uint64
 		switch class {

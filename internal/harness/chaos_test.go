@@ -130,7 +130,7 @@ func chaosSeeds(t *testing.T) int {
 // Every fault class, alone, at a 15% per-frame rate across many seeds.
 func TestChaosPerFaultClass(t *testing.T) {
 	seeds := chaosSeeds(t)
-	for class := faultinject.Class(0); class < faultinject.NumClasses; class++ {
+	for class := faultinject.Class(0); class < faultinject.NumWireClasses; class++ {
 		class := class
 		t.Run(class.String(), func(t *testing.T) {
 			completed, injected := 0, uint64(0)
@@ -192,7 +192,7 @@ func TestChaosDeterministicFromSeed(t *testing.T) {
 // after retries or fail with a typed error — never hang, never panic.
 func TestHandshakeUnderFaults(t *testing.T) {
 	seeds := chaosSeeds(t)
-	for class := faultinject.Class(0); class < faultinject.NumClasses; class++ {
+	for class := faultinject.Class(0); class < faultinject.NumWireClasses; class++ {
 		class := class
 		t.Run(class.String(), func(t *testing.T) {
 			ok := 0

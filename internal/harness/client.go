@@ -169,7 +169,9 @@ func newSession(w *World, inj *faultinject.Injector, queueCap int) *Session {
 		clientTr = inj.Wrap(clientEnd)
 		outer = inj.Wrap(proxyOuter)
 	}
-	pr := &secchan.Proxy{Outer: outer, Inner: proxyInner}
+	// The registry makes per-lane relay throughput (forwarded/dropped/
+	// denied frame counts) observable without tracing.
+	pr := &secchan.Proxy{Outer: outer, Inner: proxyInner, Met: w.Met}
 	cl := NewClient(clientTr, w.QK.Public(), ExpectedMRTD(w.Mon.MonitorImage()))
 	cl.Rec = w.Rec
 	cl.Met, cl.Attr = w.Met, w.Attr

@@ -40,6 +40,13 @@ const (
 	// {dir, tenant}: dir is send/recv/retransmit/drop, tenant is the session
 	// attribution at frame time ("-1" outside serving).
 	FamilyChannelFrames = "erebor_channel_frames"
+	// FamilyEgressDecisions counts egress policy decisions at the proxy
+	// edge, labeled {tenant, rule, verdict}.
+	FamilyEgressDecisions = "erebor_egress_decisions"
+	// FamilyProxyFrames counts per-frame proxy relay outcomes, labeled
+	// {dir, outcome}: dir is ingress/egress, outcome is
+	// forwarded/dropped/denied.
+	FamilyProxyFrames = "erebor_proxy_frames"
 )
 
 // Session phases used in FamilyTenantPhaseCycles labels. The serving loop

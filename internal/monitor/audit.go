@@ -29,6 +29,8 @@ import (
 //	I5. Sealed common regions have no writable mapping anywhere.
 //	I6. Only shared-io frames are CVM-shared.
 //	I7. No monitor or PTP frame is mapped into any user address space.
+//	I8. No frame crosses the proxy to a destination outside its tenant's
+//	    compiled egress allowlist (swept when an egress ledger is wired).
 func (mon *Monitor) Audit() []audit.Violation {
 	var v []audit.Violation
 	report := func(code audit.Code, frame mem.Frame, format string, args ...any) {
@@ -148,6 +150,14 @@ func (mon *Monitor) Audit() []audit.Violation {
 		if mon.monitorFrames[f] {
 			report(audit.MonitorFrameUserMapped, f, "mapped into user space")
 		}
+	}
+
+	// I8: every frame the egress ledger says crossed the proxy must be
+	// inside its tenant's registered allowlist. The ledger re-evaluates its
+	// allow records against the policies compiled at admission — not
+	// whatever the untrusted proxy consulted — so forged allows are caught.
+	if mon.Egress != nil {
+		v = append(v, mon.Egress.AuditViolations()...)
 	}
 
 	// Several sweeps above walk Go maps, whose iteration order is random;

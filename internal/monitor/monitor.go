@@ -16,6 +16,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/attest"
 	"github.com/asterisc-release/erebor-go/internal/cet"
 	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/egress"
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/paging"
@@ -203,6 +204,12 @@ type Monitor struct {
 
 	// wd is the continuous invariant watchdog state (nil = disabled).
 	wd *watchdogState
+
+	// Egress is the serving path's egress-decision ledger (nil outside
+	// serving). When set, Audit additionally sweeps invariant I8: every
+	// frame recorded as having crossed the proxy is re-checked against its
+	// tenant's registered policy.
+	Egress *egress.Ledger
 
 	// nextModuleVA places dynamically loaded kernel code.
 	nextModuleVA uint64

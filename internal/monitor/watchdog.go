@@ -42,7 +42,7 @@ type WatchdogEvent struct {
 	Severity string `json:"severity"`
 	// Code is the typed violation class (audit.Code.String()).
 	Code string `json:"code"`
-	// Invariant is the §8 invariant broken ("I1".."I7").
+	// Invariant is the §8 invariant broken ("I1".."I8").
 	Invariant string `json:"invariant"`
 	// Frame is the physical frame involved (-1 when not frame-scoped).
 	Frame int64 `json:"frame"`
@@ -291,4 +291,25 @@ func (mon *Monitor) InjectAuditViolation() (audit.Code, error) {
 		return audit.ConfinedMultiMapped, nil
 	}
 	return audit.CodeNone, fmt.Errorf("monitor: no free alias slot near %#x", primary)
+}
+
+// InjectEgressBypass is the I8 counterpart of InjectAuditViolation: it
+// forges an allowed-verdict record in the egress ledger for a destination
+// the tenant's registered policy denies — as if a frame crossed the proxy
+// outside the compiled allowlist. The next sweep must report an
+// audit.EgressBypass; the code is registered as injected so the event
+// carries severity "injected" and WatchdogNonInjected stays zero. Returns
+// the expected code.
+func (mon *Monitor) InjectEgressBypass() (audit.Code, error) {
+	if mon.wd == nil {
+		return audit.CodeNone, fmt.Errorf("monitor: watchdog not enabled")
+	}
+	if mon.Egress == nil {
+		return audit.CodeNone, fmt.Errorf("monitor: no egress ledger wired")
+	}
+	if _, err := mon.Egress.InjectBypass(); err != nil {
+		return audit.CodeNone, err
+	}
+	mon.wd.injected[audit.EgressBypass] = true
+	return audit.EgressBypass, nil
 }

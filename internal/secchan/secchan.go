@@ -22,7 +22,10 @@ import (
 	"fmt"
 
 	"github.com/asterisc-release/erebor-go/internal/attest"
+	"github.com/asterisc-release/erebor-go/internal/egress"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
+	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
 // DefaultPadBlock is the record padding granularity (§6.3: the monitor pads
@@ -159,20 +162,132 @@ func (p *MemPipe) Recv() ([]byte, error) { return p.in.pop() }
 // directions).
 func (p *MemPipe) Drops() uint64 { return p.in.drops + p.out.drops }
 
+// DefaultDenialQueueCap bounds a lane's denial-frame queue. Deliberately
+// small: denials are an error signal, not a data path, and a sandbox
+// spamming denied destinations must hit backpressure on its own queue
+// instead of growing memory.
+const DefaultDenialQueueCap = 32
+
+// DenialQueue is the bounded queue of typed FrameEgressDenied frames a
+// lane's proxy emits back toward the sandbox. It reuses the PR 1
+// backpressure contract: a full queue refuses the frame with ErrQueueFull
+// (counted), and overflow on one lane never stalls another lane's pump.
+type DenialQueue struct {
+	frames []egress.FrameEgressDenied
+	cap    int
+	drops  uint64
+}
+
+// NewDenialQueue builds a queue holding at most cap denials
+// (0 = DefaultDenialQueueCap).
+func NewDenialQueue(cap int) *DenialQueue {
+	if cap <= 0 {
+		cap = DefaultDenialQueueCap
+	}
+	return &DenialQueue{cap: cap}
+}
+
+// Push enqueues one denial; a full queue counts the loss and returns
+// ErrQueueFull.
+func (q *DenialQueue) Push(d egress.FrameEgressDenied) error {
+	if len(q.frames) >= q.cap {
+		q.drops++
+		return ErrQueueFull
+	}
+	q.frames = append(q.frames, d)
+	return nil
+}
+
+// Pop dequeues the oldest denial (ok=false when empty).
+func (q *DenialQueue) Pop() (egress.FrameEgressDenied, bool) {
+	if len(q.frames) == 0 {
+		return egress.FrameEgressDenied{}, false
+	}
+	d := q.frames[0]
+	q.frames = q.frames[1:]
+	return d, true
+}
+
+// Len reports queued denials; Drops reports denials refused at capacity.
+func (q *DenialQueue) Len() int { return len(q.frames) }
+func (q *DenialQueue) Drops() uint64 {
+	if q == nil {
+		return 0
+	}
+	return q.drops
+}
+
+// EgressFault is the proxy-edge fault vocabulary the chaos injector feeds
+// into a lane (secchan cannot import faultinject — the dependency runs the
+// other way — so the classes that act *at* the proxy are typed here).
+type EgressFault int
+
+// Proxy-edge fault classes.
+const (
+	// EgressFaultNone leaves the frame alone.
+	EgressFaultNone EgressFault = iota
+	// EgressFaultRedirect steers the frame at egress.RedirectDest instead
+	// of the lane's configured destination (a compromised proxy trying to
+	// exfiltrate; the policy must deny it).
+	EgressFaultRedirect
+	// EgressFaultPolicyCorrupt corrupts the lane's loaded policy copy; the
+	// checksum seal makes every later decision fail closed.
+	EgressFaultPolicyCorrupt
+)
+
 // Proxy is the untrusted in-CVM relay: it forwards frames between an
 // outer (client-facing) and inner (monitor-facing) transport and records
 // everything it sees. It has no keys; tests assert it never observes
 // plaintext.
+//
+// When a Policy is attached the lane becomes an enforcement point: every
+// inner→outer (egress) frame is checked against the tenant's compiled
+// deny-by-default allowlist before it may leave. A denial is not a drop —
+// the frame is withheld, a typed egress.FrameEgressDenied is queued back
+// toward the sandbox on the bounded Denials queue, and the decision is
+// recorded in the metrics registry, the flight recorder and the I8 ledger.
+// With Policy nil the proxy behaves exactly as before (legacy relay).
 type Proxy struct {
 	Outer, Inner Transport
 	Seen         [][]byte
 	// Drops counts frames the proxy lost to downstream backpressure
 	// (bounded queues refusing the relay).
 	Drops uint64
+	// Forwarded counts frames actually relayed (both directions), the
+	// counterpart of Drops; together they make per-lane throughput
+	// observable without tracing.
+	Forwarded uint64
+	// Denied counts egress frames withheld by the policy on this lane.
+	Denied uint64
+
+	// Policy is the session's compiled egress policy (nil = no
+	// enforcement). Dest labels where this lane's egress frames are bound
+	// and Tenant labels the session for metrics/denials.
+	Policy *egress.Policy
+	Dest   egress.Destination
+	Tenant int
+	// Denials, when non-nil, receives the typed denial frames.
+	Denials *DenialQueue
+	// Ledger, when non-nil, records every decision for the I8 watchdog.
+	Ledger *egress.Ledger
+	// FaultFn, when non-nil, draws one proxy-edge chaos fault per egress
+	// frame (wired by faultinject.Injector.BindProxy).
+	FaultFn func() EgressFault
+	// Met/Rec mirror the Reliable layer's optional telemetry sinks.
+	Met *metrics.Registry
+	Rec *trace.Recorder
+}
+
+// countFrame tallies one relay outcome in the registry (nil-safe).
+func (p *Proxy) countFrame(dir, outcome string) {
+	p.Met.Inc(metrics.FamilyProxyFrames,
+		metrics.KV("dir", dir), metrics.KV("outcome", outcome))
 }
 
 // PumpOnce relays one pending frame in each direction, if present, and
-// reports whether anything moved.
+// reports whether anything moved. The outer→inner (ingress) direction is
+// never policed — the policy governs what leaves, not what arrives — while
+// every inner→outer frame passes the egress check.
 func (p *Proxy) PumpOnce() bool {
 	moved := false
 	if f, err := p.Outer.Recv(); err == nil {
@@ -180,16 +295,77 @@ func (p *Proxy) PumpOnce() bool {
 		p.Seen = append(p.Seen, f)
 		if err := p.Inner.Send(f); err != nil {
 			p.Drops++
+			p.countFrame("ingress", "dropped")
+		} else {
+			p.Forwarded++
+			p.countFrame("ingress", "forwarded")
 		}
 	}
 	if f, err := p.Inner.Recv(); err == nil {
 		moved = true
 		p.Seen = append(p.Seen, f)
-		if err := p.Outer.Send(f); err != nil {
-			p.Drops++
-		}
+		p.egress(f)
 	}
 	return moved
+}
+
+// egress applies the proxy-edge fault schedule and the egress policy to one
+// outbound frame, then forwards or withholds it.
+func (p *Proxy) egress(f []byte) {
+	dst := p.Dest
+	if p.FaultFn != nil {
+		switch p.FaultFn() {
+		case EgressFaultRedirect:
+			// A hostile relay re-aims the frame; the policy decides on the
+			// *actual* destination, so the redirect is what gets denied.
+			dst = egress.RedirectDest
+		case EgressFaultPolicyCorrupt:
+			if p.Policy != nil {
+				// The lane's loaded copy goes bad; the compiled seal makes
+				// every subsequent decision fail closed (deny).
+				p.Policy = p.Policy.Corrupt()
+			}
+		}
+	}
+	if p.Policy != nil {
+		dec := p.Policy.Decide(dst)
+		p.Ledger.Record(p.Tenant, dst, dec)
+		p.Met.Inc(metrics.FamilyEgressDecisions,
+			metrics.KV("tenant", metrics.TenantLabelOf(p.Tenant)),
+			metrics.KV("rule", dec.Rule),
+			metrics.KV("verdict", dec.Verdict()))
+		p.Rec.Emit(trace.KindEgress, trace.TrackServer, dec.Verdict()+"/"+dec.Rule)
+		if !dec.Allowed {
+			p.Denied++
+			p.countFrame("egress", "denied")
+			if p.Denials != nil {
+				_ = p.Denials.Push(egress.FrameEgressDenied{
+					Tenant: p.Tenant, Dest: dst.String(), Rule: dec.Rule, Seq: p.Denied,
+				})
+			}
+			return
+		}
+	}
+	if err := p.Outer.Send(f); err != nil {
+		p.Drops++
+		p.countFrame("egress", "dropped")
+	} else {
+		p.Forwarded++
+		p.countFrame("egress", "forwarded")
+	}
+}
+
+// ProxyStats is the per-lane relay tally.
+type ProxyStats struct {
+	Forwarded, Dropped, Denied, DenialDrops uint64
+}
+
+// Stats snapshots the lane's counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		Forwarded: p.Forwarded, Dropped: p.Drops,
+		Denied: p.Denied, DenialDrops: p.Denials.Drops(),
+	}
 }
 
 // MuxProxy drives many per-session relays as one unit: each pump round
@@ -208,8 +384,16 @@ func (m *MuxProxy) Add(p *Proxy) { m.lanes = append(m.lanes, p) }
 func (m *MuxProxy) Lanes() int { return len(m.lanes) }
 
 // Reset drops every lane so the mux can be rebuilt for the next round
-// (sessions come and go as tenants turn over).
-func (m *MuxProxy) Reset() { m.lanes = m.lanes[:0] }
+// (sessions come and go as tenants turn over). The slots are nilled before
+// truncating: a bare `lanes[:0]` keeps the old *Proxy pointers — and their
+// Seen capture buffers — reachable through the backing array for as long as
+// the mux lives, which on a long-running server is a per-turnover leak.
+func (m *MuxProxy) Reset() {
+	for i := range m.lanes {
+		m.lanes[i] = nil
+	}
+	m.lanes = m.lanes[:0]
+}
 
 // PumpRound relays one pending frame in each direction on every lane and
 // reports whether anything moved anywhere.

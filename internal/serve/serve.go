@@ -20,10 +20,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 
 	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/egress"
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/harness"
 	"github.com/asterisc-release/erebor-go/internal/kernel"
@@ -90,6 +92,29 @@ type Config struct {
 	Watchdog bool
 	// WatchdogEvery is the sweep cadence in virtual cycles (0 = default).
 	WatchdogEvery uint64
+	// Egress, when non-nil, arms deny-by-default egress enforcement: every
+	// session admission compiles the spec into the tenant's immutable
+	// policy, the slot's proxy lanes enforce it on every outbound frame,
+	// and the monitor's I8 sweep audits the decision ledger. Each slot
+	// additionally models two sandbox-initiated service connections — one
+	// to service/model-registry (allowed by the stock spec) and one to
+	// peer/exfil (never allowlisted) — so multi-service allow and deny
+	// paths are exercised every session. Nil = legacy unpoliced relay.
+	Egress *egress.Spec
+}
+
+// Stock egress destinations the serving path models per session.
+var (
+	// RegistryDest is the approved auxiliary service destination.
+	RegistryDest = egress.Dest("service", "model-registry")
+	// ExfilDest is the arbitrary peer every policy must deny.
+	ExfilDest = egress.Dest("peer", "exfil")
+)
+
+// DefaultEgressSpec is the stock serving policy: each tenant may reach its
+// own client and the model-registry service, nothing else.
+func DefaultEgressSpec() *egress.Spec {
+	return egress.MustParseSpec("allow client/self; allow service/model-registry")
 }
 
 // DefaultWatchdogEvery is the default cadence between watchdog sweeps:
@@ -148,21 +173,28 @@ type SessionResult struct {
 // (relay) work plus the most-loaded core. With VCPUs=1 this equals the
 // serial elapsed cycles exactly.
 type Report struct {
-	Tenants          int             `json:"tenants"`
-	VCPUs            int             `json:"vcpus"`
-	Sessions         int             `json:"sessions"`
-	Completed        int             `json:"completed"`
-	Failed           int             `json:"failed"`
-	WarmSessions     int             `json:"warm_sessions"`
-	ColdSessions     int             `json:"cold_sessions"`
-	Recycles         uint64          `json:"recycles"`
-	Relaunches       int             `json:"relaunches"`
-	TotalCycles      uint64          `json:"total_cycles"`
-	CyclesPerSession uint64          `json:"cycles_per_session"`
-	SessionsPerSec   float64         `json:"sessions_per_sec"`
-	SandboxKills     uint64          `json:"sandbox_kills"`
-	ChannelRetrans   uint64          `json:"channel_retransmits"`
-	Results          []SessionResult `json:"results"`
+	Tenants          int     `json:"tenants"`
+	VCPUs            int     `json:"vcpus"`
+	Sessions         int     `json:"sessions"`
+	Completed        int     `json:"completed"`
+	Failed           int     `json:"failed"`
+	WarmSessions     int     `json:"warm_sessions"`
+	ColdSessions     int     `json:"cold_sessions"`
+	Recycles         uint64  `json:"recycles"`
+	Relaunches       int     `json:"relaunches"`
+	TotalCycles      uint64  `json:"total_cycles"`
+	CyclesPerSession uint64  `json:"cycles_per_session"`
+	SessionsPerSec   float64 `json:"sessions_per_sec"`
+	SandboxKills     uint64  `json:"sandbox_kills"`
+	ChannelRetrans   uint64  `json:"channel_retransmits"`
+	// Egress figures (omitted when Config.Egress is nil, keeping legacy
+	// reports byte-identical): ledger allow/deny totals, typed denial
+	// frames the sandboxes drained, and denials lost to queue overflow.
+	EgressAllowed     uint64          `json:"egress_allowed,omitempty"`
+	EgressDenied      uint64          `json:"egress_denied,omitempty"`
+	EgressDenialsSeen uint64          `json:"egress_denials_seen,omitempty"`
+	EgressDenialDrops uint64          `json:"egress_denial_drops,omitempty"`
+	Results           []SessionResult `json:"results"`
 }
 
 // JSON renders the report deterministically.
@@ -182,6 +214,17 @@ const (
 	stSend                 // transmit the tenant request
 	stWait                 // pump + step the worker until the reply arrives
 )
+
+// svcLane is one auxiliary egress lane modeling a sandbox-initiated
+// connection to a fixed destination (a service the policy may allow, or a
+// peer it must deny). The server writes the sandbox-side frame; whatever
+// the policy lets through lands on sink.
+type svcLane struct {
+	dest egress.Destination
+	pr   *secchan.Proxy
+	src  *secchan.MemPipe // sandbox-side end (frames enter here)
+	sink *secchan.MemPipe // world-side end (allowed frames arrive here)
+}
 
 // slot is one serving lane: a pooled sandbox container plus the session of
 // the tenant it currently serves.
@@ -203,6 +246,11 @@ type slot struct {
 	request  []byte
 	start    uint64
 	done     bool
+
+	// Egress enforcement state (Config.Egress != nil only).
+	policy  *egress.Policy
+	svc     []*svcLane
+	svcSent bool
 }
 
 // Server drives a fleet of tenant sessions over one world.
@@ -220,6 +268,14 @@ type Server struct {
 	failed     int
 	warmServed int
 	relaunches int
+
+	// Egress enforcement state (cfg.Egress != nil only): the I8 ledger the
+	// monitor sweeps, typed denials drained back to the sandboxes, denials
+	// lost to queue overflow, and per-destination service deliveries.
+	ledger       *egress.Ledger
+	denialsSeen  uint64
+	denialDrops  uint64
+	svcDelivered map[string]uint64
 
 	// coreLoad accumulates one round's per-core tick cycles; wall is the
 	// overlap-adjusted elapsed total across rounds (see Report).
@@ -273,6 +329,12 @@ func New(cfg Config) (*Server, error) {
 		coreLoad: make([]uint64, cfg.VCPUs), attrTenant: metrics.NoTenant}
 	if cfg.Watchdog {
 		w.Mon.EnableWatchdog(cfg.WatchdogEvery)
+	}
+	if cfg.Egress != nil {
+		s.ledger = egress.NewLedger()
+		s.svcDelivered = make(map[string]uint64)
+		// Wire the ledger into the monitor so every watchdog sweep audits I8.
+		w.Mon.Egress = s.ledger
 	}
 	if cfg.Chaos != nil {
 		s.inj = faultinject.New(*cfg.Chaos)
@@ -353,7 +415,10 @@ func (s *Server) launchContainer(sl *slot) (*sandbox.Container, error) {
 }
 
 // admit binds the slot to its current tenant: fresh session plumbing,
-// deterministic request bytes, FSM reset.
+// deterministic request bytes, FSM reset. With egress armed, admission is
+// also where the tenant's policy is compiled (immutable for the session's
+// lifetime), registered as the I8 audit ground truth, and installed on
+// every lane the session may egress through.
 func (s *Server) admit(sl *slot) {
 	sl.sess = harness.NewInjectedSession(s.w, s.inj, s.queueCap())
 	sl.state = stConnect
@@ -363,6 +428,35 @@ func (s *Server) admit(sl *slot) {
 	sl.lastErr = nil
 	sl.request = s.requestFor(sl.tenant)
 	sl.start = s.w.M.Clock.Now()
+	sl.svcSent = false
+	sl.svc = nil
+	sl.policy = nil
+	if s.cfg.Egress == nil {
+		return
+	}
+	sl.policy = s.cfg.Egress.CompileFor(sl.tenant)
+	s.ledger.Register(sl.tenant, sl.policy)
+	s.armLane(sl, sl.sess.Proxy, egress.ClientDest(sl.tenant))
+	for _, dest := range []egress.Destination{RegistryDest, ExfilDest} {
+		sink, outer := secchan.NewMemPipeCap(s.queueCap())
+		inner, src := secchan.NewMemPipeCap(s.queueCap())
+		pr := &secchan.Proxy{Outer: outer, Inner: inner, Met: s.w.Met}
+		s.armLane(sl, pr, dest)
+		sl.svc = append(sl.svc, &svcLane{dest: dest, pr: pr, src: src, sink: sink})
+	}
+}
+
+// armLane installs the slot's compiled policy on one proxy lane.
+func (s *Server) armLane(sl *slot, pr *secchan.Proxy, dest egress.Destination) {
+	pr.Policy = sl.policy
+	pr.Dest = dest
+	pr.Tenant = sl.tenant
+	pr.Denials = secchan.NewDenialQueue(0)
+	pr.Ledger = s.ledger
+	pr.Rec = s.w.Rec
+	if s.inj != nil {
+		s.inj.BindProxy(pr)
+	}
 }
 
 func (s *Server) queueCap() int {
@@ -454,12 +548,22 @@ func (s *Server) Run() (*Report, error) {
 			if !sl.done {
 				active++
 				mux.Add(sl.sess.Proxy)
+				for _, v := range sl.svc {
+					mux.Add(v.pr)
+				}
 			}
 		}
 		if active == 0 {
 			break
 		}
 		mux.PumpAll(8)
+		// Drain typed denials and delivered service frames in slot order so
+		// egress accounting is deterministic.
+		for _, sl := range s.slots {
+			if !sl.done {
+				s.harvestEgress(sl)
+			}
+		}
 		for _, sl := range s.slots {
 			if !sl.done {
 				s.setPhase(sl.tenant, phaseOf(sl.state))
@@ -539,6 +643,16 @@ func (s *Server) tick(sl *slot) {
 		if err := sl.sess.SendWithRetry(sl.request, s.pol); err != nil {
 			s.fail(sl, fmt.Errorf("serve: request send: %w", err))
 			return
+		}
+		// With egress armed, the session also opens its service connections:
+		// one frame to the approved registry (egresses), one to an arbitrary
+		// peer (typed denial, never crosses). Emitted exactly once per
+		// session, right after the request is committed.
+		if !sl.svcSent {
+			sl.svcSent = true
+			for _, v := range sl.svc {
+				_ = v.src.Send([]byte(fmt.Sprintf("svc/%d/%s", sl.tenant, v.dest)))
+			}
 		}
 		sl.state = stWait
 		sl.waitN = 0
@@ -639,9 +753,66 @@ func (s *Server) fail(sl *slot, err error) {
 	s.turnover(sl, false)
 }
 
+// harvestEgress drains one slot's egress side-effects: typed denial frames
+// queued back toward the sandbox, and service frames the policy let
+// through. Deterministic (FIFO queues, fixed lane order); no-op with
+// egress disarmed.
+func (s *Server) harvestEgress(sl *slot) {
+	if s.cfg.Egress == nil || sl.sess == nil {
+		return
+	}
+	lanes := []*secchan.Proxy{sl.sess.Proxy}
+	for _, v := range sl.svc {
+		lanes = append(lanes, v.pr)
+	}
+	for _, pr := range lanes {
+		for {
+			if _, ok := pr.Denials.Pop(); !ok {
+				break
+			}
+			s.denialsSeen++
+		}
+	}
+	for _, v := range sl.svc {
+		for {
+			if _, err := v.sink.Recv(); err != nil {
+				break
+			}
+			s.svcDelivered[v.dest.String()]++
+		}
+	}
+}
+
+// retireEgress settles a session's egress state before its lanes are
+// replaced at turnover: pump the lanes dry (bounded), drain the last
+// denials/deliveries, and accumulate denial-queue overflow into the run
+// totals.
+func (s *Server) retireEgress(sl *slot) {
+	if s.cfg.Egress == nil || sl.sess == nil {
+		return
+	}
+	for i := 0; i < 8; i++ {
+		moved := sl.sess.Proxy.PumpOnce()
+		for _, v := range sl.svc {
+			if v.pr.PumpOnce() {
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	s.harvestEgress(sl)
+	s.denialDrops += sl.sess.Proxy.Stats().DenialDrops
+	for _, v := range sl.svc {
+		s.denialDrops += v.pr.Stats().DenialDrops
+	}
+}
+
 // turnover retires the finished session and prepares the slot for its next
 // tenant: warm recycle after a clean completion, cold relaunch otherwise.
 func (s *Server) turnover(sl *slot, clean bool) {
+	s.retireEgress(sl)
 	// The retiring tenant owns the teardown/recycle work (scrub, shootdowns,
 	// destroy-AS) — it is the cost of *their* confidentiality cleanup.
 	s.setPhase(sl.tenant, metrics.PhaseRecycle)
@@ -725,6 +896,11 @@ func (s *Server) report() *Report {
 		rep.SandboxKills = s.w.Mon.Stats.SandboxKills
 		rep.ChannelRetrans = s.w.Mon.ChannelStats().Retransmits
 	}
+	if s.ledger != nil {
+		rep.EgressAllowed, rep.EgressDenied = s.ledger.Counts()
+		rep.EgressDenialsSeen = s.denialsSeen
+		rep.EgressDenialDrops = s.denialDrops
+	}
 	if n := s.completed + s.failed; n > 0 {
 		rep.CyclesPerSession = total / uint64(n)
 	}
@@ -790,6 +966,28 @@ func (s *Server) PhaseBreakdown() []PhaseRow {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
 	return out
+}
+
+// Ledger exposes the egress decision ledger (nil when egress is disarmed).
+func (s *Server) Ledger() *egress.Ledger { return s.ledger }
+
+// ServiceDeliveries reports how many service frames actually egressed, per
+// destination label (empty when egress is disarmed).
+func (s *Server) ServiceDeliveries() map[string]uint64 {
+	out := make(map[string]uint64, len(s.svcDelivered))
+	for k, v := range s.svcDelivered {
+		out[k] = v
+	}
+	return out
+}
+
+// ExportEgressJSONL writes the egress decision log as JSON Lines (byte-
+// deterministic per seed; empty output when egress is disarmed).
+func (s *Server) ExportEgressJSONL(w io.Writer) error {
+	if s.ledger == nil {
+		return nil
+	}
+	return s.ledger.ExportJSONL(w)
 }
 
 // Run boots a server for cfg and drives it to completion.

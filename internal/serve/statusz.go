@@ -32,6 +32,27 @@ type Status struct {
 	Report *Report
 	// Phases is the per-tenant causal cycle breakdown.
 	Phases []PhaseRow
+	// Egress is the policy table and decision tally (nil when egress
+	// enforcement is disarmed).
+	Egress *EgressStatus
+}
+
+// EgressStatus summarizes egress enforcement for the status page.
+type EgressStatus struct {
+	// Spec is the canonical text of the fleet policy spec.
+	Spec string
+	// Allowed/Denied are the ledger totals; DenialsSeen/DenialDrops account
+	// the typed denial frames (drained vs lost to queue overflow).
+	Allowed, Denied, DenialsSeen, DenialDrops uint64
+	// Decisions is the per-(rule, verdict) decision tally, sorted.
+	Decisions []EgressDecisionRow
+}
+
+// EgressDecisionRow is one (rule, verdict) aggregate of egress_decisions.
+type EgressDecisionRow struct {
+	Rule    string
+	Verdict string
+	Count   uint64
 }
 
 // Status captures the server's introspection snapshot. Call after Run; rep
@@ -50,6 +71,38 @@ func (s *Server) Status(rep *Report) *Status {
 		st.NonInjected = mon.WatchdogNonInjected()
 		st.Events = mon.WatchdogEvents()
 		st.Healthy = st.NonInjected == 0
+	}
+	if s.ledger != nil {
+		eg := &EgressStatus{
+			Spec:        s.cfg.Egress.String(),
+			DenialsSeen: s.denialsSeen,
+			DenialDrops: s.denialDrops,
+		}
+		eg.Allowed, eg.Denied = s.ledger.Counts()
+		// Aggregate the labeled decision series per (rule, verdict).
+		agg := make(map[[2]string]uint64)
+		for _, sv := range s.w.Met.Series(metrics.FamilyEgressDecisions) {
+			var rule, verdict string
+			for _, l := range sv.Labels {
+				switch l.Key {
+				case "rule":
+					rule = l.Value
+				case "verdict":
+					verdict = l.Value
+				}
+			}
+			agg[[2]string{rule, verdict}] += sv.Value
+		}
+		for k, v := range agg {
+			eg.Decisions = append(eg.Decisions, EgressDecisionRow{Rule: k[0], Verdict: k[1], Count: v})
+		}
+		sort.Slice(eg.Decisions, func(i, j int) bool {
+			if eg.Decisions[i].Rule != eg.Decisions[j].Rule {
+				return eg.Decisions[i].Rule < eg.Decisions[j].Rule
+			}
+			return eg.Decisions[i].Verdict < eg.Decisions[j].Verdict
+		})
+		st.Egress = eg
 	}
 	return st
 }
@@ -99,6 +152,14 @@ func (st *Status) WriteText(w io.Writer) {
 	for _, ev := range st.Events {
 		fmt.Fprintf(w, "  [%s] %s %s (%s) frame=%d tenant=%d cycles=%d %s\n",
 			ev.Severity, ev.Code, ev.Invariant, ev.Trigger, ev.Frame, ev.Tenant, ev.Cycles, ev.Detail)
+	}
+	if eg := st.Egress; eg != nil {
+		fmt.Fprintf(w, "egress policy: %s\n", eg.Spec)
+		fmt.Fprintf(w, "egress: %d allowed, %d denied (%d typed denials drained, %d dropped at queue cap)\n",
+			eg.Allowed, eg.Denied, eg.DenialsSeen, eg.DenialDrops)
+		for _, d := range eg.Decisions {
+			fmt.Fprintf(w, "  %-32s %-6s %12d\n", d.Rule, d.Verdict, d.Count)
+		}
 	}
 	fmt.Fprintf(w, "\n")
 	WritePhaseTable(w, st.Phases)

@@ -77,6 +77,9 @@ const (
 	// KindDispatch is one scheduler slice of a task on a core (span on the
 	// core's track, label = task name). Appended after PR 3's kinds.
 	KindDispatch
+	// KindEgress is one egress policy decision at the proxy edge (instant,
+	// label "<verdict>/<rule>"). Appended after PR 5's kinds.
+	KindEgress
 	numKinds
 )
 
@@ -100,6 +103,7 @@ var kindNames = [numKinds]string{
 	KindSandboxRecycle:  "sandbox-recycle",
 	KindServeSession:    "serve-session",
 	KindDispatch:        "dispatch",
+	KindEgress:          "egress",
 }
 
 // String names the kind (stable; used by both exporters).
