@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/asterisc-release/erebor-go/internal/critpath"
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/harness"
 	"github.com/asterisc-release/erebor-go/internal/serve"
@@ -310,6 +311,7 @@ func phasesBench(scale, vcpus int) error {
 	sessions := 2 * tenants * scale
 	s, err := serve.New(serve.Config{
 		Tenants: tenants, Sessions: sessions, Seed: 1, VCPUs: vcpus, Watchdog: true,
+		Trace: true,
 	})
 	if err != nil {
 		return err
@@ -322,6 +324,15 @@ func phasesBench(scale, vcpus int) error {
 	elapsed := s.World().M.Clock.Now() - start
 	rows := s.PhaseBreakdown()
 	serve.WritePhaseTable(os.Stdout, rows)
+	// Critical path per phase, reconstructed from the run's span forest
+	// (shared work + busiest core, PR 4's overlap rule).
+	rec := s.World().Rec
+	forest, cerr := critpath.Build(rec.Snapshot(), rec.Dropped())
+	if cerr != nil {
+		fmt.Printf("\ncritical path: %v\n", cerr)
+	}
+	fmt.Printf("\ncritical path (per phase):\n")
+	critpath.Analyze(forest).WriteText(os.Stdout)
 	var attributed uint64
 	for _, r := range rows {
 		attributed += r.Total

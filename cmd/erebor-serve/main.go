@@ -14,6 +14,8 @@
 //	erebor-serve -tenants 8 -watchdog -statusz :8080  # post-run introspection endpoint
 //	erebor-serve -tenants 8 -egress-policy default    # deny-by-default egress enforcement
 //	erebor-serve -tenants 8 -egress-policy default -chaos-proxy 0.03 -egress-log d.jsonl
+//	erebor-serve -tenants 64 -slo default             # deterministic SLO engine
+//	erebor-serve -tenants 64 -slo default -chaos-latency 0.3 -slo-report slo.jsonl
 //
 // Runs are deterministic: the same flags and seed reproduce the same report
 // bytes (and, fault-free, the same trace bytes — plus byte-identical
@@ -33,6 +35,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/egress"
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/serve"
+	"github.com/asterisc-release/erebor-go/internal/slo"
 )
 
 // writeFile streams fn's output into path (stdout when path is "-").
@@ -74,6 +77,12 @@ func main() {
 		"deny-by-default egress allowlist spec (e.g. 'allow client/self; allow service/model-registry'; 'default' for the stock policy; empty disables enforcement)")
 	egressLog := flag.String("egress-log", "", "write the egress decision log (JSONL) to this file (- for stdout)")
 	chaosProxy := flag.Float64("chaos-proxy", 0, "per-frame rate of the proxy-edge fault classes (frame-redirect + policy-corrupt; needs -egress-policy)")
+	chaosLatency := flag.Float64("chaos-latency", 0, "per-frame rate of injected latency stalls (separate seeded stream; never perturbs the wire schedule)")
+	chaosLatencyCycles := flag.Uint64("chaos-latency-cycles", 0, "stall size in virtual cycles per injected latency (0 = default)")
+	sloSpec := flag.String("slo", "",
+		"arm the SLO engine: 'default' for the stock objectives, or a spec like 'ttfc:p99<=6000000@0.01; compute:p99<=16000000'")
+	sloWindow := flag.Uint64("slo-window", 0, "SLO evaluation window in virtual cycles (0 = default)")
+	sloReport := flag.String("slo-report", "", "write the byte-deterministic SLO evaluation stream (JSONL) to this file (- for stdout; needs -slo)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -113,15 +122,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erebor-serve: -chaos-proxy needs -egress-policy (proxy faults act on the policed egress edge)\n")
 		os.Exit(1)
 	}
-	if *chaos > 0 || *chaosProxy > 0 {
+	if *chaos > 0 || *chaosProxy > 0 || *chaosLatency > 0 {
 		cs := *chaosSeed
 		if cs == 0 {
 			cs = *seed
 		}
-		// Proxy-edge faults draw from their own PRNG stream, so arming them
-		// (even with -chaos 0) never perturbs the wire fault schedule.
-		plan := faultinject.Uniform(cs, *chaos).WithProxyFaults(*chaosProxy, *chaosProxy/2)
+		// Proxy-edge and latency faults draw from their own PRNG streams, so
+		// arming them (even with -chaos 0) never perturbs the wire fault
+		// schedule.
+		plan := faultinject.Uniform(cs, *chaos).
+			WithProxyFaults(*chaosProxy, *chaosProxy/2).
+			WithLatency(*chaosLatency, *chaosLatencyCycles)
 		cfg.Chaos = &plan
+	}
+	if *sloSpec != "" {
+		if *sloSpec == "default" {
+			cfg.SLO = slo.Default()
+		} else {
+			objs, err := slo.ParseObjectives(*sloSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erebor-serve: -slo: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.SLO = objs
+		}
+		cfg.SLOWindow = *sloWindow
+	}
+	if *sloReport != "" && *sloSpec == "" {
+		fmt.Fprintf(os.Stderr, "erebor-serve: -slo-report needs -slo\n")
+		os.Exit(1)
 	}
 
 	s, err := serve.New(cfg)
@@ -188,8 +217,19 @@ func main() {
 		os.Stdout.Write(rep.JSON())
 		fmt.Println()
 	}
+	if *sloReport != "" {
+		if err := writeFile(*sloReport, func(f *os.File) error {
+			return s.SLO().ExportJSONL(f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "erebor-serve: slo report export: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *phases {
 		serve.WritePhaseTable(os.Stdout, s.PhaseBreakdown())
+	}
+	if s.SLO() != nil && !*quiet {
+		slo.WriteTable(os.Stdout, s.SLO().Latest())
 	}
 	if s.Ledger() != nil && !*quiet {
 		allowed, denied := s.Ledger().Counts()

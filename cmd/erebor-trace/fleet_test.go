@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/critpath"
+	"github.com/asterisc-release/erebor-go/internal/trace"
+)
+
+// TestGoldenCriticalPath pins the fleet critical-path breakdown for a
+// fixed (seed, config) byte-for-byte. The CI gate: any change to span
+// plumbing, the analyzer, or serve scheduling that moves the breakdown
+// must regenerate this fixture deliberately:
+//
+//	go run ./cmd/erebor-trace -seed 1 -tenants 8 -sessions 16 -vcpus 2 -critical-path -o cmd/erebor-trace/testdata/golden-critpath-seed1.txt
+func TestGoldenCriticalPath(t *testing.T) {
+	events, dropped, failed, err := runFleet(fleetConfig{
+		Seed: 1, Tenants: 8, Sessions: 16, VCPUs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("%d clean-fleet sessions failed", failed)
+	}
+	forest, cerr := critpath.Build(events, dropped)
+	if cerr != nil {
+		t.Fatalf("clean fleet built a partial forest: %v", cerr)
+	}
+	var buf bytes.Buffer
+	critpath.Analyze(forest).WriteText(&buf)
+
+	golden, err := os.ReadFile("testdata/golden-critpath-seed1.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("critical-path breakdown diverged from golden; regenerate with the command in the test comment if intentional.\ngot:\n%s\nwant:\n%s",
+			buf.String(), golden)
+	}
+}
+
+// TestFleetCriticalPathDeterminism: under combined chaos and latency
+// injection, two identically-seeded fleets render byte-identical
+// breakdowns (both tables), per the determinism contract.
+func TestFleetCriticalPathDeterminism(t *testing.T) {
+	render := func() string {
+		events, dropped, _, err := runFleet(fleetConfig{
+			Seed: 9, Tenants: 4, Sessions: 8, VCPUs: 2,
+			Chaos: 0.05, ChaosLatency: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest, _ := critpath.Build(events, dropped)
+		rep := critpath.Analyze(forest)
+		var buf bytes.Buffer
+		rep.WriteText(&buf)
+		rep.WriteTenants(&buf, critpath.TenantFleet)
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("chaos fleet breakdowns diverged:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestFleetFilters: -track narrows the export to one track's events and
+// -tenant keeps exactly the spans under that tenant's session roots.
+func TestFleetFilters(t *testing.T) {
+	events, dropped, _, err := runFleet(fleetConfig{
+		Seed: 1, Tenants: 4, Sessions: 8, VCPUs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon := filterTrack(events, "monitor")
+	if len(mon) == 0 {
+		t.Fatal("monitor track filter kept nothing")
+	}
+	for _, ev := range mon {
+		if trace.TrackName(ev.Track) != "monitor" {
+			t.Fatalf("track filter leaked %q", trace.TrackName(ev.Track))
+		}
+	}
+
+	forest, err := critpath.Build(events, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTenant := forest.Sessions[0].Tenant
+	kept := filterTenant(events, dropped, wantTenant)
+	if len(kept) == 0 {
+		t.Fatal("tenant filter kept nothing")
+	}
+	// Every kept event's span must sit in one of the tenant's trees.
+	for _, ev := range kept {
+		n, ok := forest.Nodes[ev.Span]
+		if !ok {
+			t.Fatalf("tenant filter kept unindexed span %d", ev.Span)
+		}
+		// Walk up to the root via the forest.
+		for n.Event.Parent != 0 {
+			n = forest.Nodes[n.Event.Parent]
+		}
+		sess := forest.SessionByRoot(n.Event.Span)
+		if sess == nil || sess.Tenant != wantTenant {
+			t.Fatalf("tenant filter leaked span %d (root %d)", ev.Span, n.Event.Span)
+		}
+	}
+	// And the filter must be a strict subset: other tenants exist.
+	if len(kept) >= len(events) {
+		t.Error("tenant filter kept every event")
+	}
+}

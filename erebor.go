@@ -100,6 +100,11 @@ type TraceConfig struct {
 type ChaosConfig struct {
 	Seed                                                                        int64
 	DropRate, DuplicateRate, ReorderRate, CorruptRate, TruncateRate, ReplayRate float64
+	// LatencyRate injects per-frame stalls of LatencyCycles virtual cycles
+	// (0 cycles = the injector default). Latency draws from its own seeded
+	// stream, so enabling it leaves the wire-fault schedule untouched.
+	LatencyRate   float64
+	LatencyCycles uint64
 }
 
 // RetryConfig bounds the channel's retry/timeout/backoff behavior. The
@@ -186,8 +191,12 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 			Drop: cfg.Chaos.DropRate, Duplicate: cfg.Chaos.DuplicateRate,
 			Reorder: cfg.Chaos.ReorderRate, Corrupt: cfg.Chaos.CorruptRate,
 			Truncate: cfg.Chaos.TruncateRate, Replay: cfg.Chaos.ReplayRate,
+			Latency: cfg.Chaos.LatencyRate, LatencyCycles: cfg.Chaos.LatencyCycles,
 		})
 		p.inj.Rec = w.Rec
+		// Latency faults stall the virtual clock through the Charge hook,
+		// inside whatever span is open at injection time.
+		p.inj.Charge = w.M.Clock.Charge
 	}
 	return p, nil
 }
@@ -461,6 +470,9 @@ type FaultInjectionStats struct {
 	Corrupts   uint64 `json:"corrupts"`
 	Truncates  uint64 `json:"truncates"`
 	Replays    uint64 `json:"replays"`
+	// Latencies counts injected stalls (orthogonal to the wire classes: a
+	// delayed frame still relays clean).
+	Latencies uint64 `json:"latencies,omitempty"`
 	// Passed counts frames relayed clean (no fault fired).
 	Passed uint64 `json:"passed"`
 }
@@ -498,7 +510,7 @@ func (p *Platform) Stats() Stats {
 		s.FaultInjection = &FaultInjectionStats{
 			Drops: c.Drops, Duplicates: c.Duplicates, Reorders: c.Reorders,
 			Corrupts: c.Corrupts, Truncates: c.Truncates, Replays: c.Replays,
-			Passed: c.Passed,
+			Latencies: c.Latencies, Passed: c.Passed,
 		}
 	}
 	return s

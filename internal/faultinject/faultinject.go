@@ -39,6 +39,12 @@ const (
 	// PolicyCorrupt corrupts the lane's loaded egress-policy copy; the
 	// compiled seal makes later decisions fail closed.
 	PolicyCorrupt
+	// Latency stalls a frame on the untrusted hop for a fixed number of
+	// virtual cycles (the only class that touches the clock — through the
+	// injector's Charge hook, so the delay is part of the simulated world,
+	// not the tracing layer). Drawn from its own PRNG stream: arming it
+	// leaves wire and proxy schedules byte-identical for existing seeds.
+	Latency
 	NumClasses
 
 	// NumWireClasses bounds the classes drawn from the wire stream; the
@@ -66,6 +72,8 @@ func (c Class) String() string {
 		return "frame-redirect"
 	case PolicyCorrupt:
 		return "policy-corrupt"
+	case Latency:
+		return "latency"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
@@ -80,6 +88,10 @@ type Plan struct {
 	// Proxy-edge probabilities (drawn from a separate stream; their sum
 	// must be <= 1 independently of the wire classes above).
 	Redirect, PolicyCorrupt float64
+	// Latency is the per-frame probability of a fixed LatencyCycles stall
+	// on the untrusted hop (its own stream, independent of both above).
+	Latency       float64
+	LatencyCycles uint64
 }
 
 // Uniform returns a plan injecting every wire class at the given rate.
@@ -93,6 +105,22 @@ func Uniform(seed int64, rate float64) Plan {
 // armed at the given rates.
 func (p Plan) WithProxyFaults(redirect, policyCorrupt float64) Plan {
 	p.Redirect, p.PolicyCorrupt = redirect, policyCorrupt
+	return p
+}
+
+// DefaultLatencyCycles is the stall applied by the Latency class when a
+// plan arms it without choosing a magnitude (~24 µs at 2.1 GHz — enough to
+// dominate a phase when it lands, small enough not to trip timeouts).
+const DefaultLatencyCycles = 50_000
+
+// WithLatency returns a copy of the plan with the latency class armed:
+// each frame sent through a wrapped transport stalls for cycles virtual
+// cycles with probability rate (cycles 0 = DefaultLatencyCycles).
+func (p Plan) WithLatency(rate float64, cycles uint64) Plan {
+	if cycles == 0 {
+		cycles = DefaultLatencyCycles
+	}
+	p.Latency, p.LatencyCycles = rate, cycles
 	return p
 }
 
@@ -116,6 +144,8 @@ func Only(seed int64, class Class, rate float64) Plan {
 		p.Redirect = rate
 	case PolicyCorrupt:
 		p.PolicyCorrupt = rate
+	case Latency:
+		p.Latency, p.LatencyCycles = rate, DefaultLatencyCycles
 	}
 	return p
 }
@@ -124,10 +154,15 @@ func Only(seed int64, class Class, rate float64) Plan {
 type Counters struct {
 	Drops, Duplicates, Reorders, Corrupts, Truncates, Replays uint64
 	Redirects, PolicyCorrupts                                 uint64
-	Passed                                                    uint64
+	// Latencies counts injected stalls. A stalled frame is otherwise
+	// delivered clean, so latencies are additive to the frame-mutation
+	// classes and excluded from Total.
+	Latencies uint64
+	Passed    uint64
 }
 
-// Total is the number of frames that had a fault injected.
+// Total is the number of frames that had a frame-mutating fault injected
+// (latency stalls deliver the frame clean and are counted separately).
 func (c Counters) Total() uint64 {
 	return c.Drops + c.Duplicates + c.Reorders + c.Corrupts + c.Truncates +
 		c.Replays + c.Redirects + c.PolicyCorrupts
@@ -139,6 +174,9 @@ func (c Counters) String() string {
 		c.Drops, c.Duplicates, c.Reorders, c.Corrupts, c.Truncates, c.Replays, c.Passed)
 	if c.Redirects != 0 || c.PolicyCorrupts != 0 {
 		s += fmt.Sprintf(" redirect=%d policy-corrupt=%d", c.Redirects, c.PolicyCorrupts)
+	}
+	if c.Latencies != 0 {
+		s += fmt.Sprintf(" latency=%d", c.Latencies)
 	}
 	return s
 }
@@ -159,6 +197,7 @@ type Injector struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	proxyRng *rand.Rand // separate stream for the proxy-edge classes
+	latRng   *rand.Rand // separate stream for the latency class
 	captured [][]byte   // retains relayed frames as replay ammunition
 
 	// Counters tallies injected faults. Concurrent readers should use
@@ -170,11 +209,20 @@ type Injector struct {
 	// consumes PRNG draws, so attaching a recorder does not change the
 	// fault schedule a seed produces.
 	Rec *trace.Recorder
+
+	// Charge, when non-nil, applies Latency-class stalls to the simulated
+	// clock (the serving loop binds it to the world's cycle counter). With
+	// no hook the latency stream still draws and counts — deterministic
+	// schedules don't depend on wiring — but no cycles pass.
+	Charge func(cycles uint64)
 }
 
 // proxySeedSalt decorrelates the proxy-edge PRNG stream from the wire
 // stream while keeping both a pure function of Plan.Seed.
 const proxySeedSalt = 0x65677273 // "egrs"
+
+// latencySeedSalt decorrelates the latency stream the same way.
+const latencySeedSalt = 0x6c617479 // "laty"
 
 // New builds an injector for a plan. The wire and proxy-edge classes get
 // independent PRNG streams derived from the same seed: proxy draws never
@@ -186,6 +234,7 @@ func New(plan Plan) *Injector {
 		plan:     plan,
 		rng:      rand.New(rand.NewSource(plan.Seed)),
 		proxyRng: rand.New(rand.NewSource(plan.Seed ^ proxySeedSalt)),
+		latRng:   rand.New(rand.NewSource(plan.Seed ^ latencySeedSalt)),
 	}
 }
 
@@ -324,11 +373,34 @@ type Transport struct {
 	held []byte
 }
 
+// maybeDelay draws one latency decision from the latency stream and, on a
+// hit, stalls the clock through the Charge hook, recording the stall as a
+// fault-inject span (so the critical-path analyzer can name "latency" as a
+// contributor inside the affected session's tree).
+func (inj *Injector) maybeDelay() {
+	if inj.plan.Latency <= 0 || inj.plan.LatencyCycles == 0 {
+		return
+	}
+	inj.mu.Lock()
+	hit := inj.latRng.Float64() < inj.plan.Latency
+	if hit {
+		inj.Counters.Latencies++
+	}
+	inj.mu.Unlock()
+	if !hit || inj.Charge == nil {
+		return
+	}
+	sp := inj.Rec.Begin()
+	inj.Charge(inj.plan.LatencyCycles)
+	inj.Rec.EndSpan(sp, trace.KindFaultInject, trace.TrackClient, Latency.String())
+}
+
 // Send relays frame through the fault schedule. The PRNG draws and state
 // updates happen in one locked roll; the inner sends run outside the lock so
 // a slow transport cannot serialize unrelated slots.
 func (t *Transport) Send(frame []byte) error {
 	inj := t.inj
+	inj.maybeDelay()
 	d := inj.roll(frame)
 	if d.class != NumClasses {
 		inj.Rec.Emit(trace.KindFaultInject, trace.TrackClient, d.class.String())

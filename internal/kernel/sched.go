@@ -240,9 +240,11 @@ func (k *Kernel) dispatch(t *Task, c *cpu.Core) {
 	k.curCore = c
 	defer func() { k.curCore = nil }()
 	dispStart := k.M.Clock.Now()
-	if k.Rec.Enabled() {
-		defer k.Rec.Span(trace.KindDispatch, trace.CoreTrack(c.ID), t.Name, dispStart)
-	}
+	// Open span: syscalls, faults and EMC gates inside the slice parent
+	// into the dispatch, which itself parents into the serving loop's
+	// ambient phase segment.
+	dispSpan := k.Rec.Begin()
+	defer k.Rec.EndSpan(dispSpan, trace.KindDispatch, trace.CoreTrack(c.ID), t.Name)
 	if k.Attr.Active() {
 		// Per-tenant dispatch attribution: the whole slice — context switch,
 		// syscalls, faults, user compute — lands on the tenant the serving
@@ -290,12 +292,10 @@ func (k *Kernel) dispatch(t *Task, c *cpu.Core) {
 			c.Regs.GPR[cpu.RDX] = ev.args[2]
 			c.Regs.GPR[cpu.R10] = ev.args[3]
 			c.Regs.GPR[cpu.R8] = ev.args[4]
-			sysStart := k.Rec.Now()
+			sysSpan := k.Rec.Begin()
 			c.Deliver(&cpu.Trap{Vector: cpu.VecSyscall})
-			if k.Rec.Enabled() {
-				k.Rec.Span(trace.KindSyscall, trace.TrackKernel,
-					"syscall/"+strconv.FormatUint(ev.num, 10), sysStart)
-			}
+			k.Rec.EndSpan(sysSpan, trace.KindSyscall, trace.TrackKernel,
+				"syscall/"+strconv.FormatUint(ev.num, 10))
 			if t.reapIfZombie() {
 				return
 			}
@@ -317,12 +317,12 @@ func (k *Kernel) dispatch(t *Task, c *cpu.Core) {
 				// The walker distinguishes; the handler re-checks anyway.
 				reason = paging.FaultNotPresent
 			}
-			pfStart := k.Rec.Now()
+			pfSpan := k.Rec.Begin()
 			c.Deliver(&cpu.Trap{
 				Vector: cpu.VecPF,
 				Fault:  &paging.Fault{Reason: reason, Addr: ev.va, Kind: ev.kind},
 			})
-			k.Rec.Span(trace.KindPageFault, trace.TrackKernel, "", pfStart)
+			k.Rec.EndSpan(pfSpan, trace.KindPageFault, trace.TrackKernel, "")
 			if t.reapIfZombie() {
 				return
 			}

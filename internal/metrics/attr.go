@@ -47,6 +47,16 @@ const (
 	// {dir, outcome}: dir is ingress/egress, outcome is
 	// forwarded/dropped/denied.
 	FamilyProxyFrames = "erebor_proxy_frames"
+	// FamilyPhaseLatency is the per-session phase-latency histogram in
+	// virtual cycles, labeled {phase}: each completed session observes its
+	// total cycles spent per phase, with the session's root span ID as the
+	// bucket exemplar. The SLO engine evaluates per-phase objectives
+	// against it.
+	FamilyPhaseLatency = "erebor_phase_latency_cycles"
+	// FamilyTTFC is the time-to-first-compute histogram in virtual cycles
+	// (no labels): admission to the first compute-phase step, exemplared by
+	// the session's root span ID. ROADMAP item 3's p99 SLO reads it.
+	FamilyTTFC = "erebor_ttfc_cycles"
 )
 
 // Session phases used in FamilyTenantPhaseCycles labels. The serving loop

@@ -202,6 +202,19 @@ func (r *Registry) Observe(name string, v uint64, labels ...Label) {
 	r.mu.Unlock()
 }
 
+// ObserveEx adds one observation with an exemplar (a span/session ID
+// retained in the observation's bucket; see trace.Histogram.ObserveEx).
+// The SLO engine reads exemplars back to link a blown objective to the
+// span tree that explains it.
+func (r *Registry) ObserveEx(name string, v, exemplar uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.getSeries(name, HistogramKind, labels).hist.ObserveEx(v, exemplar)
+	r.mu.Unlock()
+}
+
 // Value reads a counter or gauge series (0 when absent or disabled).
 func (r *Registry) Value(name string, labels ...Label) uint64 {
 	if r == nil {
@@ -372,6 +385,17 @@ func (r *Registry) TraceCounts() map[string]uint64 {
 		out[key] = s.Value
 	}
 	return out
+}
+
+// TraceDroppedFamily is the registry family counting flight-recorder ring
+// wraparound drops (surfacing trace.Recorder.Dropped at runtime, so event
+// loss can't silently corrupt a critical-path analysis).
+const TraceDroppedFamily = "erebor_trace_dropped_events"
+
+// AddTraceDropped implements trace.DropStore: ring drops land in the
+// TraceDroppedFamily counter.
+func (r *Registry) AddTraceDropped(delta uint64) {
+	r.Add(TraceDroppedFamily, delta)
 }
 
 // Reset discards every family and series (tests; world reuse).

@@ -44,6 +44,10 @@ func (mon *Monitor) gate(c *cpu.Core, kind string, body func() error) error {
 
 	clock := &mon.M.Clock
 	gateStart := clock.Now()
+	// The gate is an open span, not a retro-stamped one: anything the body
+	// records (violations, kills, nested interposes) parents into it, so a
+	// session's tree explains where its EMC cycles went.
+	gateSpan := mon.Rec.Begin()
 	// This defer runs after the exit-gate charge below, so both the
 	// per-kind cycle attribution and the recorded span cover the full EMC
 	// round trip — which is what lets trace histogram sums reconcile
@@ -55,9 +59,7 @@ func (mon *Monitor) gate(c *cpu.Core, kind string, body func() error) error {
 			mon.Met.Add(metrics.FamilyTenantEMCCycles, delta,
 				metrics.KV("tenant", mon.Attr.TenantLabel()), metrics.KV("kind", kind))
 		}
-		if mon.Rec.Enabled() {
-			mon.Rec.Span(trace.KindEMC, trace.TrackMonitor, "emc/"+kind, gateStart)
-		}
+		mon.Rec.EndSpan(gateSpan, trace.KindEMC, trace.TrackMonitor, "emc/"+kind)
 		// The cadence sweep runs at gate exit — the natural deterministic
 		// pulse: every simulation makes progress through EMCs, and the sweep
 		// itself never charges the clock.

@@ -100,10 +100,11 @@ func (mon *Monitor) handleSandboxExit(c *cpu.Core, t *cpu.Trap, sb *sbState) {
 	sb.Exits++
 	mon.Stats.SandboxExits++
 	if mon.Rec.Enabled() {
-		// Span arguments bind now; Span itself runs (and reads the end
-		// timestamp) when the exit handling completes.
-		defer mon.Rec.Span(trace.KindSandboxExit, trace.SandboxTrack(int(sb.id)),
-			"sandbox/"+strconv.Itoa(int(sb.id))+"/exit", mon.Rec.Now())
+		// Open span: kills, recycles and nested EMCs recorded while the exit
+		// is handled parent into it.
+		exitSpan := mon.Rec.Begin()
+		defer mon.Rec.EndSpan(exitSpan, trace.KindSandboxExit, trace.SandboxTrack(int(sb.id)),
+			"sandbox/"+strconv.Itoa(int(sb.id))+"/exit")
 	}
 
 	// Exit-rate limiting (§11): a sandbox modulating its exit frequency to

@@ -34,6 +34,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/sandbox"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
+	"github.com/asterisc-release/erebor-go/internal/slo"
 	"github.com/asterisc-release/erebor-go/internal/trace"
 )
 
@@ -101,6 +102,15 @@ type Config struct {
 	// peer/exfil (never allowlisted) — so multi-service allow and deny
 	// paths are exercised every session. Nil = legacy unpoliced relay.
 	Egress *egress.Spec
+	// SLO, when non-empty, arms the deterministic SLO engine: objectives
+	// are evaluated against the phase-latency histograms at aligned
+	// SLOWindow boundaries on the virtual clock. Evaluation is read-only
+	// and never charges the clock, so an SLO-monitored run stays
+	// cycle-identical to an unmonitored one.
+	SLO []slo.Objective
+	// SLOWindow is the evaluation cadence in virtual cycles
+	// (0 = slo.DefaultWindow).
+	SLOWindow uint64
 }
 
 // Stock egress destinations the serving path models per session.
@@ -251,6 +261,26 @@ type slot struct {
 	policy  *egress.Policy
 	svc     []*svcLane
 	svcSent bool
+
+	// Span identity (Config.Trace only; all zero otherwise). span is the
+	// session's root span, allocated at admission; every phase segment the
+	// slot runs parents under it, so the whole session is one tree.
+	// pendingRoot pre-allocates the *next* session's root during a cold
+	// relaunch, so launch-phase work parents into the incoming session.
+	// phase accumulates the session's per-phase cycles for the latency
+	// histograms (flushed by the attribution cursor at each transition).
+	span        trace.SpanRef
+	pendingRoot trace.SpanRef
+	phase       map[string]uint64
+}
+
+// rootSpan is the span new phase segments should parent under: the next
+// session's pre-allocated root during relaunch, else the current one.
+func (sl *slot) rootSpan() trace.SpanID {
+	if sl.pendingRoot.ID != 0 {
+		return sl.pendingRoot.ID
+	}
+	return sl.span.ID
 }
 
 // Server drives a fleet of tenant sessions over one world.
@@ -291,6 +321,17 @@ type Server struct {
 	attrPhase  string
 	attrLast   uint64
 	attrSD     uint64
+	// attrSlot is the slot whose session the open phase belongs to (nil
+	// for fleet phases); attrSeg is the open phase-segment span the next
+	// transition will close. Both ride the same cursor so the span tree
+	// and the cycle attribution can never disagree.
+	attrSlot *slot
+	attrSeg  trace.SpanRef
+
+	// Deterministic SLO engine (cfg.SLO only): sloNext is the next aligned
+	// virtual-clock boundary to evaluate at.
+	sloEng  *slo.Engine
+	sloNext uint64
 
 	// Hook, when non-nil, runs at the top of every round (before the fleet
 	// pump). Tests use it to tamper with machine state mid-serve — e.g.
@@ -339,6 +380,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Chaos != nil {
 		s.inj = faultinject.New(*cfg.Chaos)
 		s.inj.Rec = w.Rec
+		// Latency faults stall the virtual clock through the injector's
+		// Charge hook; the stall lands inside whatever span is open, so an
+		// injected delay shows up on the victim session's critical path.
+		s.inj.Charge = w.M.Clock.Charge
+	}
+	if len(cfg.SLO) > 0 {
+		s.sloEng = slo.NewEngine(cfg.SLO, cfg.SLOWindow)
 	}
 	for i := 0; i < cfg.Tenants; i++ {
 		sl := &slot{idx: i, owner: mem.OwnerTaskBase + mem.Owner(1+i), tenant: i}
@@ -420,6 +468,18 @@ func (s *Server) launchContainer(sl *slot) (*sandbox.Container, error) {
 // lifetime), registered as the I8 audit ground truth, and installed on
 // every lane the session may egress through.
 func (s *Server) admit(sl *slot) {
+	// Session root span: adopt the root pre-allocated by a cold relaunch
+	// (so launch work already parents here), else mint a fresh one. The
+	// per-phase accumulator starts empty — launch cycles happen before
+	// admission and recycle cycles after observation, so the phase-latency
+	// histograms cover in-session phases only.
+	if sl.pendingRoot.ID != 0 {
+		sl.span = sl.pendingRoot
+		sl.pendingRoot = trace.SpanRef{}
+	} else {
+		sl.span = s.w.Rec.NewSpanUnder(0)
+	}
+	sl.phase = make(map[string]uint64)
 	sl.sess = harness.NewInjectedSession(s.w, s.inj, s.queueCap())
 	sl.state = stConnect
 	sl.attempts = 0
@@ -503,22 +563,52 @@ func phaseOf(st state) string {
 // ambient Attr context the monitor/kernel/secchan read is updated. Reading
 // the clock charges nothing, so attribution is cycle-neutral. phase "" parks
 // the cursor (nothing accumulates until the next setPhase).
-func (s *Server) setPhase(tenant int, phase string) {
+//
+// The cursor also drives span causality: each contiguous (tenant, phase)
+// stretch is one KindPhase segment span parented under the slot's session
+// root (0/fleet-rooted when sl is nil), and the ambient span scope is set
+// to the open segment — so every event the monitor/kernel/secchan record
+// while the slot runs lands in exactly one session's tree. Segments that
+// covered zero cycles and recorded no children are suppressed, keeping the
+// ring to segments that explain something.
+func (s *Server) setPhase(sl *slot, tenant int, phase string) {
 	now := s.w.M.Clock.Now()
 	if s.attrPhase != "" {
-		if delta := now - s.attrLast; delta > 0 {
+		delta := now - s.attrLast
+		if delta > 0 {
 			s.w.Met.Add(metrics.FamilyTenantPhaseCycles, delta,
 				metrics.KV("phase", s.attrPhase),
 				metrics.KV("tenant", metrics.TenantLabelOf(s.attrTenant)))
+			if s.attrSlot != nil && s.attrSlot.phase != nil {
+				s.attrSlot.phase[s.attrPhase] += delta
+			}
 		}
 		if sd := s.w.M.ShootdownCycles; sd > s.attrSD {
 			s.w.Met.Add(metrics.FamilyShootdownCycles, sd-s.attrSD,
 				metrics.KV("tenant", metrics.TenantLabelOf(s.attrTenant)))
 		}
+		if s.attrSeg.ID != 0 && (delta > 0 || s.w.Rec.Seq() != s.attrSeg.Mark) {
+			s.w.Rec.EndSpanAt(s.attrSeg, trace.KindPhase, trace.TrackServer,
+				s.attrPhase, now)
+		}
 	}
 	s.attrSD = s.w.M.ShootdownCycles
 	s.attrTenant, s.attrPhase, s.attrLast = tenant, phase, now
+	s.attrSlot = sl
 	s.w.Attr.Tenant, s.w.Attr.Phase = tenant, phase
+	s.attrSeg = trace.SpanRef{}
+	if phase != "" {
+		var root trace.SpanID
+		if sl != nil {
+			root = sl.rootSpan()
+		}
+		s.attrSeg = s.w.Rec.NewSpanUnder(root)
+	}
+	if s.attrSeg.ID != 0 {
+		s.w.Rec.Spans().SetScope(s.attrSeg.ID)
+	} else {
+		s.w.Rec.Spans().SetScope()
+	}
 }
 
 // Run serves every session to completion (or typed failure) and returns
@@ -531,7 +621,14 @@ func (s *Server) Run() (*Report, error) {
 
 	mux := &secchan.MuxProxy{}
 	clock := &s.w.M.Clock
-	s.setPhase(metrics.NoTenant, metrics.PhaseFleet)
+	if s.sloEng != nil && s.sloNext == 0 {
+		// First evaluation boundary: the next aligned multiple of the
+		// window after boot — alignment is what makes the evaluation
+		// stream a pure function of (seed, config).
+		w := s.sloEng.Window()
+		s.sloNext = (clock.Now()/w + 1) * w
+	}
+	s.setPhase(nil, metrics.NoTenant, metrics.PhaseFleet)
 	for round := 0; ; round++ {
 		if s.Hook != nil {
 			s.Hook(round)
@@ -566,11 +663,11 @@ func (s *Server) Run() (*Report, error) {
 		}
 		for _, sl := range s.slots {
 			if !sl.done {
-				s.setPhase(sl.tenant, phaseOf(sl.state))
+				s.setPhase(sl, sl.tenant, phaseOf(sl.state))
 				tickStart := clock.Now()
 				s.tick(sl)
 				s.coreLoad[sl.idx%s.cfg.VCPUs] += clock.Now() - tickStart
-				s.setPhase(metrics.NoTenant, metrics.PhaseFleet)
+				s.setPhase(nil, metrics.NoTenant, metrics.PhaseFleet)
 			}
 		}
 		if round >= maxRounds {
@@ -594,10 +691,22 @@ func (s *Server) Run() (*Report, error) {
 			}
 		}
 		s.wall += roundTotal - sum + max
+		// SLO boundaries are evaluated at round granularity: every aligned
+		// window boundary the round crossed gets one evaluation, stamped
+		// with the boundary (not the current clock), so the report stream
+		// is identical however rounds happen to straddle windows.
+		if s.sloEng != nil {
+			for now := clock.Now(); s.sloNext <= now; s.sloNext += s.sloEng.Window() {
+				s.sloEng.Evaluate(s.w.Met, s.sloNext)
+			}
+		}
 	}
 	// Park the cursor: the trailing fleet span flushes and attribution goes
 	// inert, so per-tenant phase cycles sum exactly to Run()'s elapsed total.
-	s.setPhase(metrics.NoTenant, "")
+	s.setPhase(nil, metrics.NoTenant, "")
+	if s.sloEng != nil {
+		s.sloEng.Final(s.w.Met, s.w.M.Clock.Now())
+	}
 
 	return s.report(), nil
 }
@@ -657,6 +766,12 @@ func (s *Server) tick(sl *slot) {
 		sl.state = stWait
 		sl.waitN = 0
 		sl.backoff = s.pol.BackoffBase
+		// Time-to-first-compute: the request is committed and the worker is
+		// about to take its first compute step. Observed exactly once per
+		// session, tagged with the root span ID so a p99 exemplar resolves
+		// to the session's tree.
+		s.w.Met.ObserveEx(metrics.FamilyTTFC, s.w.M.Clock.Now()-sl.start,
+			uint64(sl.span.ID))
 
 	case stWait:
 		sl.sess.PumpAll()
@@ -721,14 +836,13 @@ func (s *Server) finish(sl *slot, msg []byte) {
 		s.fail(sl, err)
 		return
 	}
-	s.setPhase(sl.tenant, metrics.PhaseOutput)
+	s.setPhase(sl, sl.tenant, metrics.PhaseOutput)
 	cycles := s.w.M.Clock.Now() - sl.start
 	tenant := metrics.TenantLabelOf(sl.tenant)
 	s.w.Met.Inc(metrics.FamilySessions,
 		metrics.KV("outcome", "ok"), metrics.KV("tenant", tenant))
 	s.w.Met.Observe(metrics.FamilySessionCycles, cycles, metrics.KV("tenant", tenant))
-	s.w.Rec.Span(trace.KindServeSession, trace.TrackServer,
-		fmt.Sprintf("serve/tenant/%d", sl.tenant), sl.start)
+	s.endSessionSpan(sl)
 	s.results = append(s.results, SessionResult{
 		Tenant: sl.tenant, Slot: sl.idx, Sandbox: int(sl.c.ID),
 		Warm: sl.warm, Cycles: cycles, ReplyBytes: len(msg),
@@ -740,9 +854,47 @@ func (s *Server) finish(sl *slot, msg []byte) {
 	s.turnover(sl, true)
 }
 
+// endSessionSpan records the session's root span, covering admission to
+// now. Recorded for completed AND failed sessions — a root is what keeps
+// the session's phase segments from orphaning in the reconstructed forest.
+func (s *Server) endSessionSpan(sl *slot) {
+	root := sl.span
+	root.Start = sl.start
+	s.w.Rec.EndSpan(root, trace.KindServeSession, trace.TrackServer,
+		fmt.Sprintf("serve/tenant/%d", sl.tenant))
+}
+
+// sessionPhases are the in-session phases fed to the latency histograms,
+// in canonical order. Launch precedes admission and recycle follows
+// observation, so neither belongs in a serving-latency objective.
+var sessionPhases = []string{
+	metrics.PhaseHandshake, metrics.PhaseInstall,
+	metrics.PhaseCompute, metrics.PhaseOutput,
+}
+
+// observeSessionPhases feeds a completed session's per-phase cycle totals
+// into the phase-latency histograms, each observation tagged with the
+// session's root span ID — the exemplar an SLO tail report resolves back
+// to a span tree.
+func (s *Server) observeSessionPhases(sl *slot) {
+	if sl.phase == nil {
+		return
+	}
+	for _, ph := range sessionPhases {
+		if v := sl.phase[ph]; v > 0 {
+			s.w.Met.ObserveEx(metrics.FamilyPhaseLatency, v, uint64(sl.span.ID),
+				metrics.KV("phase", ph))
+		}
+	}
+}
+
+// SLO exposes the run's SLO engine (nil when Config.SLO was empty).
+func (s *Server) SLO() *slo.Engine { return s.sloEng }
+
 // fail records a typed session failure and turns the slot over.
 func (s *Server) fail(sl *slot, err error) {
 	cycles := s.w.M.Clock.Now() - sl.start
+	s.endSessionSpan(sl)
 	s.w.Met.Inc(metrics.FamilySessions,
 		metrics.KV("outcome", "fail"), metrics.KV("tenant", metrics.TenantLabelOf(sl.tenant)))
 	s.results = append(s.results, SessionResult{
@@ -815,7 +967,14 @@ func (s *Server) turnover(sl *slot, clean bool) {
 	s.retireEgress(sl)
 	// The retiring tenant owns the teardown/recycle work (scrub, shootdowns,
 	// destroy-AS) — it is the cost of *their* confidentiality cleanup.
-	s.setPhase(sl.tenant, metrics.PhaseRecycle)
+	s.setPhase(sl, sl.tenant, metrics.PhaseRecycle)
+	// The recycle transition above flushed the output phase, so the
+	// session's per-phase totals are final; feed the latency histograms
+	// (clean completions only — a failed session's phase split reflects
+	// where it died, not serving latency).
+	if clean {
+		s.observeSessionPhases(sl)
+	}
 	sl.served++
 	next := sl.idx + sl.served*s.cfg.Tenants
 	if next >= s.cfg.Sessions {
@@ -855,8 +1014,11 @@ func (s *Server) turnover(sl *slot, clean bool) {
 		_ = s.w.Mon.EMCSandboxEnd(s.w.Core(), sl.c.ID)
 	}
 	_ = s.w.Mon.EMCDestroyAS(s.w.Core(), asid)
-	// Cold relaunch is the incoming tenant's setup cost.
-	s.setPhase(next, metrics.PhaseLaunch)
+	// Cold relaunch is the incoming tenant's setup cost — and the incoming
+	// session's causal prologue: pre-allocate its root so the launch
+	// segment parents into the tree admit() will adopt.
+	sl.pendingRoot = s.w.Rec.NewSpanUnder(0)
+	s.setPhase(sl, next, metrics.PhaseLaunch)
 	c, err := s.launchContainer(sl)
 	if err != nil {
 		// Irrecoverable slot: fail its remaining tenants typed, no hangs.

@@ -9,6 +9,7 @@ import (
 
 	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/slo"
 )
 
 // Status is an immutable post-run introspection snapshot: the registry's
@@ -35,6 +36,27 @@ type Status struct {
 	// Egress is the policy table and decision tally (nil when egress
 	// enforcement is disarmed).
 	Egress *EgressStatus
+	// TraceDropped is the flight recorder's evicted-event count (ring
+	// overflow); nonzero means span forests reconstructed from this run
+	// are partial.
+	TraceDropped uint64
+	// PhaseLatency is the per-phase latency digest (p50/p99 with tail
+	// exemplars) from the session phase histograms.
+	PhaseLatency []PhaseLatencyRow
+	// SLO is the latest SLO evaluation batch (nil when the engine is
+	// disarmed); SLOExhausted is true when any objective's error budget
+	// was ever exhausted — which also fails /healthz.
+	SLO          []slo.Result
+	SLOExhausted bool
+}
+
+// PhaseLatencyRow is one phase's session-latency digest.
+type PhaseLatencyRow struct {
+	Phase    string
+	Count    uint64
+	P50      uint64
+	P99      uint64
+	Exemplar uint64 // root span ID retained in the p99 bucket
 }
 
 // EgressStatus summarizes egress enforcement for the status page.
@@ -104,7 +126,34 @@ func (s *Server) Status(rep *Report) *Status {
 		})
 		st.Egress = eg
 	}
+	st.TraceDropped = s.w.Rec.Dropped()
+	st.PhaseLatency = s.PhaseLatency()
+	if s.sloEng != nil {
+		st.SLO = s.sloEng.Latest()
+		st.SLOExhausted = s.sloEng.Exhausted()
+	}
 	return st
+}
+
+// PhaseLatency digests the session phase histograms: per-phase p50/p99
+// (reusing the registry histograms' quantile semantics) plus the p99 tail
+// exemplar. TTFC rides along as a pseudo-phase. Phases with no
+// observations are omitted.
+func (s *Server) PhaseLatency() []PhaseLatencyRow {
+	var rows []PhaseLatencyRow
+	add := func(phase string, count uint64, p50, p99, exem uint64) {
+		if count == 0 {
+			return
+		}
+		rows = append(rows, PhaseLatencyRow{Phase: phase, Count: count, P50: p50, P99: p99, Exemplar: exem})
+	}
+	ttfc := s.w.Met.Hist(metrics.FamilyTTFC)
+	add(slo.PhaseTTFC, ttfc.Count, ttfc.Quantile(0.50), ttfc.Quantile(0.99), ttfc.ExemplarAt(0.99))
+	for _, ph := range sessionPhases {
+		h := s.w.Met.Hist(metrics.FamilyPhaseLatency, metrics.KV("phase", ph))
+		add(ph, h.Count, h.Quantile(0.50), h.Quantile(0.99), h.ExemplarAt(0.99))
+	}
+	return rows
 }
 
 // Handler serves the snapshot over HTTP:
@@ -123,6 +172,11 @@ func (st *Status) Handler() http.Handler {
 		if !st.Healthy {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "unhealthy: %d non-injected invariant violations\n", st.NonInjected)
+			return
+		}
+		if st.SLOExhausted {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: SLO error budget exhausted\n")
 			return
 		}
 		fmt.Fprintf(w, "ok: %d sweeps, 0 non-injected violations\n", st.Sweeps)
@@ -159,6 +213,24 @@ func (st *Status) WriteText(w io.Writer) {
 			eg.Allowed, eg.Denied, eg.DenialsSeen, eg.DenialDrops)
 		for _, d := range eg.Decisions {
 			fmt.Fprintf(w, "  %-32s %-6s %12d\n", d.Rule, d.Verdict, d.Count)
+		}
+	}
+	if st.TraceDropped > 0 {
+		fmt.Fprintf(w, "trace: %d events dropped (ring overflow) — span forests from this run are partial\n",
+			st.TraceDropped)
+	}
+	if len(st.PhaseLatency) > 0 {
+		fmt.Fprintf(w, "\nphase latency (cycles/session):\n")
+		fmt.Fprintf(w, "%-12s %10s %12s %12s %12s\n", "phase", "count", "p50", "p99", "p99 exemplar")
+		for _, r := range st.PhaseLatency {
+			fmt.Fprintf(w, "%-12s %10d %12d %12d %12d\n", r.Phase, r.Count, r.P50, r.P99, r.Exemplar)
+		}
+	}
+	if st.SLO != nil {
+		fmt.Fprintf(w, "\nSLO objectives:\n")
+		slo.WriteTable(w, st.SLO)
+		if st.SLOExhausted {
+			fmt.Fprintf(w, "SLO: error budget EXHAUSTED — /healthz reports 503\n")
 		}
 	}
 	fmt.Fprintf(w, "\n")

@@ -17,6 +17,18 @@ func CyclesToMicros(c uint64) float64 {
 	return float64(c) / (HzPerSecond / 1e6)
 }
 
+// TrackName labels an export track ("monitor", "cpu-3", "sandbox-7", ...).
+func TrackName(t int32) string { return trackName(t) }
+
+// CoreOf reverses CoreTrack: the vCPU ID behind a per-core dispatch track,
+// or false for every other track.
+func CoreOf(t int32) (int, bool) {
+	if t >= trackCoreBase && t < sandboxTrackBase {
+		return int(t - trackCoreBase), true
+	}
+	return 0, false
+}
+
 // trackName labels an export track.
 func trackName(t int32) string {
 	switch t {
@@ -70,8 +82,13 @@ func jsonEscape(s string) string {
 // The writer receives deterministic bytes: events in buffer order, tracks
 // sorted, fixed float formatting — the basis of the golden-file CI check.
 func (r *Recorder) ExportChromeTrace(w io.Writer) error {
-	events := r.Snapshot()
+	return ExportChromeEvents(w, r.Snapshot(), r.Dropped())
+}
 
+// ExportChromeEvents writes an explicit event list in the same Chrome
+// trace_event format as ExportChromeTrace. It exists so filtered views
+// (erebor-trace -tenant / -track) export byte-identically to full ones.
+func ExportChromeEvents(w io.Writer, events []Event, dropped uint64) error {
 	tracks := map[int32]bool{}
 	for _, ev := range events {
 		tracks[ev.Track] = true
@@ -113,20 +130,32 @@ func (r *Recorder) ExportChromeTrace(w io.Writer) error {
 		if name == "" {
 			name = ev.Kind.String()
 		}
+		// Causal identity rides in args: "span" for events with their own
+		// identity, "parent" for any event linked into a tree. Both are
+		// omitted when zero, so identity-free events keep the PR 2 shape.
+		args := ""
+		switch {
+		case ev.Span != 0 && ev.Parent != 0:
+			args = fmt.Sprintf(`,"args":{"span":%d,"parent":%d}`, ev.Span, ev.Parent)
+		case ev.Span != 0:
+			args = fmt.Sprintf(`,"args":{"span":%d}`, ev.Span)
+		case ev.Parent != 0:
+			args = fmt.Sprintf(`,"args":{"parent":%d}`, ev.Parent)
+		}
 		var line string
 		if ev.Dur > 0 {
-			line = fmt.Sprintf(`{"name":"%s","cat":"%s","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d}`,
-				jsonEscape(name), ev.Kind, micros(ev.TS), micros(ev.Dur), ev.Track)
+			line = fmt.Sprintf(`{"name":"%s","cat":"%s","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d%s}`,
+				jsonEscape(name), ev.Kind, micros(ev.TS), micros(ev.Dur), ev.Track, args)
 		} else {
-			line = fmt.Sprintf(`{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d}`,
-				jsonEscape(name), ev.Kind, micros(ev.TS), ev.Track)
+			line = fmt.Sprintf(`{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d%s}`,
+				jsonEscape(name), ev.Kind, micros(ev.TS), ev.Track, args)
 		}
 		if err := emit(line); err != nil {
 			return err
 		}
 	}
 	_, err := fmt.Fprintf(w, "\n],\"otherData\":{\"dropped_events\":\"%d\",\"clock\":\"virtual-cycles@2.1GHz\"}}\n",
-		r.Dropped())
+		dropped)
 	return err
 }
 

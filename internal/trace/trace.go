@@ -80,6 +80,11 @@ const (
 	// KindEgress is one egress policy decision at the proxy edge (instant,
 	// label "<verdict>/<rule>"). Appended after PR 5's kinds.
 	KindEgress
+	// KindPhase is one contiguous slice of a session spent in a serve phase
+	// (span, label = phase name, parented under the session root). Appended
+	// after PR 6's kinds. Phase segments carry causal structure only: they
+	// do not feed the span-latency histograms.
+	KindPhase
 	numKinds
 )
 
@@ -104,6 +109,7 @@ var kindNames = [numKinds]string{
 	KindServeSession:    "serve-session",
 	KindDispatch:        "dispatch",
 	KindEgress:          "egress",
+	KindPhase:           "phase",
 }
 
 // String names the kind (stable; used by both exporters).
@@ -141,12 +147,20 @@ func SandboxTrack(id int) int32 { return sandboxTrackBase + int32(id) }
 
 // Event is one recorded occurrence. TS is the virtual-cycle timestamp of
 // the event's start; Dur is its length in cycles (0 for instants).
+//
+// Span and Parent are the causal identity added in PR 7: Span is nonzero
+// for events recorded through the span API (Begin/EndSpan), Parent links
+// the event into the enclosing scope's tree (0 = root or unscoped). Both
+// are zero on events recorded before spans existed, so old call sites and
+// golden fixtures stay valid.
 type Event struct {
-	TS    uint64
-	Dur   uint64
-	Kind  Kind
-	Track int32
-	Label string
+	TS     uint64
+	Dur    uint64
+	Kind   Kind
+	Track  int32
+	Label  string
+	Span   SpanID
+	Parent SpanID
 }
 
 // DefaultCapacity is the ring-buffer size used when a configuration does
@@ -167,19 +181,34 @@ type CountStore interface {
 	TraceCounts() map[string]uint64
 }
 
+// DropStore is optionally implemented by a CountStore that also wants
+// ring-wraparound drops as they happen (the metrics registry exposes them
+// as erebor_trace_dropped_events, so silent event loss is visible at
+// runtime instead of only via Dropped() after the fact).
+type DropStore interface {
+	// AddTraceDropped adds delta to the dropped-events counter.
+	AddTraceDropped(delta uint64)
+}
+
 // Recorder is the flight recorder. The zero of *Recorder (nil) is a valid,
 // permanently disabled recorder: every method is nil-safe.
 type Recorder struct {
 	mu      sync.Mutex
 	now     func() uint64
 	buf     []Event
-	start   int // index of the oldest event
-	n       int // live events in buf
+	start   int    // index of the oldest event
+	n       int    // live events in buf
+	seq     uint64 // total events ever appended (monotonic)
 	dropped uint64
 
 	hists  map[string]*Histogram
 	counts map[string]uint64
 	store  CountStore
+	drops  DropStore // store's drop sink, when it implements one
+
+	// ctx is the ambient span scope; mutated only from the simulation's
+	// driving goroutine, like metrics.Attr (see span.go).
+	ctx *Ctx
 }
 
 // New builds a recorder with a bounded ring of capacity events, stamping
@@ -194,6 +223,7 @@ func New(capacity int, now func() uint64) *Recorder {
 		buf:    make([]Event, 0, capacity),
 		hists:  make(map[string]*Histogram),
 		counts: make(map[string]uint64),
+		ctx:    &Ctx{},
 	}
 }
 
@@ -226,6 +256,7 @@ func (r *Recorder) SetCountStore(s CountStore) {
 	}
 	r.mu.Lock()
 	r.store = s
+	r.drops, _ = s.(DropStore)
 	r.mu.Unlock()
 }
 
@@ -236,6 +267,7 @@ func (r *Recorder) append(ev Event) {
 	} else {
 		r.counts[countKey(ev.Kind, ev.Label)]++
 	}
+	r.seq++
 	if r.n < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 		r.n++
@@ -245,15 +277,21 @@ func (r *Recorder) append(ev Event) {
 	r.buf[r.start] = ev
 	r.start = (r.start + 1) % cap(r.buf)
 	r.dropped++
+	if r.drops != nil {
+		r.drops.AddTraceDropped(1)
+	}
 }
 
-// Emit records an instant event at the current virtual time.
+// Emit records an instant event at the current virtual time, parented to
+// the ambient span scope (so e.g. a frame delivery during a tenant tick
+// lands inside that session's tree without any plumbing at the hook site).
 func (r *Recorder) Emit(kind Kind, track int32, label string) {
 	if r == nil {
 		return
 	}
+	parent := r.ctx.Current()
 	r.mu.Lock()
-	r.append(Event{TS: r.now(), Kind: kind, Track: track, Label: label})
+	r.append(Event{TS: r.now(), Kind: kind, Track: track, Label: label, Parent: parent})
 	r.mu.Unlock()
 }
 
@@ -261,6 +299,11 @@ func (r *Recorder) Emit(kind Kind, track int32, label string) {
 // and feeds the duration into the histogram keyed by label (or the kind
 // name when label is empty). Durations are exact virtual-clock deltas, so
 // histogram sums reconcile against the cost-model counters.
+//
+// The span is recorded as a leaf child of the ambient scope: it gets its
+// own identity, but because it is only appended at completion, nothing can
+// nest under it. Call sites whose body records nested events use
+// Begin/EndSpan instead (see span.go).
 func (r *Recorder) Span(kind Kind, track int32, label string, start uint64) {
 	if r == nil {
 		return
@@ -274,8 +317,10 @@ func (r *Recorder) Span(kind Kind, track int32, label string, start uint64) {
 	if key == "" {
 		key = kind.String()
 	}
+	parent := r.ctx.Current()
+	id := r.ctx.alloc()
 	r.mu.Lock()
-	r.append(Event{TS: start, Dur: dur, Kind: kind, Track: track, Label: label})
+	r.append(Event{TS: start, Dur: dur, Kind: kind, Track: track, Label: label, Span: id, Parent: parent})
 	h := r.hists[key]
 	if h == nil {
 		h = &Histogram{}
@@ -368,9 +413,10 @@ func (r *Recorder) Reset() {
 	defer r.mu.Unlock()
 	r.buf = r.buf[:0]
 	r.start, r.n = 0, 0
-	r.dropped = 0
+	r.seq, r.dropped = 0, 0
 	r.hists = make(map[string]*Histogram)
 	r.counts = make(map[string]uint64)
+	r.ctx = &Ctx{}
 }
 
 // --- histogram -----------------------------------------------------------------
@@ -382,12 +428,20 @@ func (r *Recorder) Reset() {
 const NumBuckets = 40
 
 // Histogram is a fixed-log2-bucket latency histogram in virtual cycles.
+//
+// Exemplars: each bucket optionally retains the identity (a span/session
+// ID) of the most recent observation that landed in it. Last-write-wins is
+// the deterministic tail-replacement rule: for a fixed observation order —
+// which the virtual clock guarantees — the retained exemplar per bucket is
+// fixed, so an exemplar in a p99 bucket links a blown SLO to one concrete
+// session's span tree.
 type Histogram struct {
 	Count   uint64
 	Sum     uint64
 	Min     uint64
 	Max     uint64
 	Buckets [NumBuckets]uint64
+	Exem    [NumBuckets]uint64
 }
 
 // bucketOf maps a duration to its bucket index.
@@ -422,6 +476,63 @@ func (h *Histogram) Observe(d uint64) {
 	h.Count++
 	h.Sum += d
 	h.Buckets[bucketOf(d)]++
+}
+
+// ObserveEx adds one duration and retains exemplar (a span/session ID; 0
+// keeps the bucket's previous exemplar) in the duration's bucket.
+func (h *Histogram) ObserveEx(d uint64, exemplar uint64) {
+	h.Observe(d)
+	if exemplar != 0 {
+		h.Exem[bucketOf(d)] = exemplar
+	}
+}
+
+// ExemplarAt returns the exemplar retained in the bucket where quantile q
+// falls (the same bucket walk as Quantile), or 0 when that bucket holds
+// none. An empty histogram returns 0.
+func (h Histogram) ExemplarAt(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(1)
+	if q >= 1 {
+		rank = h.Count
+	} else if q > 0 {
+		rank = uint64(math.Ceil(q * float64(h.Count)))
+		if rank == 0 {
+			rank = 1
+		}
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			return h.Exem[i]
+		}
+	}
+	return 0
+}
+
+// CountAbove counts observations whose bucket's effective upper bound
+// (clamped to the observed Max) exceeds threshold — the bucket-granular
+// violation count the SLO engine charges against an error budget. The rule
+// matches Quantile: Quantile(q) <= t implies at most (1-q)·Count
+// observations are counted above t.
+func (h Histogram) CountAbove(threshold uint64) uint64 {
+	var out uint64
+	for i := 0; i < NumBuckets; i++ {
+		if h.Buckets[i] == 0 {
+			continue
+		}
+		up := BucketUpper(i)
+		if up > h.Max {
+			up = h.Max
+		}
+		if up > threshold {
+			out += h.Buckets[i]
+		}
+	}
+	return out
 }
 
 // Mean is the average observed duration in cycles.
