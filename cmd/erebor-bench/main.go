@@ -41,7 +41,7 @@ import (
 var traceBench bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|phases|egress|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|phases|egress|pagefault|all")
 	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
 	vcpus := flag.Int("vcpus", 1, "simulated vCPUs for the serve fleet-size sweep (the vCPU sweep always runs P∈{1,2,4})")
 	flag.BoolVar(&traceBench, "trace", false,
@@ -84,6 +84,7 @@ func main() {
 	run("serve", func() error { return serveBench(*scale, *vcpus) })
 	run("phases", func() error { return phasesBench(*scale, *vcpus) })
 	run("egress", func() error { return egressBench(*scale, *vcpus) })
+	run("pagefault", func() error { return pagefaultBench(*vcpus) })
 	run("ablations", ablations)
 
 	if traceBench && sets != nil {
@@ -392,6 +393,31 @@ func egressBench(scale, vcpus int) error {
 		fmt.Printf("%-10.2f %9d %9d %9d %9d %8s\n",
 			rate, rep.Completed, rep.EgressAllowed, rep.EgressDenied, exfil, "clean")
 	}
+	return nil
+}
+
+// pagefaultBench is the submission-ring before/after: the lmbench
+// lat_pagefault workload (64-page file-backed span, faulted in and torn
+// down per op) under native, synchronous-EMC Erebor, and ring-drained
+// Erebor. The harness hard-fails if the ring does not reduce both gate
+// crossings and cycles/op, if any drain exceeds one IPI per remote core,
+// or if the continuous watchdog observes a non-injected violation.
+func pagefaultBench(vcpus int) error {
+	rows, err := harness.MeasurePagefault(vcpus)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %12s %9s %10s %12s %8s %7s %10s      (lat_pagefault, %d vCPU)\n",
+		"mode", "cycles/op", "EMC/op", "EMC/s", "drains", "depth", "IPIs", "IPI/drain", vcpus)
+	for _, r := range rows {
+		fmt.Printf("%-12s %12d %9.1f %10.0f %12d %8.1f %7d %10.2f\n",
+			r.Mode, r.CyclesPerOp, r.EMCPerOp, r.EMCPerSecond,
+			r.Drains, r.MeanDepth, r.IPIsSent, r.IPIsPerDrain)
+	}
+	sync, ring := rows[1], rows[2]
+	fmt.Printf("ring effect: %d -> %d cycles/op (%.2fx), %d -> %d gate crossings\n",
+		sync.CyclesPerOp, ring.CyclesPerOp,
+		float64(sync.CyclesPerOp)/float64(ring.CyclesPerOp), sync.EMCs, ring.EMCs)
 	return nil
 }
 

@@ -129,6 +129,22 @@ const (
 	IPISend = 520
 )
 
+// Async EMC submission-ring costs. The kernel enqueues MMU requests into a
+// shared per-AS ring; the monitor drains it under one gate crossing, so the
+// EMCRoundTrip amortizes across every entry of a drained batch.
+const (
+	// EreborRingSubmit is one kernel-side enqueue: a couple of cache-line
+	// writes into the shared ring plus the head update.
+	EreborRingSubmit = 18
+	// EreborRingDrainBase is the monitor's fixed drain setup: read
+	// head/tail, bound the batch, publish the consumed tail.
+	EreborRingDrainBase = 95
+	// EreborRingDrainEntry is fetching and decoding one ring slot inside
+	// the drain (the per-entry policy/PTE work is charged separately, same
+	// as the synchronous EMC bodies).
+	EreborRingDrainEntry = 14
+)
+
 // TDX / host costs beyond the raw transitions.
 const (
 	// VEInjection is the TDX module trapping a guest event and injecting a

@@ -192,6 +192,14 @@ type Machine struct {
 	// core's work). The serving path diffs it across attribution points to
 	// split shootdown overhead out per tenant.
 	ShootdownCycles uint64
+
+	// IPIsSent / IPIsSkipped tally the shootdown protocol's remote
+	// notifications: an IPI is sent only to a core that actually dropped a
+	// TLB entry; a remote core with nothing to flush is skipped (and its
+	// IPISend charge with it). Both counters are deterministic per
+	// (seed, P) because TLB contents are.
+	IPIsSent    uint64
+	IPIsSkipped uint64
 }
 
 // NewMachine creates a machine with ncores cores sharing phys.
@@ -209,18 +217,30 @@ func NewMachine(phys *mem.Physical, ncores int, td bool) *Machine {
 // the IDT owner (the monitor under Erebor) can recognize and absorb it.
 const ShootdownDetail = "tlb-shootdown"
 
-// shootdownIPIs raises the shootdown IPI on every remote core. Cores with
-// no IDT installed (offline, or not yet through boot) have empty TLBs and
-// are skipped — there is nothing to invalidate and nowhere to vector.
-func (m *Machine) shootdownIPIs(initiator *Core) {
-	for _, c := range m.Cores {
+// shootdownIPIs raises the shootdown IPI on each remote core whose TLB
+// actually dropped an entry (need[i]). Cores with no IDT installed
+// (offline, or not yet through boot) have empty TLBs and are skipped —
+// there is nothing to invalidate and nowhere to vector. Cores that had
+// nothing to flush skip the IPI and its IPISend charge too: the initiator
+// already knows their TLBs are clean of the invalidated translations.
+// Returns the number of IPIs sent.
+func (m *Machine) shootdownIPIs(initiator *Core, need []bool) int {
+	sent := 0
+	for i, c := range m.Cores {
 		if c == initiator || c.idt == nil {
+			continue
+		}
+		if !need[i] {
+			m.IPIsSkipped++
 			continue
 		}
 		m.Clock.Charge(costs.IPISend)
 		m.ShootdownCycles += costs.IPISend
+		m.IPIsSent++
 		c.Deliver(&Trap{Vector: VecIPI, Detail: ShootdownDetail})
+		sent++
 	}
+	return sent
 }
 
 func (m *Machine) checkShootdownInitiator(initiator *Core) {
@@ -245,14 +265,48 @@ func (m *Machine) Shootdown(initiator *Core, root mem.Frame, vas ...paging.Addr)
 	}
 	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
 	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(vas))
-	for _, c := range m.Cores {
+	need := make([]bool, len(m.Cores))
+	for i, c := range m.Cores {
 		for _, va := range vas {
 			if c.tlb.InvalidatePage(root, va) {
 				c.TLBInvalidations++
+				need[i] = true
 			}
 		}
 	}
-	m.shootdownIPIs(initiator)
+	m.shootdownIPIs(initiator, need)
+}
+
+// ShootdownPair scopes one invalidation of a batched shootdown: page VA of
+// the address space rooted at Root.
+type ShootdownPair struct {
+	Root mem.Frame
+	VA   paging.Addr
+}
+
+// ShootdownBatch invalidates a set of (root, VA) pairs — possibly spanning
+// several address spaces — in every core's TLB under a single broadcast:
+// at most one IPI per remote core regardless of how many pairs it dropped,
+// versus one broadcast per leaf with repeated Shootdown calls. This is the
+// coalescing primitive behind the EMC submission ring's drain path.
+// Returns the number of IPIs actually sent.
+func (m *Machine) ShootdownBatch(initiator *Core, pairs []ShootdownPair) int {
+	m.checkShootdownInitiator(initiator)
+	if len(pairs) == 0 {
+		return 0
+	}
+	m.Clock.Charge(costs.TLBInvlPg * uint64(len(pairs)))
+	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(pairs))
+	need := make([]bool, len(m.Cores))
+	for i, c := range m.Cores {
+		for _, p := range pairs {
+			if c.tlb.InvalidatePage(p.Root, p.VA) {
+				c.TLBInvalidations++
+				need[i] = true
+			}
+		}
+	}
+	return m.shootdownIPIs(initiator, need)
 }
 
 // ShootdownRoot invalidates every cached translation of one address space
@@ -262,10 +316,13 @@ func (m *Machine) ShootdownRoot(initiator *Core, root mem.Frame) {
 	m.checkShootdownInitiator(initiator)
 	m.Clock.Charge(costs.TLBFlushAS)
 	m.ShootdownCycles += costs.TLBFlushAS
-	for _, c := range m.Cores {
-		c.TLBInvalidations += uint64(c.tlb.InvalidateRoot(root))
+	need := make([]bool, len(m.Cores))
+	for i, c := range m.Cores {
+		n := c.tlb.InvalidateRoot(root)
+		c.TLBInvalidations += uint64(n)
+		need[i] = n > 0
 	}
-	m.shootdownIPIs(initiator)
+	m.shootdownIPIs(initiator, need)
 }
 
 // ShootdownVA invalidates the given pages under *every* root on every
@@ -279,12 +336,16 @@ func (m *Machine) ShootdownVA(initiator *Core, vas ...paging.Addr) {
 	}
 	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
 	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(vas))
-	for _, c := range m.Cores {
+	need := make([]bool, len(m.Cores))
+	for i, c := range m.Cores {
 		for _, va := range vas {
-			c.TLBInvalidations += uint64(c.tlb.InvalidateVA(va))
+			if n := c.tlb.InvalidateVA(va); n > 0 {
+				c.TLBInvalidations += uint64(n)
+				need[i] = true
+			}
 		}
 	}
-	m.shootdownIPIs(initiator)
+	m.shootdownIPIs(initiator, need)
 }
 
 // MintMonitorToken mints the single monitor capability. A second call

@@ -220,6 +220,98 @@ func TestShootdownSkipsCoresWithoutIDT(t *testing.T) {
 	}
 }
 
+// TestShootdownSkipsCleanCores: a remote core whose TLB dropped nothing is
+// not IPI'd and not charged for — only cores that actually invalidated an
+// entry pay the notification.
+func TestShootdownSkipsCleanCores(t *testing.T) {
+	m, tb, va, _ := coreWithTables(t, 3)
+	c0, c1 := m.Cores[0], m.Cores[1]
+	idt := NewIDT()
+	idt.Set(VecIPI, func(c *Core, tr *Trap) {})
+	for _, c := range m.Cores {
+		if tr := c.LIDT(idt); tr != nil {
+			t.Fatal(tr)
+		}
+	}
+	// Only core 1 caches the translation; core 2 stays clean.
+	if _, tr := c1.Access(va, paging.Read); tr != nil {
+		t.Fatal(tr)
+	}
+	ipiBefore := m.TrapCounts[VecIPI].Load()
+	before := m.Clock.Now()
+	m.Shootdown(c0, tb.Root, va)
+	charged := m.Clock.Now() - before
+	// invlpg + one IPI send + one remote delivery: core 2 is skipped.
+	want := uint64(costs.TLBInvlPg + costs.IPISend + costs.InterruptDelivery)
+	if charged != want {
+		t.Fatalf("shootdown charged %d, want %d", charged, want)
+	}
+	if got := m.TrapCounts[VecIPI].Load() - ipiBefore; got != 1 {
+		t.Fatalf("IPI deliveries %d, want 1 (clean core must be skipped)", got)
+	}
+	if m.IPIsSent != 1 || m.IPIsSkipped != 1 {
+		t.Fatalf("IPIsSent=%d IPIsSkipped=%d, want 1/1", m.IPIsSent, m.IPIsSkipped)
+	}
+}
+
+// TestShootdownBatchCoalescesIPIs: a batch of (root, VA) pairs pays invlpg
+// per pair but at most one IPI per remote core, however many entries each
+// core dropped.
+func TestShootdownBatchCoalescesIPIs(t *testing.T) {
+	m, tb, va, _ := coreWithTables(t, 3)
+	c0, c1, c2 := m.Cores[0], m.Cores[1], m.Cores[2]
+	idt := NewIDT()
+	idt.Set(VecIPI, func(c *Core, tr *Trap) {})
+	for _, c := range m.Cores {
+		if tr := c.LIDT(idt); tr != nil {
+			t.Fatal(tr)
+		}
+	}
+	va2 := va + 0x1000
+	f2, _ := m.Phys.Alloc(mem.OwnerKernel)
+	if err := tb.Map(va2, testLeaf(f2)); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 caches both pages, core 2 caches one.
+	for _, a := range []paging.Addr{va, va2} {
+		if _, tr := c1.Access(a, paging.Read); tr != nil {
+			t.Fatal(tr)
+		}
+	}
+	if _, tr := c2.Access(va, paging.Read); tr != nil {
+		t.Fatal(tr)
+	}
+	pairs := []ShootdownPair{
+		{Root: tb.Root, VA: va},
+		{Root: tb.Root, VA: va2},
+		{Root: tb.Root, VA: va2 + 0x1000}, // never mapped: nothing to drop
+	}
+	ipiBefore := m.TrapCounts[VecIPI].Load()
+	before := m.Clock.Now()
+	sent := m.ShootdownBatch(c0, pairs)
+	charged := m.Clock.Now() - before
+	if sent != 2 {
+		t.Fatalf("ShootdownBatch sent %d IPIs, want 2", sent)
+	}
+	if got := m.TrapCounts[VecIPI].Load() - ipiBefore; got != 2 {
+		t.Fatalf("IPI deliveries %d, want 2 (one per dirty core)", got)
+	}
+	want := uint64(3*costs.TLBInvlPg + 2*(costs.IPISend+costs.InterruptDelivery))
+	if charged != want {
+		t.Fatalf("batch shootdown charged %d, want %d", charged, want)
+	}
+	if c1.TLBInvalidations != 2 || c2.TLBInvalidations != 1 {
+		t.Fatalf("invalidations c1=%d c2=%d, want 2/1", c1.TLBInvalidations, c2.TLBInvalidations)
+	}
+	for _, c := range []*Core{c1, c2} {
+		for _, a := range []paging.Addr{va, va2} {
+			if _, ok := c.TLB().Lookup(tb.Root, a); ok {
+				t.Fatalf("core %d still caches %#x after batch shootdown", c.ID, a)
+			}
+		}
+	}
+}
+
 func TestShootdownRequiresRing0(t *testing.T) {
 	m, tb, va, _ := coreWithTables(t, 1)
 	c := m.Cores[0]

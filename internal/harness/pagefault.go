@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/asterisc-release/erebor-go/internal/costs"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
+	"github.com/asterisc-release/erebor-go/internal/workloads/lmbench"
+)
+
+// PagefaultRow is one mode of the pagefault before/after comparison: the
+// lmbench lat_pagefault workload (64-page file-backed span, faulted in and
+// discarded per iteration) under native, synchronous-EMC Erebor, and
+// ring-drained Erebor.
+type PagefaultRow struct {
+	Mode         string
+	CyclesPerOp  uint64  // virtual cycles per mmap+fault-span+munmap op
+	RunCycles    uint64  // whole-run virtual cycles
+	EMCs         uint64  // gate crossings during the run
+	EMCPerOp     float64 // gate crossings per op
+	EMCPerSecond float64 // gate rate at the simulated clock
+	Drains       uint64  // submission-ring drains (ring mode only)
+	MeanDepth    float64 // mean ring entries consumed per drain
+	IPIsSent     uint64  // shootdown IPIs delivered during the run
+	IPIsPerDrain float64 // coalesced IPIs per drain (must be <= P-1)
+}
+
+// MeasurePagefault runs the lat_pagefault workload three ways at the given
+// vCPU count and reports the before/after effect of the async submission
+// ring. Every figure derives from the deterministic virtual clock and
+// counters: same (seed, P), same bytes. The Erebor runs sweep the invariant
+// watchdog continuously; any non-injected violation is an error, as is a
+// ring run that fails to beat the synchronous path or a drain that exceeds
+// one IPI per remote core.
+func MeasurePagefault(vcpus int) ([]PagefaultRow, error) {
+	if vcpus < 1 {
+		vcpus = 1
+	}
+	var bench *lmbench.Bench
+	for _, b := range lmbench.Suite() {
+		if b.Name == "pagefault" {
+			bench = b
+		}
+	}
+	if bench == nil {
+		return nil, fmt.Errorf("pagefault bench missing from the lmbench suite")
+	}
+
+	run := func(mode kernel.Mode, ring bool) (PagefaultRow, error) {
+		label := "native"
+		if mode == kernel.ModeErebor {
+			label = "erebor"
+			if ring {
+				label = "erebor+ring"
+			}
+		}
+		row := PagefaultRow{Mode: label}
+		w, err := NewWorld(WorldConfig{Mode: mode, MemMB: 64, VCPUs: vcpus})
+		if err != nil {
+			return row, err
+		}
+		if w.Mon != nil {
+			w.Mon.RingMMU = ring
+			w.Mon.EnableWatchdog(0)
+		}
+		lmbench.Prepare(w.K)
+		var start, end, emcStart, ipiStart uint64
+		completed := 0
+		t, err := w.K.Spawn("pagefault-"+label, mem.OwnerTaskBase, func(e *kernel.Env) {
+			if w.Mon != nil {
+				emcStart = w.Mon.Stats.EMCs
+			}
+			ipiStart = w.M.IPIsSent
+			start = w.M.Clock.Now()
+			completed = bench.Run(e, bench.Iters)
+			end = w.M.Clock.Now()
+		})
+		if err != nil {
+			return row, err
+		}
+		w.K.Schedule()
+		if t.ExitReason != "" {
+			return row, fmt.Errorf("pagefault (%s): %s", label, t.ExitReason)
+		}
+		if err := lmbench.Validate(bench, completed); err != nil {
+			return row, err
+		}
+		row.RunCycles = end - start
+		row.CyclesPerOp = row.RunCycles / uint64(bench.Iters)
+		row.IPIsSent = w.M.IPIsSent - ipiStart
+		if w.Mon != nil {
+			row.EMCs = w.Mon.Stats.EMCs - emcStart
+			row.EMCPerOp = float64(row.EMCs) / float64(bench.Iters)
+			row.EMCPerSecond = costs.PerSecond(row.EMCs, row.RunCycles)
+			row.Drains = w.Met.Value(metrics.FamilyEMCRingDrains, metrics.KV("outcome", "committed"))
+			if row.Drains > 0 {
+				var ops uint64
+				for _, n := range w.Met.CounterMap(metrics.FamilyEMCRingOps, "op") {
+					ops += n
+				}
+				row.MeanDepth = float64(ops) / float64(row.Drains)
+				sent := w.Met.Value(metrics.FamilyRingCoalescedIPIs, metrics.KV("result", "sent"))
+				row.IPIsPerDrain = float64(sent) / float64(row.Drains)
+			}
+			if n := w.Mon.WatchdogNonInjected(); n != 0 {
+				return row, fmt.Errorf("pagefault (%s): %d non-injected watchdog violations", label, n)
+			}
+			if row.IPIsPerDrain > float64(vcpus-1) {
+				return row, fmt.Errorf("pagefault (%s): %.2f coalesced IPIs per drain exceeds P-1=%d",
+					label, row.IPIsPerDrain, vcpus-1)
+			}
+		}
+		return row, nil
+	}
+
+	native, err := run(kernel.ModeNative, false)
+	if err != nil {
+		return nil, err
+	}
+	sync, err := run(kernel.ModeErebor, false)
+	if err != nil {
+		return nil, err
+	}
+	ringRow, err := run(kernel.ModeErebor, true)
+	if err != nil {
+		return nil, err
+	}
+	if ringRow.Drains == 0 {
+		return nil, fmt.Errorf("pagefault: ring run never drained the submission ring")
+	}
+	if ringRow.CyclesPerOp >= sync.CyclesPerOp {
+		return nil, fmt.Errorf("pagefault: ring %d cycles/op did not beat synchronous %d",
+			ringRow.CyclesPerOp, sync.CyclesPerOp)
+	}
+	if ringRow.EMCs >= sync.EMCs {
+		return nil, fmt.Errorf("pagefault: ring %d gate crossings did not beat synchronous %d",
+			ringRow.EMCs, sync.EMCs)
+	}
+	return []PagefaultRow{native, sync, ringRow}, nil
+}

@@ -21,6 +21,9 @@ type AddrSpace struct {
 	// tables is writable in native mode; in Erebor mode it is a walk-only
 	// view used for translations.
 	tables *paging.Tables
+	// ring is the async EMC submission ring of this address space, created
+	// lazily on the first enqueue when Monitor.RingMMU is on (Erebor only).
+	ring *monitor.SubmitRing
 }
 
 // Tables exposes the walkable view of the address space (native kernels
@@ -50,6 +53,19 @@ type privOps interface {
 	MapGPA(c *cpu.Core, f mem.Frame, toShared bool) error
 	VMCall(c *cpu.Core, sub uint64, args []uint64, frames []mem.Frame, payload []byte) ([]uint64, error)
 	WriteMSR(c *cpu.Core, idx uint32, val uint64) error
+
+	// RingActive reports whether the async MMU submission-ring path is on
+	// (Erebor with Monitor.RingMMU; always false natively — native PTE
+	// writes are already cheap, there is no crossing to amortize).
+	RingActive() bool
+	// RingEnqueue queues one MMU request on as's submission ring, draining
+	// first if the ring is full. Only valid while RingActive().
+	RingEnqueue(c *cpu.Core, as *AddrSpace, req monitor.RingReq) error
+	// RingDrain asks the monitor to consume as's queued requests under one
+	// gate crossing. If the batched drain is refused, the requests are
+	// replayed through the synchronous EMCs (per-op errors surface to the
+	// caller exactly as on the non-ring path). No-op on an empty ring.
+	RingDrain(c *cpu.Core, as *AddrSpace) error
 }
 
 // --- native implementation ----------------------------------------------------
@@ -254,6 +270,14 @@ func (np *nativePriv) WriteMSR(c *cpu.Core, idx uint32, val uint64) error {
 	return nil
 }
 
+func (np *nativePriv) RingActive() bool { return false }
+
+func (np *nativePriv) RingEnqueue(c *cpu.Core, as *AddrSpace, req monitor.RingReq) error {
+	return fmt.Errorf("kernel: submission ring unavailable in native mode")
+}
+
+func (np *nativePriv) RingDrain(c *cpu.Core, as *AddrSpace) error { return nil }
+
 // --- Erebor implementation -----------------------------------------------------
 
 type ereborPriv struct {
@@ -322,6 +346,60 @@ func (ep *ereborPriv) VMCall(c *cpu.Core, sub uint64, args []uint64, frames []me
 
 func (ep *ereborPriv) WriteMSR(c *cpu.Core, idx uint32, val uint64) error {
 	return ep.mon.EMCWriteMSR(c, idx, val)
+}
+
+func (ep *ereborPriv) RingActive() bool { return ep.mon.RingMMU }
+
+func (ep *ereborPriv) RingEnqueue(c *cpu.Core, as *AddrSpace, req monitor.RingReq) error {
+	if !ep.mon.RingMMU {
+		return fmt.Errorf("kernel: submission ring disabled")
+	}
+	if as.ring == nil {
+		as.ring = monitor.NewSubmitRing(as.ASID, monitor.DefaultRingEntries)
+	}
+	if as.ring.Len() >= as.ring.Cap() {
+		if err := ep.RingDrain(c, as); err != nil {
+			return err
+		}
+	}
+	// One enqueue: write the request into the shared ring, bump the head.
+	ep.k.M.Clock.Charge(costs.EreborRingSubmit)
+	if !as.ring.Push(req) {
+		return fmt.Errorf("kernel: submission ring full after drain")
+	}
+	return nil
+}
+
+func (ep *ereborPriv) RingDrain(c *cpu.Core, as *AddrSpace) error {
+	if as.ring == nil || as.ring.Len() == 0 {
+		return nil
+	}
+	if err := ep.mon.EMCRingDrain(c, as.ring); err == nil {
+		return nil
+	}
+	// The batched drain was refused (validation reject or commit rollback —
+	// either way the monitor left the address space consistent). Replay the
+	// entries through the synchronous EMCs so per-op errors surface exactly
+	// as they would have without the ring.
+	pending := as.ring.Pending()
+	as.ring.Reset()
+	for _, r := range pending {
+		var err error
+		switch r.Op {
+		case monitor.OpMap:
+			err = ep.mon.EMCMapUser(c, as.ASID, r.VA, r.Frame, r.Flags)
+		case monitor.OpUnmap:
+			err = ep.mon.EMCUnmapUser(c, as.ASID, r.VA)
+		case monitor.OpProtect:
+			err = ep.mon.EMCProtectUser(c, as.ASID, r.VA, r.Flags)
+		case monitor.OpReclaim:
+			err = ep.mon.EMCReclaimUser(c, as.ASID, r.VA)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func b64(b bool) uint64 {

@@ -1,0 +1,101 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/abi"
+	"github.com/asterisc-release/erebor-go/internal/harness"
+	"github.com/asterisc-release/erebor-go/internal/kernel"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+)
+
+// ringWorkload is a fault-heavy task: map a span, touch every page (demand
+// faults), drop write permission, then unmap the whole span.
+func ringWorkload(t *testing.T, w *harness.World, pages int) {
+	t.Helper()
+	tk, err := w.K.Spawn("ring-load", mem.OwnerTaskBase, func(e *kernel.Env) {
+		span := pages * 4096
+		va := e.Mmap(span, true, false)
+		for p := 0; p < pages; p++ {
+			e.WriteMem(va+paging.Addr(p*4096), []byte{byte(p), byte(p >> 8)})
+		}
+		for p := 0; p < pages; p++ {
+			buf := make([]byte, 2)
+			e.ReadMem(va+paging.Addr(p*4096), buf)
+			if buf[0] != byte(p) || buf[1] != byte(p>>8) {
+				e.Fatal(1, "page content lost")
+			}
+		}
+		if ret := e.Syscall(abi.SysMprotect, uint64(va), uint64(span), 0); ret != 0 {
+			e.Fatal(2, "mprotect failed")
+		}
+		if ret := e.Munmap(va, span); ret != 0 {
+			e.Fatal(3, "munmap failed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.K.Schedule()
+	if tk.ExitReason != "" {
+		t.Fatal(tk.ExitReason)
+	}
+}
+
+// TestRingFaultPathReducesGateCrossings: the same fault-heavy workload run
+// with the submission ring enabled takes measurably fewer EMC gate
+// crossings (the fault pair drains under one gate; munmap and mprotect
+// drain whole spans) and fewer cycles, with identical task-visible
+// behavior.
+func TestRingFaultPathReducesGateCrossings(t *testing.T) {
+	const pages = 16
+	run := func(ring bool) (emcs, cycles, drains uint64) {
+		w, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Mon.RingMMU = ring
+		e0, c0 := w.Mon.Stats.EMCs, w.M.Clock.Now()
+		ringWorkload(t, w, pages)
+		return w.Mon.Stats.EMCs - e0, w.M.Clock.Now() - c0,
+			w.Met.Value(metrics.FamilyEMCRingDrains, metrics.KV("outcome", "committed"))
+	}
+	syncEMCs, syncCycles, syncDrains := run(false)
+	ringEMCs, ringCycles, ringDrains := run(true)
+	if syncDrains != 0 {
+		t.Fatalf("ring-off run recorded %d drains", syncDrains)
+	}
+	if ringDrains == 0 {
+		t.Fatal("ring-on run never drained the submission ring")
+	}
+	if ringEMCs >= syncEMCs {
+		t.Fatalf("ring did not reduce gate crossings: %d (ring) vs %d (sync)", ringEMCs, syncEMCs)
+	}
+	if ringCycles >= syncCycles {
+		t.Fatalf("ring did not reduce cycles: %d (ring) vs %d (sync)", ringCycles, syncCycles)
+	}
+}
+
+// TestRingFaultPathDeterminism: two identical ring-enabled worlds running
+// the fault-heavy workload finish on the same virtual clock with the same
+// gate and drain counts.
+func TestRingFaultPathDeterminism(t *testing.T) {
+	run := func() (emcs, cycles, drains uint64) {
+		w, err := harness.NewWorld(harness.WorldConfig{Mode: kernel.ModeErebor, MemMB: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Mon.RingMMU = true
+		ringWorkload(t, w, 8)
+		return w.Mon.Stats.EMCs, w.M.Clock.Now(),
+			w.Met.Value(metrics.FamilyEMCRingDrains, metrics.KV("outcome", "committed"))
+	}
+	e1, c1, d1 := run()
+	e2, c2, d2 := run()
+	if e1 != e2 || c1 != c2 || d1 != d2 {
+		t.Fatalf("identical ring runs diverged: emcs %d/%d cycles %d/%d drains %d/%d",
+			e1, e2, c1, c2, d1, d2)
+	}
+}

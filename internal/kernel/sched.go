@@ -504,6 +504,30 @@ func (k *Kernel) handlePageFault(c *cpu.Core, tr *cpu.Trap, cur *Task) {
 			k.M.Clock.Charge(costs.Copy(n))
 		}
 	}
+	if k.priv.RingActive() {
+		// Ring path: the install and its PTE bookkeeping ride the submission
+		// ring and drain under ONE gate crossing instead of two. The drain
+		// happens before iret — the faulting access retries immediately, so
+		// the mapping must be live when the handler returns.
+		err := k.priv.RingEnqueue(c, cur.P.AS, monitor.RingReq{
+			Op: monitor.OpMap, VA: va, Frame: f,
+			Flags: monitor.MapFlags{Writable: vma.Writable, Exec: vma.Exec},
+		})
+		if err == nil {
+			err = k.priv.RingEnqueue(c, cur.P.AS, monitor.RingReq{
+				Op: monitor.OpProtect, VA: va,
+				Flags: monitor.MapFlags{Writable: vma.Writable, Exec: vma.Exec},
+			})
+		}
+		if err == nil {
+			err = k.priv.RingDrain(c, cur.P.AS)
+		}
+		if err != nil {
+			_ = k.M.Phys.Free(f)
+			cur.exitLocked(139, "mapping denied: "+err.Error())
+		}
+		return
+	}
 	if err := k.priv.Map(c, cur.P.AS, va, f, vma.Writable, vma.Exec); err != nil {
 		_ = k.M.Phys.Free(f)
 		cur.exitLocked(139, "mapping denied: "+err.Error())

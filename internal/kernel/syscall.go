@@ -222,6 +222,30 @@ func (k *Kernel) sysMunmap(c *cpu.Core, t *Task, va paging.Addr, n uint64) uint6
 	kept := t.P.VMAs[:0]
 	for _, v := range t.P.VMAs {
 		if v.Start >= va && v.End <= end {
+			if k.priv.RingActive() {
+				// Ring path: every present page's unmap rides one drain —
+				// one gate crossing and one coalesced shootdown for the
+				// whole region instead of one round trip per page. Frames
+				// are freed only after the drain commits: until the flush
+				// lands, a stale TLB entry could still reach them.
+				var freed []mem.Frame
+				ok := true
+				for p := v.Start; p < v.End; p += mem.PageSize {
+					if f, present := t.P.AS.Translate(p); present {
+						if err := k.priv.RingEnqueue(c, t.P.AS, monitor.RingReq{Op: monitor.OpUnmap, VA: p}); err != nil {
+							ok = false
+							break
+						}
+						freed = append(freed, f)
+					}
+				}
+				if ok && k.priv.RingDrain(c, t.P.AS) == nil {
+					for _, f := range freed {
+						_ = k.M.Phys.Free(f)
+					}
+				}
+				continue
+			}
 			// Unmap and free present pages.
 			for p := v.Start; p < v.End; p += mem.PageSize {
 				if f, ok := t.P.AS.Translate(p); ok {
@@ -243,6 +267,22 @@ func (k *Kernel) sysMprotect(c *cpu.Core, t *Task, va paging.Addr, n uint64, w, 
 	for _, v := range t.P.VMAs {
 		if va >= v.Start && end <= v.End {
 			v.Writable, v.Exec = w, x
+			if k.priv.RingActive() {
+				// Ring path: all permission flips for the range commit under
+				// one drain, with shootdowns coalesced across pages.
+				for p := paging.PageBase(va); p < end; p += mem.PageSize {
+					if _, ok := t.P.AS.Translate(p); ok {
+						req := monitor.RingReq{Op: monitor.OpProtect, VA: p, Flags: monitor.MapFlags{Writable: w, Exec: x}}
+						if err := k.priv.RingEnqueue(c, t.P.AS, req); err != nil {
+							return abi.Errno(abi.EPERMNo)
+						}
+					}
+				}
+				if err := k.priv.RingDrain(c, t.P.AS); err != nil {
+					return abi.Errno(abi.EPERMNo)
+				}
+				return 0
+			}
 			for p := paging.PageBase(va); p < end; p += mem.PageSize {
 				if _, ok := t.P.AS.Translate(p); ok {
 					if err := k.priv.Protect(c, t.P.AS, p, w, x); err != nil {

@@ -57,6 +57,19 @@ const (
 	// (no labels): admission to the first compute-phase step, exemplared by
 	// the session's root span ID. ROADMAP item 3's p99 SLO reads it.
 	FamilyTTFC = "erebor_ttfc_cycles"
+	// FamilyEMCRingDepth is the histogram of submission-ring depths observed
+	// at drain time (entries consumed per gate crossing).
+	FamilyEMCRingDepth = "erebor_emc_ring_depth"
+	// FamilyEMCRingDrains counts submission-ring drains, labeled {outcome}:
+	// committed, or rejected when validation refused the batch.
+	FamilyEMCRingDrains = "erebor_emc_ring_drains"
+	// FamilyEMCRingOps counts ring entries committed by drains, labeled
+	// {op} (map/unmap/protect/reclaim).
+	FamilyEMCRingOps = "erebor_emc_ring_ops"
+	// FamilyRingCoalescedIPIs counts shootdown IPIs issued by drain-time
+	// coalesced invalidation sets (at most one per remote core per drain),
+	// and the IPIs the coalescing skipped, labeled {result: sent|skipped}.
+	FamilyRingCoalescedIPIs = "erebor_ring_coalesced_ipis"
 )
 
 // Session phases used in FamilyTenantPhaseCycles labels. The serving loop

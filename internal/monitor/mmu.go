@@ -221,8 +221,10 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 		}
 		installed := make([]undo, 0, len(work))
 		rollback := func(failedVA paging.Addr) {
+			undone := make([]paging.Addr, 0, len(installed))
 			for i := len(installed) - 1; i >= 0; i-- {
 				u := installed[i]
+				undone = append(undone, u.va)
 				var restoreErr error
 				if u.hadLeaf {
 					restoreErr = as.tables.Map(u.va, u.prevLeaf)
@@ -262,6 +264,11 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 			for i := len(installed) - 1; i >= 0; i-- {
 				_ = as.tables.Prune(installed[i].va, release)
 			}
+			// Another core may have walked the tables mid-commit and cached
+			// the leaves this rollback just rewrote; one batched shootdown
+			// over every undone VA closes that window before the gate
+			// returns.
+			mon.M.Shootdown(c, as.tables.Root, undone...)
 		}
 		var stale []paging.Addr
 		for _, r := range work {
@@ -284,9 +291,9 @@ func (mon *Monitor) EMCMapUserBatch(c *cpu.Core, asid ASID, reqs []MapReq) error
 			as.userFrames[va] = r.Frame
 			installed = append(installed, u)
 		}
-		// One batched shootdown for every present leaf the commit replaced
-		// (a rollback needs none: it restores exactly the leaves that cores
-		// may still have cached). First installs need none either.
+		// One batched shootdown for every present leaf the commit replaced.
+		// First installs need none: no core can have cached a translation
+		// that never existed.
 		mon.M.Shootdown(c, as.tables.Root, stale...)
 		return nil
 	})

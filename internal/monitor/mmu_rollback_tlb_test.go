@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/cpu"
+	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/paging"
+)
+
+// TestMapUserBatchRollbackClosesStaleTLB: a failed batch must leave no stale
+// translation on any core. The hazard window is mid-commit: after the batch
+// has installed a prefix of its leaves, another core can walk the tables and
+// cache those not-yet-final translations. If the commit then fails, rollback
+// rewrites the leaves — and without a shootdown the remote core keeps
+// translating through mappings that no longer exist.
+//
+// The window is made deterministic with the page-table allocation hook: the
+// failing request's PTP allocation happens after the first two requests
+// installed their leaves, so a remote access from inside the hook caches
+// exactly the mid-commit state that rollback is about to undo.
+func TestMapUserBatchRollbackClosesStaleTLB(t *testing.T) {
+	mon := bootedMonitorN(t, 2)
+	c0, c1 := mon.M.Cores[0], mon.M.Cores[1]
+	owner := mem.OwnerTaskBase + 1
+	asid, err := mon.EMCCreateAS(c0, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mon.addrSpaces[asid]
+
+	orig := mustAlloc(t, mon, owner)
+	repl := mustAlloc(t, mon, owner)
+	fresh := mustAlloc(t, mon, owner)
+	far := mustAlloc(t, mon, owner)
+
+	// Pre-map the leaf the batch will overwrite; this also builds the page
+	// tables for the 0x10_xxxx region.
+	if err := mon.EMCMapUser(c0, asid, 0x10_0000, orig, MapFlags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 runs in this address space.
+	if err := mon.EMCSwitchAS(c1, asid); err != nil {
+		t.Fatal(err)
+	}
+	root := c1.CR3Frame()
+
+	// Drain the monitor's reserved pool, then hand exactly one frame back:
+	// the far request allocates its PD (firing the hook below), then fails
+	// on the PT.
+	var drained []mem.Frame
+	for {
+		f, err := mon.M.Phys.AllocRegion(RegionMonitor, mem.OwnerMonitor)
+		if err != nil {
+			break
+		}
+		drained = append(drained, f)
+	}
+	if len(drained) < 1 {
+		t.Fatal("monitor pool too small for the test")
+	}
+	if err := mon.M.Phys.Free(drained[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-commit, core 1 touches both pages the batch has already installed,
+	// caching the replacement and the fresh translation in its TLB.
+	hookFired := false
+	as.tables.OnPTPAlloc = func(mem.Frame) {
+		hookFired = true
+		c1.SetRing(3)
+		for _, va := range []paging.Addr{0x10_0000, 0x10_1000} {
+			if _, tr := c1.Access(va, paging.Read); tr != nil {
+				t.Fatalf("mid-commit access of %#x faulted: %v", va, tr)
+			}
+		}
+		c1.SetRing(0)
+	}
+	defer func() { as.tables.OnPTPAlloc = nil }()
+
+	reqs := []MapReq{
+		// Overwrites the existing leaf (same leaf table: no PTP needed).
+		{VA: 0x10_0000, Frame: repl, Flags: MapFlags{Writable: true}},
+		// Fresh slot in the same leaf table: no PTP needed.
+		{VA: 0x10_1000, Frame: fresh, Flags: MapFlags{Writable: true}},
+		// Different 1 GiB region: needs PD+PT, fails on the second.
+		{VA: 0x4000_0000, Frame: far, Flags: MapFlags{Writable: true}},
+	}
+	if err := mon.EMCMapUserBatch(c0, asid, reqs); err == nil {
+		t.Fatal("batch committed despite page-table exhaustion")
+	}
+	if !hookFired {
+		t.Fatal("PTP hook never fired: the mid-commit window was not exercised")
+	}
+
+	// Rollback restored 0x10_0000 -> orig and unmapped 0x10_1000. No core
+	// may still translate through the rolled-back leaves.
+	if pte, ok := c1.TLB().Lookup(root, 0x10_0000); ok && pte.Frame() != orig {
+		t.Fatalf("core 1 still caches rolled-back frame %d for 0x10_0000 (want %d or nothing)",
+			pte.Frame(), orig)
+	}
+	if pte, ok := c1.TLB().Lookup(root, 0x10_1000); ok {
+		t.Fatalf("core 1 still caches frame %d for unmapped 0x10_1000", pte.Frame())
+	}
+	c1.SetRing(3)
+	if _, tr := c1.Access(0x10_1000, paging.Read); tr == nil || tr.Vector != cpu.VecPF {
+		t.Fatalf("stale access after rollback: %v (want #PF)", tr)
+	}
+	c1.SetRing(0)
+}

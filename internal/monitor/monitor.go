@@ -166,6 +166,12 @@ type Monitor struct {
 	// multiple PTEs under one gate crossing.
 	BatchMMU bool
 
+	// RingMMU enables the async EMC submission ring: the kernel enqueues
+	// independent MMU requests per address space and the monitor drains
+	// them under one gate crossing with validate-all-then-commit semantics
+	// and one coalesced shootdown broadcast per drain (EMCRingDrain).
+	RingMMU bool
+
 	// ExitRateLimit, when non-zero, kills any sandbox exceeding this many
 	// software-driven exits per simulated second after data install — the
 	// §11 rate-limiting mitigation for exit-frequency covert channels.

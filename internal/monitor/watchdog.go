@@ -27,6 +27,9 @@ const (
 	TriggerDestroyAS = "destroy-as"
 	TriggerEnd       = "end"
 	TriggerManual    = "manual"
+	// TriggerDrain fires at every submission-ring drain commit, proving no
+	// invariant window opens between validate and flush.
+	TriggerDrain = "ring-drain"
 )
 
 // WatchdogEvent is one violation observation, serialized as a JSONL line.

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
+)
+
+// TestServeRingDeterminism: two identically-seeded SMP runs with the
+// submission ring enabled produce byte-identical reports and byte-identical
+// OpenMetrics exports — the ring's drain order, coalesced shootdown set and
+// cost accounting are all functions of (seed, P) alone.
+func TestServeRingDeterminism(t *testing.T) {
+	one := func() (rep, om []byte) {
+		s, err := New(Config{Tenants: 4, Sessions: 8, Seed: 7, VCPUs: 2,
+			RingMMU: true, Watchdog: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m bytes.Buffer
+		if err := s.World().Met.ExportOpenMetrics(&m); err != nil {
+			t.Fatal(err)
+		}
+		if n := s.World().Mon.WatchdogNonInjected(); n != 0 {
+			t.Fatalf("watchdog: %d non-injected violations with ring enabled", n)
+		}
+		return r.JSON(), m.Bytes()
+	}
+	rep1, om1 := one()
+	rep2, om2 := one()
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatal("ring-enabled report JSON differs between identically-seeded runs")
+	}
+	if !bytes.Equal(om1, om2) {
+		t.Fatal("ring-enabled OpenMetrics export differs between identically-seeded runs")
+	}
+}
+
+// TestServeChaosFleetRing: the chaos fleet on 2 vCPUs with the submission
+// ring enabled — fault-injected sessions must still complete or fail typed,
+// and the continuous watchdog (sweeping at every drain commit among its
+// other triggers) must find zero non-injected violations.
+func TestServeChaosFleetRing(t *testing.T) {
+	seeds := 6
+	tenants, sessions := 32, 48
+	if testing.Short() {
+		seeds, tenants, sessions = 2, 8, 16
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		plan := faultinject.Uniform(int64(seed), 0.05)
+		s, err := New(Config{
+			Tenants: tenants, Sessions: sessions, Seed: int64(seed), VCPUs: 2,
+			Chaos: &plan, RingMMU: true, Watchdog: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Completed+rep.Failed != sessions {
+			t.Fatalf("seed %d: %d completed + %d failed != %d sessions",
+				seed, rep.Completed, rep.Failed, sessions)
+		}
+		for _, r := range rep.Results {
+			if r.Err != "" && !typedErr(r.Err) {
+				t.Fatalf("seed %d: tenant %d failed untyped: %s", seed, r.Tenant, r.Err)
+			}
+		}
+		if got := s.inj.Snapshot().Total(); got == 0 {
+			t.Fatalf("seed %d: chaos run injected no faults", seed)
+		}
+		if n := s.World().Mon.WatchdogNonInjected(); n != 0 {
+			t.Fatalf("seed %d: %d non-injected watchdog violations", seed, n)
+		}
+	}
+}
+
+// TestServeRingMatchesSyncOutcomes: a ring-enabled run serves the same
+// sessions to the same outcomes as the synchronous path — the ring changes
+// cost and IPI accounting, never results.
+func TestServeRingMatchesSyncOutcomes(t *testing.T) {
+	run := func(ringOn bool) *Report {
+		s, err := New(Config{Tenants: 4, Sessions: 8, Seed: 11, VCPUs: 2, RingMMU: ringOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ring, sync := run(true), run(false)
+	if ring.Completed != sync.Completed || ring.Failed != sync.Failed {
+		t.Fatalf("ring %d/%d vs sync %d/%d completed/failed",
+			ring.Completed, ring.Failed, sync.Completed, sync.Failed)
+	}
+	for i := range sync.Results {
+		r, sr := ring.Results[i], sync.Results[i]
+		if r.Tenant != sr.Tenant || r.ReplyBytes != sr.ReplyBytes || r.Err != sr.Err {
+			t.Fatalf("tenant %d outcome diverged under ring: %+v vs %+v", sr.Tenant, r, sr)
+		}
+	}
+}

@@ -111,6 +111,12 @@ type Config struct {
 	// SLOWindow is the evaluation cadence in virtual cycles
 	// (0 = slo.DefaultWindow).
 	SLOWindow uint64
+	// RingMMU routes the kernel's MMU requests through the async EMC
+	// submission ring: independent map/unmap/protect ops queue per address
+	// space and drain under one gate crossing with shootdowns coalesced to
+	// at most one IPI per remote core per drain. Same (Seed, VCPUs, Ring),
+	// same bytes.
+	RingMMU bool
 }
 
 // Stock egress destinations the serving path models per session.
@@ -370,6 +376,9 @@ func New(cfg Config) (*Server, error) {
 		coreLoad: make([]uint64, cfg.VCPUs), attrTenant: metrics.NoTenant}
 	if cfg.Watchdog {
 		w.Mon.EnableWatchdog(cfg.WatchdogEvery)
+	}
+	if cfg.RingMMU {
+		w.Mon.RingMMU = true
 	}
 	if cfg.Egress != nil {
 		s.ledger = egress.NewLedger()

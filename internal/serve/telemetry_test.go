@@ -9,7 +9,10 @@ import (
 
 	"github.com/asterisc-release/erebor-go/internal/audit"
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
+	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/metrics"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/paging"
 )
 
 // TestWatchdogCatchesInjectedBreak seeds a deliberate invariant violation —
@@ -91,7 +94,10 @@ func TestWatchdogCatchesInjectedBreak(t *testing.T) {
 
 // TestPhaseConservation64Tenants: in a 64-tenant fleet, the per-tenant
 // per-phase cycle attribution sums exactly to the serving run's elapsed
-// virtual cycles — no cycle is double-counted or dropped.
+// virtual cycles — no cycle is double-counted or dropped. A failing MMU
+// batch injected mid-run exercises the rollback path (including its
+// rollback shootdown) to verify conservation survives EMC failures, not
+// just the happy path.
 func TestPhaseConservation64Tenants(t *testing.T) {
 	cfg := Config{Tenants: 64, Sessions: 64, Seed: 5, MemMB: 512, Watchdog: true}
 	if testing.Short() {
@@ -101,12 +107,71 @@ func TestPhaseConservation64Tenants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	batchFailed := false
+	var injectedCycles uint64
+	s.Hook = func(round int) {
+		if round != 3 || batchFailed {
+			return
+		}
+		batchFailed = true
+		mon := s.World().Mon
+		c := s.World().Core()
+		injectStart := mon.M.Clock.Now()
+		defer func() { injectedCycles = mon.M.Clock.Now() - injectStart }()
+		owner := mem.OwnerTaskBase + 200
+		asid, cerr := mon.EMCCreateAS(c, owner)
+		if cerr != nil {
+			t.Fatalf("inject: create AS: %v", cerr)
+		}
+		orig, _ := mon.M.Phys.Alloc(owner)
+		repl, _ := mon.M.Phys.Alloc(owner)
+		far, _ := mon.M.Phys.Alloc(owner)
+		// Build the page tables for 0x10_0000 while the pool still has
+		// frames, then exhaust the monitor pool so the batch's third request
+		// (a fresh 2 MiB region needing a new page-table page) must fail.
+		if merr := mon.EMCMapUser(c, asid, 0x10_0000, orig, monitor.MapFlags{Writable: true}); merr != nil {
+			t.Fatalf("inject: pre-map: %v", merr)
+		}
+		var drained []mem.Frame
+		for {
+			f, aerr := mon.M.Phys.AllocRegion(monitor.RegionMonitor, mem.OwnerMonitor)
+			if aerr != nil {
+				break
+			}
+			drained = append(drained, f)
+		}
+		reqs := []monitor.MapReq{
+			{VA: 0x10_0000, Frame: repl, Flags: monitor.MapFlags{Writable: true}},
+			{VA: paging.Addr(0x4000_0000), Frame: far, Flags: monitor.MapFlags{Writable: true}},
+		}
+		if berr := mon.EMCMapUserBatch(c, asid, reqs); berr == nil {
+			t.Error("inject: batch committed despite page-table exhaustion")
+		}
+		// Restore the world: refill the pool, tear the scratch AS down, and
+		// hand the frames back so the fleet (and the watchdog's census)
+		// proceeds unperturbed.
+		for _, f := range drained {
+			_ = mon.M.Phys.Free(f)
+		}
+		if uerr := mon.EMCUnmapUser(c, asid, 0x10_0000); uerr != nil {
+			t.Fatalf("inject: unmap: %v", uerr)
+		}
+		if derr := mon.EMCDestroyAS(c, asid); derr != nil {
+			t.Fatalf("inject: destroy AS: %v", derr)
+		}
+		for _, f := range []mem.Frame{orig, repl, far} {
+			_ = mon.M.Phys.Free(f)
+		}
+	}
 	start := s.World().M.Clock.Now()
 	rep, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	elapsed := s.World().M.Clock.Now() - start
+	if !batchFailed {
+		t.Fatal("injected batch failure never ran (hook round not reached)")
+	}
 	if rep.Completed != cfg.Sessions {
 		t.Fatalf("completed=%d failed=%d, want %d/0", rep.Completed, rep.Failed, cfg.Sessions)
 	}
@@ -128,9 +193,12 @@ func TestPhaseConservation64Tenants(t *testing.T) {
 	if attributed != elapsed {
 		t.Fatalf("conservation broken: %d cycles attributed, %d elapsed", attributed, elapsed)
 	}
-	// Serial fleet: the report's wall total is the same serial elapsed time.
-	if cfg.VCPUs <= 1 && rep.TotalCycles != elapsed {
-		t.Fatalf("wall total %d != serial elapsed %d on one vCPU", rep.TotalCycles, elapsed)
+	// Serial fleet: the report's wall total is the same serial elapsed time,
+	// minus the injected batch-failure detour (charged on the clock and
+	// attributed to phases, but outside the serving loop's wall ledger).
+	if cfg.VCPUs <= 1 && rep.TotalCycles != elapsed-injectedCycles {
+		t.Fatalf("wall total %d != serial elapsed %d - injected %d on one vCPU",
+			rep.TotalCycles, elapsed, injectedCycles)
 	}
 	for tenant := 0; tenant < cfg.Sessions; tenant++ {
 		if !tenants[tenant] {

@@ -85,6 +85,10 @@ const (
 	// after PR 6's kinds. Phase segments carry causal structure only: they
 	// do not feed the span-latency histograms.
 	KindPhase
+	// KindRingDrain is the monitor draining the async EMC submission ring
+	// (span, nested under its EMC gate span so critical-path analysis
+	// attributes it to the session). Appended after PR 7's kinds.
+	KindRingDrain
 	numKinds
 )
 
@@ -110,6 +114,7 @@ var kindNames = [numKinds]string{
 	KindDispatch:        "dispatch",
 	KindEgress:          "egress",
 	KindPhase:           "phase",
+	KindRingDrain:       "ring-drain",
 }
 
 // String names the kind (stable; used by both exporters).
