@@ -12,6 +12,7 @@
 //	erebor-bench -exp serve         # multi-tenant serving: warm pool vs cold
 //	erebor-bench -exp phases        # per-tenant session-phase cycle breakdown
 //	erebor-bench -exp egress        # deny-by-default egress enforcement under chaos
+//	erebor-bench -exp fork          # snapshot/fork turnaround: cold vs warm vs CoW fork
 //
 // -scale grows the workloads (1 = quick, 4 = closer to paper proportions).
 package main
@@ -41,7 +42,7 @@ import (
 var traceBench bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|phases|egress|pagefault|all")
+	exp := flag.String("exp", "all", "experiment: table3|table4|fig8|fig9|table6|fig10|memshare|serve|phases|egress|pagefault|fork|all")
 	scale := flag.Int("scale", 1, "workload scale factor (1 = quick)")
 	vcpus := flag.Int("vcpus", 1, "simulated vCPUs for the serve fleet-size sweep (the vCPU sweep always runs P∈{1,2,4})")
 	flag.BoolVar(&traceBench, "trace", false,
@@ -85,6 +86,7 @@ func main() {
 	run("phases", func() error { return phasesBench(*scale, *vcpus) })
 	run("egress", func() error { return egressBench(*scale, *vcpus) })
 	run("pagefault", func() error { return pagefaultBench(*vcpus) })
+	run("fork", func() error { return forkBench(*scale, *vcpus) })
 	run("ablations", ablations)
 
 	if traceBench && sets != nil {
@@ -418,6 +420,34 @@ func pagefaultBench(vcpus int) error {
 	fmt.Printf("ring effect: %d -> %d cycles/op (%.2fx), %d -> %d gate crossings\n",
 		sync.CyclesPerOp, ring.CyclesPerOp,
 		float64(sync.CyclesPerOp)/float64(ring.CyclesPerOp), sync.EMCs, ring.EMCs)
+	return nil
+}
+
+// forkBench compares the three turnover modes — cold rebuild, warm-pool
+// recycling, copy-on-write fork from a snapshot template — on the figure
+// the fork pool exists to shrink: turnaround-to-first-compute, the virtual
+// cycles a tenant waits between the previous session retiring and the
+// worker's first compute step on their request. MeasureFork hard-fails on
+// any incomplete session, any non-injected watchdog violation, a template
+// whose refcounts fail to return to baseline, or a fork turnaround that is
+// not under half of warm recycling's.
+func forkBench(scale, vcpus int) error {
+	rows, err := serve.MeasureFork(scale, vcpus)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %16s %14s %14s %9s %7s %10s %10s      (turnaround to first compute, %d vCPU)\n",
+		"mode", "firstcompute/s.", "setup cycles", "cycles/sess", "sessions", "forks", "cow-breaks", "tmpl-pages", vcpus)
+	for _, r := range rows {
+		fmt.Printf("%-6s %16d %14d %14d %9d %7d %10d %10d\n",
+			r.Mode, r.FirstComputeCycles, r.SetupCycles, r.CyclesPerSession,
+			r.Completed, r.Forks, r.CowBreaks, r.TemplatePages)
+	}
+	cold, warm, fork := rows[0], rows[1], rows[2]
+	fmt.Printf("fork effect: cold %d -> warm %d -> fork %d cycles to first compute (%.2fx vs warm, %.2fx vs cold)\n",
+		cold.FirstComputeCycles, warm.FirstComputeCycles, fork.FirstComputeCycles,
+		float64(warm.FirstComputeCycles)/float64(fork.FirstComputeCycles),
+		float64(cold.FirstComputeCycles)/float64(fork.FirstComputeCycles))
 	return nil
 }
 

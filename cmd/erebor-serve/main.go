@@ -6,6 +6,7 @@
 //
 //	erebor-serve -tenants 64 -sessions 256            # warm pool (default)
 //	erebor-serve -tenants 64 -sessions 256 -cold      # cold-create baseline
+//	erebor-serve -tenants 64 -sessions 256 -forkpool  # CoW forks from a snapshot template
 //	erebor-serve -tenants 64 -chaos 0.05              # fault-injected fleet
 //	erebor-serve -tenants 64 -vcpus 4                 # SMP fleet, 4 cores
 //	erebor-serve -tenants 8 -trace trace.json         # Chrome trace export
@@ -63,6 +64,7 @@ func main() {
 	inputBytes := flag.Int("input", 1024, "per-tenant request bytes")
 	modelKB := flag.Int("model", 64, "shared model size in KiB")
 	cold := flag.Bool("cold", false, "disable warm-pool recycling (cold-create every sandbox)")
+	forkpool := flag.Bool("forkpool", false, "instantiate every sandbox as a copy-on-write fork of a snapshot template (ignored with -cold)")
 	chaos := flag.Float64("chaos", 0, "per-class fault rate on the untrusted hop (0 disables)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (default: -seed)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the run to this file")
@@ -95,6 +97,7 @@ func main() {
 		InputBytes: *inputBytes,
 		ModelBytes: *modelKB << 10,
 		Cold:       *cold,
+		ForkPool:   *forkpool,
 		Trace:      *tracePath != "",
 		Watchdog:   *watchdog,
 		RingMMU:    *ring,
@@ -212,9 +215,9 @@ func main() {
 	}
 
 	if *quiet {
-		fmt.Printf("tenants=%d vcpus=%d sessions=%d completed=%d failed=%d warm=%d recycles=%d cycles/session=%d sessions/s=%.1f\n",
+		fmt.Printf("tenants=%d vcpus=%d sessions=%d completed=%d failed=%d warm=%d forked=%d recycles=%d cycles/session=%d sessions/s=%.1f\n",
 			rep.Tenants, rep.VCPUs, rep.Sessions, rep.Completed, rep.Failed,
-			rep.WarmSessions, rep.Recycles, rep.CyclesPerSession, rep.SessionsPerSec)
+			rep.WarmSessions, rep.ForkSessions, rep.Recycles, rep.CyclesPerSession, rep.SessionsPerSec)
 	} else {
 		os.Stdout.Write(rep.JSON())
 		fmt.Println()

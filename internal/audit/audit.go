@@ -2,7 +2,8 @@
 // violations that Monitor.Audit and the continuous watchdog report.
 //
 // Each Code names one way a §8 invariant (I1–I7, plus the serving path's
-// egress invariant I8) can fail. Typed codes —
+// egress invariant I8 and the snapshot/fork refcount invariant I9) can
+// fail. Typed codes —
 // instead of the fmt.Sprintf strings Audit originally returned — let tests
 // assert on the class of a violation rather than a substring, let the
 // watchdog aggregate violations into metrics series, and give the JSONL
@@ -58,6 +59,15 @@ const (
 	EgressBypass
 	EgressPolicyMissing
 
+	// I9 — copy-on-write refcount conservation: every template frame's
+	// refcount equals its template baseline plus its live fork references,
+	// no refcount>1 frame has a writable mapping anywhere, and every
+	// mapping of a shared frame belongs to a sandbox forked from its
+	// template.
+	CowRefcountMismatch
+	CowWritableShared
+	CowForeignMapping
+
 	numCodes
 )
 
@@ -79,6 +89,9 @@ var codeNames = [numCodes]string{
 	MonitorFrameUserMapped: "monitor-frame-user-mapped",
 	EgressBypass:           "egress-bypass",
 	EgressPolicyMissing:    "egress-policy-missing",
+	CowRefcountMismatch:    "cow-refcount-mismatch",
+	CowWritableShared:      "cow-writable-shared",
+	CowForeignMapping:      "cow-foreign-mapping",
 }
 
 var codeInvariants = [numCodes]string{
@@ -99,6 +112,9 @@ var codeInvariants = [numCodes]string{
 	MonitorFrameUserMapped: "I7",
 	EgressBypass:           "I8",
 	EgressPolicyMissing:    "I8",
+	CowRefcountMismatch:    "I9",
+	CowWritableShared:      "I9",
+	CowForeignMapping:      "I9",
 }
 
 // String names the code (stable; used in metrics labels and event logs).
@@ -109,7 +125,7 @@ func (c Code) String() string {
 	return "unknown"
 }
 
-// Invariant names the invariant the code violates ("I1".."I8").
+// Invariant names the invariant the code violates ("I1".."I9").
 func (c Code) Invariant() string {
 	if int(c) < len(codeInvariants) {
 		return codeInvariants[c]

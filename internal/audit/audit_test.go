@@ -26,6 +26,9 @@ func TestCodeStringsStable(t *testing.T) {
 		MonitorFrameUserMapped: "monitor-frame-user-mapped",
 		EgressBypass:           "egress-bypass",
 		EgressPolicyMissing:    "egress-policy-missing",
+		CowRefcountMismatch:    "cow-refcount-mismatch",
+		CowWritableShared:      "cow-writable-shared",
+		CowForeignMapping:      "cow-foreign-mapping",
 	}
 	if len(want) != int(numCodes) {
 		t.Fatalf("test covers %d codes, enum has %d", len(want), numCodes)
@@ -51,6 +54,9 @@ func TestCodeInvariants(t *testing.T) {
 		MonitorFrameUserMapped: "I7",
 		EgressBypass:           "I8",
 		EgressPolicyMissing:    "I8",
+		CowRefcountMismatch:    "I9",
+		CowWritableShared:      "I9",
+		CowForeignMapping:      "I9",
 	}
 	for c, inv := range cases {
 		if c.Invariant() != inv {

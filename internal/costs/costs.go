@@ -145,6 +145,33 @@ const (
 	EreborRingDrainEntry = 14
 )
 
+// Sandbox snapshot/fork costs. Snapshot freezes a booted sandbox into an
+// immutable template; fork instantiates a tenant from it copy-on-write, so
+// time-to-first-compute is O(pages touched) — each touched page pays one
+// CoW break (copy + re-key) instead of the boot-time zero+prefault.
+const (
+	// EreborSnapshotBody is the monitor-side work to seal a sandbox into a
+	// template: freeze registers + leaf image, unmap the source, register
+	// the frame set (per-page costs are charged separately).
+	EreborSnapshotBody = 840
+	// EreborSnapshotPage is the per-page template bookkeeping at snapshot
+	// (leaf capture + refcount baseline; contents are shared, not copied).
+	EreborSnapshotPage = 24
+	// EreborForkBody is the monitor-side fork gate: template lookup,
+	// identity re-mint, sandbox-state clone, attachment rewrite.
+	EreborForkBody = 560
+	// EreborForkPage is the per-page fork bookkeeping: refcount increment
+	// plus recording the CoW leaf to be installed lazily on first touch.
+	EreborForkPage = 8
+	// PageCopy is duplicating one 4 KiB frame on a CoW break (same
+	// rep-movsb throughput as PageZero).
+	PageCopy = 4096 / CopyBytesPerCycle
+	// CoWBreakBody is the monitor's CoW-fault software cost beyond the copy
+	// itself: shared-bit check, frame allocation, re-key, refcount drop and
+	// the downgraded-mapping shootdown setup.
+	CoWBreakBody = 380
+)
+
 // TDX / host costs beyond the raw transitions.
 const (
 	// VEInjection is the TDX module trapping a guest event and injecting a

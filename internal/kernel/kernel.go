@@ -299,6 +299,60 @@ func (k *Kernel) RecycleSandbox(t *Task) (monitor.SandboxID, error) {
 	return id, nil
 }
 
+// SnapshotSandbox freezes a booted sandbox into an immutable fork template
+// and tears down the hosting task (the sandbox identity is retired by the
+// snapshot; the template owns its frames from here on). The caller keeps
+// ownership of the address space and destroys it when convenient.
+func (k *Kernel) SnapshotSandbox(t *Task, name string) (monitor.TemplateID, error) {
+	if k.Mode != ModeErebor {
+		return 0, fmt.Errorf("kernel: sandbox snapshot requires Erebor mode")
+	}
+	if t.P.Sandbox == 0 {
+		return 0, fmt.Errorf("kernel: task %q hosts no sandbox", t.Name)
+	}
+	tid, err := k.Mon.EMCSnapshotSandbox(k.core(), t.P.Sandbox, name)
+	if err != nil {
+		return 0, err
+	}
+	// The sandbox identity died with the snapshot; drop the binding before
+	// the exit path so no stale EMCSandboxEnd fires against it.
+	t.P.Sandbox = 0
+	if t.State != TaskZombie {
+		t.exitLocked(0, "snapshotted into template")
+	}
+	return tid, nil
+}
+
+// ForkSandboxed spawns a process whose sandbox is instantiated copy-on-write
+// from a snapshot template: the new address space adopts the template's
+// confined image shared read-only, and pages are copied lazily on first
+// write. fn supplies the child's behavior (Go closures cannot be cloned from
+// the template's task; the memory and cost effects are what the fork models).
+func (k *Kernel) ForkSandboxed(name string, owner mem.Owner, tid monitor.TemplateID, fn func(e *Env)) (*Task, monitor.SandboxID, error) {
+	if k.Mode != ModeErebor {
+		return nil, 0, fmt.Errorf("kernel: sandbox fork requires Erebor mode")
+	}
+	t, err := k.Spawn(name, owner, fn)
+	if err != nil {
+		return nil, 0, err
+	}
+	sbid, err := k.Mon.EMCForkSandbox(k.core(), t.P.AS.ASID, tid)
+	if err != nil {
+		t.exitLocked(127, "sandbox fork failed")
+		return nil, 0, err
+	}
+	t.P.Sandbox = sbid
+	return t, sbid, nil
+}
+
+// DestroyTemplate releases a fork template with no live forks.
+func (k *Kernel) DestroyTemplate(tid monitor.TemplateID) error {
+	if k.Mode != ModeErebor {
+		return fmt.Errorf("kernel: templates require Erebor mode")
+	}
+	return k.Mon.EMCDestroyTemplate(k.core(), tid)
+}
+
 // KillTask terminates a task from the scheduler side with a typed reason
 // (server-driven teardown of a session worker). The task's sandbox, if any,
 // is ended through the monitor so its memory is scrubbed and released.

@@ -118,6 +118,45 @@ func Boot(e *kernel.Env, cfg Config) (*OS, error) {
 	return os, nil
 }
 
+// Adopt binds a LibOS instance to a sandbox forked from a snapshot
+// template. The template's LibOS already declared the confined layout
+// (payload page + heap) before it was frozen, and the fork inherited that
+// image copy-on-write — so adoption rebuilds only the userspace
+// bookkeeping: no declaration ioctls, no prefaulting, no monitor work at
+// all. The allocator restarts at the heap base; a forked worker replaying
+// the template worker's deterministic allocation sequence lands on the
+// same addresses the template's frames were declared at.
+func Adopt(e *kernel.Env, cfg Config) *OS {
+	if cfg.HeapPages == 0 {
+		cfg.HeapPages = 1024
+	}
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = 8
+	}
+	os := &OS{
+		Env: e, cfg: cfg,
+		heapBase: ConfinedBase + payloadPages*mem.PageSize,
+		files:    make(map[string]*memFile),
+
+		commonCursor: CommonBase,
+	}
+	os.heapEnd = os.heapBase + paging.Addr(cfg.HeapPages*mem.PageSize)
+	os.brk = os.heapBase
+	os.payloadVA = ConfinedBase
+	os.initDone = true
+	return os
+}
+
+// AdoptCommon accounts for a common region the fork already holds: the
+// monitor replayed the template's attachments at fork time, so the LibOS
+// only advances its layout cursor (mirroring AttachCommon's placement) and
+// returns the base the region is reachable at. No ioctl is issued.
+func (os *OS) AdoptCommon(npages uint64) paging.Addr {
+	base := os.commonCursor
+	os.commonCursor += paging.Addr(npages * mem.PageSize)
+	return base
+}
+
 func (os *OS) declare(va paging.Addr, npages uint64) error {
 	ret := os.Env.Syscall(abi.SysIoctl, abi.EreborDevFD, abi.IoctlDeclareConfined, uint64(va), npages)
 	if abi.IsError(ret) {

@@ -81,6 +81,11 @@ type FrameMeta struct {
 	// Region is the name of the reserved region this frame came from, or ""
 	// for the general pool.
 	Region string
+	// Refs is the sharing refcount for copy-on-write frames: 1 for an
+	// exclusively owned frame, >1 while a snapshot template and its forked
+	// sandboxes share it read-only. Free refuses shared frames; DecRef
+	// releases the frame when the last reference drops.
+	Refs uint32
 }
 
 // Region is a reserved set of frames with its own allocator. (The real
@@ -175,6 +180,7 @@ func (p *Physical) Alloc(owner Owner) (Frame, error) {
 	m.Owner = owner
 	m.Shared = false
 	m.Pinned = false
+	m.Refs = 1
 	p.allocated++
 	return f, nil
 }
@@ -194,6 +200,12 @@ func (p *Physical) AllocRegion(name string, owner Owner) (Frame, error) {
 	m.Allocated = true
 	m.Owner = owner
 	m.Shared = false
+	// Region frames can have the pin bit flipped between allocations (the
+	// monitor pins confined frames after AllocRegion and Free is not the only
+	// path that toggles it); hand the frame out unpinned like Alloc does, or
+	// a stale pin defeats the reclaim denial and the pinned-frame audit.
+	m.Pinned = false
+	m.Refs = 1
 	p.allocated++
 	return f, nil
 }
@@ -209,10 +221,14 @@ func (p *Physical) Free(f Frame) error {
 	if !m.Allocated {
 		return fmt.Errorf("mem: double free of frame %d", f)
 	}
+	if m.Refs > 1 {
+		return fmt.Errorf("mem: free of shared frame %d (refcount %d)", f, m.Refs)
+	}
 	m.Allocated = false
 	m.Owner = OwnerNone
 	m.Pinned = false
 	m.Shared = false
+	m.Refs = 0
 	p.allocated--
 	if m.Region != "" {
 		p.regions[m.Region].pool = append(p.regions[m.Region].pool, f)
@@ -275,9 +291,17 @@ func (p *Physical) Bytes(f Frame) ([]byte, error) {
 	return p.data[off : off+PageSize : off+PageSize], nil
 }
 
+// inRange reports whether [a, a+n) lies inside physical memory without the
+// sum a+n, which wraps for addresses near 2^64 and would let a huge address
+// pass the check and panic on the slice below.
+func (p *Physical) inRange(a Addr, n int) bool {
+	size := p.nframes * PageSize
+	return uint64(a) <= size && uint64(n) <= size-uint64(a)
+}
+
 // ReadPhys copies len(buf) bytes from physical address a.
 func (p *Physical) ReadPhys(a Addr, buf []byte) error {
-	if uint64(a)+uint64(len(buf)) > p.nframes*PageSize {
+	if !p.inRange(a, len(buf)) {
 		return fmt.Errorf("mem: physical read out of range at %#x", a)
 	}
 	copy(buf, p.data[a:])
@@ -286,7 +310,7 @@ func (p *Physical) ReadPhys(a Addr, buf []byte) error {
 
 // WritePhys copies buf to physical address a.
 func (p *Physical) WritePhys(a Addr, buf []byte) error {
-	if uint64(a)+uint64(len(buf)) > p.nframes*PageSize {
+	if !p.inRange(a, len(buf)) {
 		return fmt.Errorf("mem: physical write out of range at %#x", a)
 	}
 	copy(p.data[a:], buf)
@@ -302,6 +326,66 @@ func (p *Physical) Zero(f Frame) error {
 	for i := range b {
 		b[i] = 0
 	}
+	return nil
+}
+
+// RefCount returns a frame's sharing refcount (0 for unallocated frames).
+func (p *Physical) RefCount(f Frame) (uint32, error) {
+	if err := p.check(f); err != nil {
+		return 0, err
+	}
+	return p.meta[f].Refs, nil
+}
+
+// IncRef adds a copy-on-write reference to an allocated frame.
+func (p *Physical) IncRef(f Frame) error {
+	if err := p.check(f); err != nil {
+		return err
+	}
+	m := &p.meta[f]
+	if !m.Allocated {
+		return fmt.Errorf("mem: incref of unallocated frame %d", f)
+	}
+	m.Refs++
+	return nil
+}
+
+// DecRef drops one reference from a shared frame. When the last reference
+// drops the frame is released back to its pool (contents are NOT scrubbed;
+// the monitor zeroes confidential frames before the final DecRef). Returns
+// the remaining refcount.
+func (p *Physical) DecRef(f Frame) (uint32, error) {
+	if err := p.check(f); err != nil {
+		return 0, err
+	}
+	m := &p.meta[f]
+	if !m.Allocated || m.Refs == 0 {
+		return 0, fmt.Errorf("mem: decref of unreferenced frame %d", f)
+	}
+	m.Refs--
+	if m.Refs > 0 {
+		return m.Refs, nil
+	}
+	// Last reference: Free handles pool return; it checks Refs>1, which no
+	// longer holds.
+	return 0, p.Free(f)
+}
+
+// CopyFrame copies the full contents of frame src into frame dst (the
+// copy-on-write break primitive). Both frames must be allocated.
+func (p *Physical) CopyFrame(dst, src Frame) error {
+	if err := p.check(dst); err != nil {
+		return err
+	}
+	if err := p.check(src); err != nil {
+		return err
+	}
+	if !p.meta[dst].Allocated || !p.meta[src].Allocated {
+		return fmt.Errorf("mem: copy between unallocated frames %d <- %d", dst, src)
+	}
+	d := p.data[uint64(dst)*PageSize : uint64(dst)*PageSize+PageSize]
+	s := p.data[uint64(src)*PageSize : uint64(src)*PageSize+PageSize]
+	copy(d, s)
 	return nil
 }
 

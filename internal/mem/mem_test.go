@@ -187,6 +187,125 @@ func TestAllocatedCountInvariant(t *testing.T) {
 	}
 }
 
+// Regression: both allocators must hand out frames unpinned. AllocRegion
+// used to skip the Pinned reset, so a frame whose pin bit was flipped
+// between Free and re-allocation (SetPinned is not gated on allocation
+// state) came back stale-pinned and defeated the monitor's reclaim denial.
+func TestAllocClearsStalePin(t *testing.T) {
+	p := NewPhysical(64 * PageSize)
+	if _, err := p.Reserve("cma", 8); err != nil {
+		t.Fatal(err)
+	}
+	allocs := map[string]func() (Frame, error){
+		"general": func() (Frame, error) { return p.Alloc(OwnerKernel) },
+		"region":  func() (Frame, error) { return p.AllocRegion("cma", OwnerMonitor) },
+	}
+	for name, alloc := range allocs {
+		f, err := alloc()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Free(f); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Pin the free frame out-of-band, then re-allocate it.
+		if err := p.SetPinned(f, true); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := alloc()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g != f {
+			t.Fatalf("%s: LIFO pool did not return frame %d (got %d)", name, f, g)
+		}
+		m, _ := p.Meta(g)
+		if m.Pinned {
+			t.Fatalf("%s allocator returned a stale-pinned frame", name)
+		}
+		_ = p.Free(g)
+	}
+}
+
+// Regression: the ReadPhys/WritePhys bounds checks used the sum
+// a+len(buf), which wraps for addresses near 2^64 — the access then passed
+// the check and panicked slicing p.data.
+func TestPhysReadWriteOverflowAddr(t *testing.T) {
+	p := NewPhysical(8 * PageSize)
+	a := ^Addr(0) - 8
+	buf := make([]byte, 16)
+	if err := p.ReadPhys(a, buf); err == nil {
+		t.Fatal("wrapping read address accepted")
+	}
+	if err := p.WritePhys(a, buf); err == nil {
+		t.Fatal("wrapping write address accepted")
+	}
+	// Edge case: zero-length access at the exact end of memory is legal...
+	if err := p.ReadPhys(Addr(8*PageSize), nil); err != nil {
+		t.Fatalf("zero-length read at end: %v", err)
+	}
+	// ...but one byte past is not.
+	if err := p.ReadPhys(Addr(8*PageSize), make([]byte, 1)); err == nil {
+		t.Fatal("read past end accepted")
+	}
+}
+
+func TestRefCounts(t *testing.T) {
+	p := NewPhysical(16 * PageSize)
+	f, _ := p.Alloc(OwnerKernel)
+	if n, _ := p.RefCount(f); n != 1 {
+		t.Fatalf("fresh frame refcount %d", n)
+	}
+	if err := p.IncRef(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(f); err == nil {
+		t.Fatal("freed a shared frame")
+	}
+	if n, err := p.DecRef(f); err != nil || n != 1 {
+		t.Fatalf("decref: n=%d err=%v", n, err)
+	}
+	if n, err := p.DecRef(f); err != nil || n != 0 {
+		t.Fatalf("final decref: n=%d err=%v", n, err)
+	}
+	m, _ := p.Meta(f)
+	if m.Allocated || m.Refs != 0 {
+		t.Fatalf("meta after final decref: %+v", m)
+	}
+	if _, err := p.DecRef(f); err == nil {
+		t.Fatal("decref of unallocated frame accepted")
+	}
+	if err := p.IncRef(f); err == nil {
+		t.Fatal("incref of unallocated frame accepted")
+	}
+}
+
+func TestCopyFrame(t *testing.T) {
+	p := NewPhysical(16 * PageSize)
+	src, _ := p.Alloc(OwnerKernel)
+	dst, _ := p.Alloc(OwnerKernel)
+	sb, _ := p.Bytes(src)
+	for i := range sb {
+		sb[i] = byte(i)
+	}
+	if err := p.CopyFrame(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := p.Bytes(dst)
+	for i := range db {
+		if db[i] != byte(i) {
+			t.Fatalf("byte %d: %d", i, db[i])
+		}
+	}
+	free := Frame(10)
+	if err := p.CopyFrame(free, src); err == nil {
+		t.Fatal("copy into unallocated frame accepted")
+	}
+	if err := p.CopyFrame(dst, Frame(1<<20)); err == nil {
+		t.Fatal("copy from out-of-range frame accepted")
+	}
+}
+
 func TestOwnerString(t *testing.T) {
 	cases := map[Owner]string{
 		OwnerNone: "none", OwnerMonitor: "monitor", OwnerKernel: "kernel",

@@ -70,6 +70,16 @@ const (
 	// coalesced invalidation sets (at most one per remote core per drain),
 	// and the IPIs the coalescing skipped, labeled {result: sent|skipped}.
 	FamilyRingCoalescedIPIs = "erebor_ring_coalesced_ipis"
+	// FamilySnapshots counts sandboxes frozen into immutable fork templates
+	// (no labels).
+	FamilySnapshots = "erebor_sandbox_snapshots"
+	// FamilyForks counts sandboxes instantiated copy-on-write from a
+	// snapshot template, labeled {template}.
+	FamilyForks = "erebor_sandbox_forks"
+	// FamilyCowBreaks counts first-write page copies on forked sandboxes
+	// (copy + re-key restoring the single-mapping invariant), labeled
+	// {template}.
+	FamilyCowBreaks = "erebor_cow_breaks"
 )
 
 // Session phases used in FamilyTenantPhaseCycles labels. The serving loop

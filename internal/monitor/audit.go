@@ -31,6 +31,10 @@ import (
 //	I7. No monitor or PTP frame is mapped into any user address space.
 //	I8. No frame crosses the proxy to a destination outside its tenant's
 //	    compiled egress allowlist (swept when an egress ledger is wired).
+//	I9. Copy-on-write refcount conservation: every template frame's
+//	    refcount equals the template's baseline reference plus its live
+//	    fork sharers, no shared frame has a writable mapping anywhere, and
+//	    every mapping of a shared frame sits in a sharer's address space.
 func (mon *Monitor) Audit() []audit.Violation {
 	var v []audit.Violation
 	report := func(code audit.Code, frame mem.Frame, format string, args ...any) {
@@ -149,6 +153,48 @@ func (mon *Monitor) Audit() []audit.Violation {
 		}
 		if mon.monitorFrames[f] {
 			report(audit.MonitorFrameUserMapped, f, "mapped into user space")
+		}
+	}
+
+	// I9: copy-on-write refcount conservation. A live fork holds exactly one
+	// reference per page it still shares with its template; the template
+	// itself holds a baseline of 1 per frame. Anything else — a ref nobody
+	// accounts for, a writable PTE on a shared frame, a mapping in a
+	// non-sharer's address space — breaks the fork isolation argument.
+	sharers := make(map[mem.Frame]map[ASID]bool)
+	for _, sb := range mon.sandboxes {
+		if sb.destroyed || sb.template == 0 {
+			continue
+		}
+		for va := range sb.cowPages {
+			f := sb.confined[va]
+			if sharers[f] == nil {
+				sharers[f] = make(map[ASID]bool)
+			}
+			sharers[f][sb.asid] = true
+		}
+	}
+	for f, tid := range mon.templateFrames {
+		refs, err := phys.RefCount(f)
+		if err != nil {
+			report(audit.CowRefcountMismatch, f, "template %d frame meta missing: %v", tid, err)
+			continue
+		}
+		want := uint32(1 + len(sharers[f]))
+		if refs != want {
+			report(audit.CowRefcountMismatch, f,
+				"template %d: refcount %d, want %d (baseline + %d live sharer(s))",
+				tid, refs, want, len(sharers[f]))
+		}
+		for _, m := range userMaps[f] {
+			if m.pte.Is(paging.Writable) {
+				report(audit.CowWritableShared, f,
+					"template %d frame writable at %#x in AS %d", tid, m.va, m.asid)
+			}
+			if !sharers[f][m.asid] {
+				report(audit.CowForeignMapping, f,
+					"template %d frame mapped at %#x in AS %d, which holds no share", tid, m.va, m.asid)
+			}
 		}
 	}
 

@@ -272,6 +272,18 @@ func (mon *Monitor) EMCMapSandboxFault(c *cpu.Core, asid ASID, va paging.Addr, w
 			}
 		}
 		if leaf, ok := sb.confinedLeaf[va]; ok {
+			// Write fault on a CoW-shared page: copy, re-own and re-key the
+			// page before any byte of the write lands (the I4 single-mapping
+			// invariant is re-established here, ahead of client data).
+			if write && leaf.Is(paging.CoW) {
+				if err := mon.cowBreakLocked(sb, va); err != nil {
+					return err
+				}
+				leaf = sb.confinedLeaf[va]
+				// The break replaced any installed read-only leaf itself;
+				// re-walk so the shootdown logic below sees the fresh state.
+				prev, _, walkFault = as.tables.Walk(va)
+			}
 			if err := as.tables.Map(va, leaf); err != nil {
 				return err
 			}

@@ -133,6 +133,20 @@ func (mon *Monitor) userFramePolicy(op string, as *asState, f mem.Frame, flags *
 		}
 		return nil
 	}
+	if tid, shared := mon.templateFrames[f]; shared {
+		// CoW template frames are shared read-only across forks; a writable
+		// mapping anywhere would let one tenant edit every sibling's image.
+		// This denial covers every mapping path — synchronous EMCs, batches
+		// and the async submission ring all validate here.
+		if flags.Writable {
+			return denied(op, "frame %d is a copy-on-write template frame (template %d); writable mapping refused", f, tid)
+		}
+		sb := mon.sandboxByAS(as.id)
+		if sb == nil || sb.template != tid {
+			return denied(op, "frame %d belongs to snapshot template %d not forked into this address space", f, tid)
+		}
+		return nil
+	}
 	if cr := mon.commonOf(f); cr != nil {
 		sb := mon.sandboxByAS(as.id)
 		if sb == nil || !sb.commons[cr.name] {

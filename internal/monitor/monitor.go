@@ -92,8 +92,14 @@ type Stats struct {
 	// and handed to the next tenant with its address space, installed PTEs
 	// and pinned confined frames intact.
 	SandboxRecycles uint64
-	UserCopies      uint64
-	QuotesIssued    uint64
+	// SandboxSnapshots counts sandboxes frozen into fork templates, and
+	// SandboxForks counts copy-on-write instantiations from them. CowBreaks
+	// counts first-write page copies restoring exclusivity on forked pages.
+	SandboxSnapshots uint64
+	SandboxForks     uint64
+	CowBreaks        uint64
+	UserCopies       uint64
+	QuotesIssued     uint64
 	// RuntimeViolations counts kernel misbehavior at the interpose boundary
 	// (unregistered handlers, malformed transitions) that the monitor
 	// recorded and contained instead of crashing.
@@ -138,6 +144,14 @@ type Monitor struct {
 	nextSBID     SandboxID
 	commons      map[string]*commonRegion
 	nextCommonID uint64
+
+	// templates is the snapshot registry: booted sandboxes frozen into
+	// immutable images that EMCForkSandbox instantiates copy-on-write.
+	// templateFrames indexes every shared template frame for the mapping
+	// policy and the I9 refcount audit.
+	templates      map[TemplateID]*sbTemplate
+	nextTemplateID TemplateID
+	templateFrames map[mem.Frame]TemplateID
 
 	// confinedOwner maps each confined frame to the single sandbox allowed
 	// to have it mapped (single-mapping policy, §6.1).
@@ -250,16 +264,18 @@ type Monitor struct {
 func Boot(m *cpu.Machine, module *tdx.Module, qk *attest.QuotingKey, cfg Config) (*Monitor, error) {
 	mon := &Monitor{
 		M: m, TDX: module, QK: qk,
-		ptps:          make(map[mem.Frame]bool),
-		monitorFrames: make(map[mem.Frame]bool),
-		kernelText:    make(map[mem.Frame]bool),
-		addrSpaces:    make(map[ASID]*asState),
-		rootIndex:     make(map[mem.Frame]ASID),
-		sandboxes:     make(map[SandboxID]*sbState),
-		commons:       make(map[string]*commonRegion),
-		confinedOwner: make(map[mem.Frame]SandboxID),
-		cpuidCache:    make(map[uint64][4]uint64),
-		padBlock:      cfg.PadBlock,
+		ptps:           make(map[mem.Frame]bool),
+		monitorFrames:  make(map[mem.Frame]bool),
+		kernelText:     make(map[mem.Frame]bool),
+		addrSpaces:     make(map[ASID]*asState),
+		rootIndex:      make(map[mem.Frame]ASID),
+		sandboxes:      make(map[SandboxID]*sbState),
+		commons:        make(map[string]*commonRegion),
+		confinedOwner:  make(map[mem.Frame]SandboxID),
+		templates:      make(map[TemplateID]*sbTemplate),
+		templateFrames: make(map[mem.Frame]TemplateID),
+		cpuidCache:     make(map[uint64][4]uint64),
+		padBlock:       cfg.PadBlock,
 	}
 	mon.Met = metrics.New()
 	mon.tok = m.MintMonitorToken()

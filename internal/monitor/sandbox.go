@@ -54,6 +54,15 @@ type sbState struct {
 	destroyed     bool
 	killReason    string
 
+	// Snapshot/fork state: template names the source template of a forked
+	// sandbox (0 = built cold); cowPages marks declared pages still sharing
+	// the template's frame copy-on-write (mapped read-only until the first
+	// write copies them via cowBreakLocked); cowReleased latches the
+	// template-reference drop so the kill and end paths never double-release.
+	template    TemplateID
+	cowPages    map[paging.Addr]bool
+	cowReleased bool
+
 	// Register protection at external interrupts (§6.2).
 	savedRegs cpu.Regs
 	regsSaved bool
@@ -102,6 +111,10 @@ type SandboxInfo struct {
 	Faults        uint64
 	InputMsgs     uint64
 	OutputMsgs    uint64
+	// Template names the snapshot template this sandbox was forked from
+	// (0 = built cold); CowPages counts pages still sharing template frames.
+	Template TemplateID
+	CowPages uint64
 }
 
 // SandboxInfo returns a snapshot of a sandbox's state.
@@ -115,6 +128,7 @@ func (mon *Monitor) SandboxInfo(id SandboxID) (SandboxInfo, bool) {
 		DataInstalled: sb.dataInstalled, Destroyed: sb.destroyed,
 		KillReason: sb.killReason, Exits: sb.Exits, Faults: sb.Faults,
 		InputMsgs: sb.InputMsgs, OutputMsgs: sb.OutputMsgs,
+		Template: sb.template, CowPages: uint64(len(sb.cowPages)),
 	}, true
 }
 
@@ -328,6 +342,7 @@ func (mon *Monitor) killSandbox(sb *sbState, reason string) {
 	mon.Rec.Emit(trace.KindSandboxKill, trace.SandboxTrack(int(sb.id)), reason)
 	sb.killReason = reason
 	mon.scrubSandbox(sb)
+	mon.releaseCowLocked(sb)
 	sb.destroyed = true
 	if mon.KillNotify != nil {
 		mon.KillNotify(sb.id, reason)
@@ -381,6 +396,15 @@ func (mon *Monitor) EMCRecycleSandbox(c *cpu.Core, id SandboxID) (SandboxID, err
 		sb, ok := mon.sandboxes[id]
 		if !ok || sb.destroyed {
 			return denied("recycle-sandbox", "no live sandbox %d", id)
+		}
+		// A forked sandbox shares template frames: zero-on-recycle would
+		// destroy the shared image (and the scrub of its broken pages would
+		// hand the next tenant a half-template, half-zero hybrid). Forked
+		// sandboxes are destroyed and re-forked, never recycled.
+		if sb.template != 0 {
+			return denied("recycle-sandbox",
+				"sandbox %d was forked from template %d; destroy and re-fork instead",
+				id, sb.template)
 		}
 		if len(sb.pendingInput) > 0 {
 			return denied("recycle-sandbox",
@@ -475,6 +499,15 @@ func (mon *Monitor) endSandboxLocked(c *cpu.Core, sb *sbState, reason string) {
 	mon.retireChannel(sb)
 	as := mon.addrSpaces[sb.asid]
 	for va, f := range sb.confined {
+		// Pages still CoW-shared with a template are not this sandbox's to
+		// free — or even to unmap here: most were never installed (the fork
+		// records leaves lazily), so releaseCowLocked below unmaps just the
+		// faulted-in ones and drops only the refcount (the template's
+		// baseline keeps the frame alive). That is what keeps fork teardown
+		// O(pages touched) rather than O(template pages).
+		if sb.cowPages[va] {
+			continue
+		}
 		if as != nil {
 			_ = as.tables.Unmap(va)
 			delete(as.userFrames, va)
@@ -485,6 +518,7 @@ func (mon *Monitor) endSandboxLocked(c *cpu.Core, sb *sbState, reason string) {
 		_ = mon.M.Phys.SetPinned(f, false)
 		_ = mon.M.Phys.Free(f)
 	}
+	mon.releaseCowLocked(sb)
 	// The confined frames are free for reallocation the moment this
 	// returns; kill every core's cached translations into this address
 	// space first (the shootdown invariant the single-mapping policy rests
@@ -601,6 +635,14 @@ func (mon *Monitor) moveSandbox(sb *sbState, va paging.Addr, buf []byte, write b
 	as := mon.addrSpaces[sb.asid]
 	off := 0
 	for off < len(buf) {
+		// A monitor-side write to a CoW-shared page must break the share
+		// first — writing through the walked PTE would land in the template
+		// frame every other fork reads.
+		if write && sb.cowPages[paging.PageBase(va)] {
+			if err := mon.cowBreakLocked(sb, paging.PageBase(va)); err != nil {
+				return err
+			}
+		}
 		pte, _, f := as.tables.Walk(va)
 		if f != nil || !pte.Is(paging.Present|paging.User) {
 			if err := mon.ensurePage(sb, paging.PageBase(va)); err != nil {

@@ -30,6 +30,11 @@ const (
 	// TriggerDrain fires at every submission-ring drain commit, proving no
 	// invariant window opens between validate and flush.
 	TriggerDrain = "ring-drain"
+	// TriggerSnapshot and TriggerFork fire when a sandbox is frozen into a
+	// template and when a tenant is instantiated from one — the two moments
+	// the CoW refcount ledger (I9) changes shape.
+	TriggerSnapshot = "snapshot"
+	TriggerFork     = "fork"
 )
 
 // WatchdogEvent is one violation observation, serialized as a JSONL line.
@@ -294,6 +299,34 @@ func (mon *Monitor) InjectAuditViolation() (audit.Code, error) {
 		return audit.ConfinedMultiMapped, nil
 	}
 	return audit.CodeNone, fmt.Errorf("monitor: no free alias slot near %#x", primary)
+}
+
+// InjectRefcountViolation is the I9 counterpart of InjectAuditViolation: it
+// grants the lowest-numbered shared template frame one extra reference that
+// no template baseline or live fork accounts for — exactly the bookkeeping
+// drift CowRefcountMismatch exists to catch. The code is registered as
+// injected so the event carries severity "injected" and WatchdogNonInjected
+// stays zero. Returns the expected code. Like InjectAuditViolation, the
+// tampering is deterministic, bypasses the EMC gates and charges no cycles.
+func (mon *Monitor) InjectRefcountViolation() (audit.Code, error) {
+	if mon.wd == nil {
+		return audit.CodeNone, fmt.Errorf("monitor: watchdog not enabled")
+	}
+	var frame mem.Frame
+	found := false
+	for f := range mon.templateFrames {
+		if !found || f < frame {
+			frame, found = f, true
+		}
+	}
+	if !found {
+		return audit.CodeNone, fmt.Errorf("monitor: no template frames to tamper with")
+	}
+	if err := mon.M.Phys.IncRef(frame); err != nil {
+		return audit.CodeNone, err
+	}
+	mon.wd.injected[audit.CowRefcountMismatch] = true
+	return audit.CowRefcountMismatch, nil
 }
 
 // InjectEgressBypass is the I8 counterpart of InjectAuditViolation: it

@@ -27,7 +27,13 @@ const (
 	Accessed PTE = 1 << 5
 	Dirty    PTE = 1 << 6
 	Global   PTE = 1 << 8
-	NX       PTE = 1 << 63
+	// CoW marks a copy-on-write leaf in one of the software-available bits
+	// (9-11): the frame is shared with a snapshot template, mapped
+	// read-only, and the first write must copy + re-key before the mapping
+	// becomes writable. Hardware ignores the bit; only the monitor's fault
+	// path interprets it.
+	CoW PTE = 1 << 9
+	NX  PTE = 1 << 63
 
 	frameMask PTE = 0x000F_FFFF_FFFF_F000
 	keyShift      = 59
@@ -93,6 +99,11 @@ const (
 	FaultPKeyAccess   // PKS access-disable
 	FaultPKeyWrite    // PKS write-disable
 	FaultNonCanonical // address outside the 48-bit space
+	// FaultTableCorrupt is a walk that could not READ a table entry: the
+	// table pointer left physical memory. Unlike FaultNotPresent this is
+	// never a benign soft fault — re-mapping cannot fix it — so handlers
+	// must surface it instead of faulting in a fresh page.
+	FaultTableCorrupt
 )
 
 func (r FaultReason) String() string {
@@ -117,6 +128,8 @@ func (r FaultReason) String() string {
 		return "pkey-write"
 	case FaultNonCanonical:
 		return "non-canonical"
+	case FaultTableCorrupt:
+		return "table-corrupt"
 	}
 	return "unknown"
 }
@@ -303,21 +316,29 @@ func entryAddr(table mem.Frame, idx int) mem.Addr {
 }
 
 // Walk descends the tables for v and returns the leaf PTE and its physical
-// address. A missing intermediate entry yields a not-present Fault.
+// address. A missing intermediate entry yields a not-present Fault; a table
+// pointer outside physical memory yields FaultTableCorrupt (distinct, so the
+// fault path surfaces corruption instead of re-mapping over it).
 func (t *Tables) Walk(v Addr) (PTE, mem.Addr, *Fault) {
 	idx, _ := Split(v)
 	table := t.Root
 	for l := 0; l < Levels-1; l++ {
 		a := entryAddr(table, idx[l])
 		e, err := ReadPTE(t.Phys, a)
-		if err != nil || !e.Is(Present) {
+		if err != nil {
+			return 0, 0, &Fault{FaultTableCorrupt, v, Read}
+		}
+		if !e.Is(Present) {
 			return 0, 0, &Fault{FaultNotPresent, v, Read}
 		}
 		table = e.Frame()
 	}
 	a := entryAddr(table, idx[Levels-1])
 	e, err := ReadPTE(t.Phys, a)
-	if err != nil || !e.Is(Present) {
+	if err != nil {
+		return 0, 0, &Fault{FaultTableCorrupt, v, Read}
+	}
+	if !e.Is(Present) {
 		return e, a, &Fault{FaultNotPresent, v, Read}
 	}
 	return e, a, nil
@@ -372,6 +393,9 @@ func (t *Tables) Map(v Addr, leaf PTE) error {
 func (t *Tables) Unmap(v Addr) error {
 	_, a, f := t.Walk(v)
 	if f != nil {
+		if f.Reason == FaultTableCorrupt {
+			return f
+		}
 		return nil
 	}
 	if err := WritePTE(t.Phys, a, 0); err != nil {
@@ -471,6 +495,9 @@ func (t *Tables) VisitLeaves(start, end Addr, fn func(v Addr, e PTE, a mem.Addr)
 	for v := PageBase(start); v < end; v += mem.PageSize {
 		e, a, f := t.Walk(v)
 		if f != nil {
+			if f.Reason == FaultTableCorrupt {
+				return f
+			}
 			continue
 		}
 		if e.Is(Present) {

@@ -247,3 +247,73 @@ func TestSharedUpperLevels(t *testing.T) {
 		t.Fatalf("shared subtree not visible: %v %v", got, fault)
 	}
 }
+
+// Regression: Walk used to collapse ReadPTE physical errors into
+// FaultNotPresent, so a corrupt table pointer (frame outside physical
+// memory) read as a benign soft fault and the fault path re-mapped instead
+// of surfacing the corruption. Corruption at the intermediate and leaf
+// levels must both come back as FaultTableCorrupt, and the cleanup/visit
+// paths must propagate it instead of swallowing it.
+func TestWalkSurfacesTableCorruption(t *testing.T) {
+	tb, p := newTables(t)
+	frame, _ := p.Alloc(mem.OwnerKernel)
+	va := Addr(0x40_0000)
+	if err := tb.Map(va, (Present | Writable | User).WithFrame(frame)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the PML4 entry: keep Present, point it out of physical memory.
+	slot := mem.Addr(tb.Root.Base()) // idx[0] == 0 for this va
+	good, err := ReadPTE(p, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good.WithFrame(mem.Frame(1 << 30))
+	if err := WritePTE(p, slot, bad); err != nil {
+		t.Fatal(err)
+	}
+	_, _, fault := tb.Walk(va)
+	if fault == nil || fault.Reason != FaultTableCorrupt {
+		t.Fatalf("intermediate corruption: got %v, want table-corrupt", fault)
+	}
+	// Unmap and VisitLeaves must surface the corruption, not skip it.
+	if err := tb.Unmap(va); err == nil {
+		t.Fatal("Unmap swallowed table corruption")
+	}
+	err = tb.VisitLeaves(va, va+mem.PageSize, func(Addr, PTE, mem.Addr) error { return nil })
+	if err == nil {
+		t.Fatal("VisitLeaves swallowed table corruption")
+	}
+
+	// Restore the top level, corrupt the last-level table pointer instead:
+	// the leaf ReadPTE error path must report the same reason.
+	if err := WritePTE(p, slot, good); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := Split(va)
+	table := tb.Root
+	for l := 0; l < Levels-1; l++ {
+		e, err := ReadPTE(p, table.Base()+mem.Addr(idx[l]*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l == Levels-2 {
+			bad := e.WithFrame(mem.Frame(1 << 30))
+			if err := WritePTE(p, table.Base()+mem.Addr(idx[l]*8), bad); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		table = e.Frame()
+	}
+	_, _, fault = tb.Walk(va)
+	if fault == nil || fault.Reason != FaultTableCorrupt {
+		t.Fatalf("leaf-table corruption: got %v, want table-corrupt", fault)
+	}
+
+	// A genuinely missing mapping still reads as a plain soft fault.
+	_, _, fault = tb.Walk(va + 0x100_0000)
+	if fault == nil || fault.Reason != FaultNotPresent {
+		t.Fatalf("missing mapping: got %v, want not-present", fault)
+	}
+}

@@ -100,6 +100,42 @@ func Launch(k *kernel.Kernel, spec Spec) (*Container, error) {
 	return c, nil
 }
 
+// Fork instantiates a container from a snapshot template instead of cold
+// booting it: the new address space adopts the template's confined image
+// copy-on-write, the LibOS adopts the already-declared layout (no
+// declaration ioctls, no prefault), and common attachments — replayed by
+// the monitor at fork time — are re-derived cursor-wise in the same order
+// the template attached them. spec must describe the same shape the
+// template was frozen from (heap size, common set); Main supplies the
+// worker's behavior, since Go closures cannot be cloned from the
+// template's dead task.
+func Fork(k *kernel.Kernel, tid monitor.TemplateID, spec Spec) (*Container, error) {
+	if spec.BudgetPages == 0 {
+		spec.BudgetPages = spec.LibOS.HeapPages + 16
+	}
+	c := &Container{K: k, Mon: k.Mon, Spec: spec, CommonVAs: make(map[string]paging.Addr)}
+	t, id, err := k.ForkSandboxed(spec.Name, spec.Owner, tid, func(e *kernel.Env) {
+		os := libos.Adopt(e, spec.LibOS)
+		for _, ref := range spec.Commons {
+			pages, ok := c.Mon.CommonPages(ref.Name)
+			if !ok {
+				c.bootErr = fmt.Errorf("sandbox: unknown common region %q", ref.Name)
+				return
+			}
+			c.CommonVAs[ref.Name] = os.AdoptCommon(pages)
+		}
+		if spec.Main != nil {
+			spec.Main(c, os)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Task = t
+	c.ID = id
+	return c, nil
+}
+
 func (c *Container) attachCommon(os *libos.OS, ref CommonRef) error {
 	if c.Mon != nil {
 		rid, ok := c.Mon.CommonRegionID(ref.Name)

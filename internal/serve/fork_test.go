@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
+)
+
+// forkConfig is the stock fork-pool test shape: small heap so setup costs
+// (scrub vs CoW breaks) dominate, watchdog on so every phase boundary sweeps
+// I1-I9.
+func forkConfig(seed int64, tenants, sessions int) Config {
+	return Config{
+		Tenants: tenants, Sessions: sessions, Seed: seed,
+		InputBytes: 512, ModelBytes: 16 << 10, HeapPages: 256,
+		ForkPool: true, Watchdog: true,
+	}
+}
+
+// TestServeForkPool runs a fork-pool fleet end to end: every session after
+// the initial forks must be served by a forked sandbox, none warm-recycled,
+// and the run must leave the invariant sweep clean.
+func TestServeForkPool(t *testing.T) {
+	s, err := New(forkConfig(42, 4, 16))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed != 0 || rep.Completed != 16 {
+		t.Fatalf("completed=%d failed=%d, want 16/0", rep.Completed, rep.Failed)
+	}
+	if rep.ForkSessions != 16 {
+		t.Errorf("ForkSessions = %d, want 16 (every session forked)", rep.ForkSessions)
+	}
+	if rep.WarmSessions != 0 {
+		t.Errorf("WarmSessions = %d, want 0 (forks are never recycled)", rep.WarmSessions)
+	}
+	if rep.Forks < 16 {
+		t.Errorf("Forks = %d, want >= 16", rep.Forks)
+	}
+	if rep.TemplatePages == 0 {
+		t.Error("TemplatePages = 0, want the template's confined image size")
+	}
+	if rep.CowBreaks == 0 {
+		t.Error("CowBreaks = 0, want write faults breaking template pages")
+	}
+	for _, r := range rep.Results {
+		if !r.Forked {
+			t.Errorf("tenant %d not marked forked", r.Tenant)
+		}
+		if r.Warm {
+			t.Errorf("tenant %d marked warm in a fork pool", r.Tenant)
+		}
+	}
+	w := s.World()
+	if n := w.Mon.WatchdogNonInjected(); n != 0 {
+		t.Errorf("watchdog flagged %d violations: %v", n, w.Mon.WatchdogEvents())
+	}
+	if vs := w.Mon.Audit(); len(vs) != 0 {
+		t.Errorf("audit after run: %v", vs)
+	}
+	// All forks are dead: the template must release, its refcounts having
+	// returned to the baseline the destroy path asserts.
+	if err := s.ReleaseTemplate(); err != nil {
+		t.Fatalf("ReleaseTemplate: %v", err)
+	}
+	if vs := w.Mon.Audit(); len(vs) != 0 {
+		t.Errorf("audit after template destroy: %v", vs)
+	}
+}
+
+// TestServeForkBeatsWarm is the tentpole's headline claim at test scale: the
+// fork pool's mean turnaround-to-first-compute must come in under half the
+// warm pool's. Both runs share seed and shape — a serving-sized heap, so the
+// turnover mechanism (full zero-on-recycle scrub vs O(pages touched) CoW) is
+// what the window actually measures — and the only variable is that
+// mechanism.
+func TestServeForkBeatsWarm(t *testing.T) {
+	warm, err := Run(Config{
+		Tenants: 2, Sessions: 12, Seed: 7,
+		InputBytes: 512, ModelBytes: 16 << 10, HeapPages: 2048, Watchdog: true,
+	})
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	fcfg := forkConfig(7, 2, 12)
+	fcfg.HeapPages = 2048
+	fork, err := Run(fcfg)
+	if err != nil {
+		t.Fatalf("fork run: %v", err)
+	}
+	if warm.Failed != 0 || fork.Failed != 0 {
+		t.Fatalf("failures: warm=%d fork=%d", warm.Failed, fork.Failed)
+	}
+	if warm.FirstComputeCycles == 0 || fork.FirstComputeCycles == 0 {
+		t.Fatalf("missing first-compute figures: warm=%d fork=%d",
+			warm.FirstComputeCycles, fork.FirstComputeCycles)
+	}
+	if fork.FirstComputeCycles >= warm.FirstComputeCycles/2 {
+		t.Errorf("fork first-compute %d >= warm/2 (%d/2)",
+			fork.FirstComputeCycles, warm.FirstComputeCycles)
+	}
+}
+
+// TestForkDeterminism: two fork-pool runs with the same (seed, parallelism)
+// produce byte-identical reports — CoW fault ordering, refcount churn and
+// shootdown batching all replay exactly.
+func TestForkDeterminism(t *testing.T) {
+	for _, p := range []struct {
+		seed    int64
+		tenants int
+		vcpus   int
+	}{{3, 2, 1}, {9, 4, 2}} {
+		p := p
+		t.Run(fmt.Sprintf("seed%d_t%d_v%d", p.seed, p.tenants, p.vcpus), func(t *testing.T) {
+			run := func() []byte {
+				cfg := forkConfig(p.seed, p.tenants, p.tenants*3)
+				cfg.VCPUs = p.vcpus
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				return rep.JSON()
+			}
+			a, b := run(), run()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("fork-pool reports differ between identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestServeForkChaosFleet reuses the chaos-fleet harness with the fork pool
+// armed: 20 seeded fault schedules against a 64-session fleet. Sessions may
+// fail typed, never hang; dead forked workers must tear down through the CoW
+// release path without tripping I9; the audit must end clean and the
+// template must still release.
+func TestServeForkChaosFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos fleet is slow")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			plan := faultinject.Uniform(seed, 0.05)
+			cfg := forkConfig(seed, 8, 64)
+			cfg.Chaos = &plan
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			rep, err := s.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Completed+rep.Failed != 64 {
+				t.Fatalf("accounted %d sessions, want 64", rep.Completed+rep.Failed)
+			}
+			for _, r := range rep.Results {
+				if r.Err != "" && !typedErr(r.Err) {
+					t.Errorf("tenant %d: untyped failure %q", r.Tenant, r.Err)
+				}
+			}
+			w := s.World()
+			if n := w.Mon.WatchdogNonInjected(); n != 0 {
+				t.Errorf("watchdog flagged %d violations: %v", n, w.Mon.WatchdogEvents())
+			}
+			if vs := w.Mon.Audit(); len(vs) != 0 {
+				t.Errorf("audit violations: %v", vs)
+			}
+			if err := s.ReleaseTemplate(); err != nil {
+				t.Errorf("ReleaseTemplate after chaos: %v", err)
+			}
+		})
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/libos"
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/metrics"
+	"github.com/asterisc-release/erebor-go/internal/monitor"
 	"github.com/asterisc-release/erebor-go/internal/sandbox"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/slo"
@@ -73,6 +74,17 @@ type Config struct {
 	// down completely and relaunches (the baseline the pool is measured
 	// against).
 	Cold bool
+	// ForkPool replaces sandbox construction with copy-on-write forks from
+	// a snapshot template: one worker is booted once, frozen into an
+	// immutable template (its confined image shared read-only under
+	// per-frame refcounts, invariant I9), and every slot — initial launch
+	// and every turnover — is instantiated by forking that template. A fork
+	// pays O(pages touched) instead of the cold boot's declare+zero or the
+	// warm pool's full scrub, so time-to-first-compute drops below even
+	// warm recycling. Forked sandboxes are destroyed and re-forked at
+	// turnover (the monitor refuses to recycle them); any denied fork falls
+	// back to a cold launch. Ignored when Cold is set.
+	ForkPool bool
 	// QueueCap bounds each relay hop (0 = secchan default).
 	QueueCap int
 	// Retry bounds handshake/receive retry loops (zero = harness default).
@@ -171,13 +183,23 @@ func (cfg Config) withDefaults() Config {
 
 // SessionResult is the outcome of one tenant session.
 type SessionResult struct {
-	Tenant     int    `json:"tenant"`
-	Slot       int    `json:"slot"`
-	Sandbox    int    `json:"sandbox"`
-	Warm       bool   `json:"warm"`
-	Cycles     uint64 `json:"cycles"`
-	ReplyBytes int    `json:"reply_bytes"`
-	Err        string `json:"err,omitempty"`
+	Tenant  int  `json:"tenant"`
+	Slot    int  `json:"slot"`
+	Sandbox int  `json:"sandbox"`
+	Warm    bool `json:"warm"`
+	// Forked marks a session served by a sandbox forked copy-on-write from
+	// the snapshot template (ForkPool runs only).
+	Forked bool   `json:"forked,omitempty"`
+	Cycles uint64 `json:"cycles"`
+	// FirstCompute is the slot's turnaround-to-first-compute window: virtual
+	// cycles from the start of the slot's turnaround (teardown / recycle /
+	// relaunch of the previous carcass) to the worker's first compute step
+	// on this session's request. This is the figure the fork pool exists to
+	// shrink — it covers the setup each mode actually pays (cold: declare +
+	// zero + prefault; warm: full scrub; fork: O(pages touched) CoW breaks).
+	FirstCompute uint64 `json:"first_compute,omitempty"`
+	ReplyBytes   int    `json:"reply_bytes"`
+	Err          string `json:"err,omitempty"`
 }
 
 // Report summarizes a serving run. It is JSON-stable: same Config, same
@@ -203,6 +225,22 @@ type Report struct {
 	SessionsPerSec   float64 `json:"sessions_per_sec"`
 	SandboxKills     uint64  `json:"sandbox_kills"`
 	ChannelRetrans   uint64  `json:"channel_retransmits"`
+	// Setup-cost instrumentation: virtual cycles spent strictly inside cold
+	// container launches, warm recycles and fork instantiations, plus the
+	// mean turnaround-to-first-compute over completed sessions. These are
+	// what the fork-pool bench compares side by side.
+	LaunchCycles       uint64 `json:"launch_cycles,omitempty"`
+	RecycleCycles      uint64 `json:"recycle_cycles,omitempty"`
+	ForkCycles         uint64 `json:"fork_cycles,omitempty"`
+	FirstComputeCycles uint64 `json:"first_compute_cycles,omitempty"`
+	// Fork-pool figures (omitted when ForkPool is off, keeping legacy
+	// reports byte-identical): sessions served by forked sandboxes, total
+	// fork instantiations, copy-on-write page breaks, and the template's
+	// page count.
+	ForkSessions  int    `json:"fork_sessions,omitempty"`
+	Forks         uint64 `json:"forks,omitempty"`
+	CowBreaks     uint64 `json:"cow_breaks,omitempty"`
+	TemplatePages uint64 `json:"template_pages,omitempty"`
 	// Egress figures (omitted when Config.Egress is nil, keeping legacy
 	// reports byte-identical): ledger allow/deny totals, typed denial
 	// frames the sandboxes drained, and denials lost to queue overflow.
@@ -255,6 +293,7 @@ type slot struct {
 	tenant   int
 	served   int // sessions completed or failed on this slot
 	warm     bool
+	forked   bool // worker instantiated by forking the snapshot template
 	attempts int
 	backoff  uint64
 	waitN    int
@@ -262,6 +301,14 @@ type slot struct {
 	request  []byte
 	start    uint64
 	done     bool
+
+	// turnStart opens the turnaround-to-first-compute window: the clock at
+	// the start of the turnover (or initial launch) that produced this
+	// session's worker. computeAt closes it — stamped by the worker itself
+	// at its first compute step on the session's request (reset at
+	// admission; reading the clock charges nothing).
+	turnStart uint64
+	computeAt uint64
 
 	// Egress enforcement state (Config.Egress != nil only).
 	policy  *egress.Policy
@@ -304,6 +351,16 @@ type Server struct {
 	failed     int
 	warmServed int
 	relaunches int
+
+	// Fork-pool state (cfg.ForkPool only): the frozen worker template every
+	// slot is instantiated from, and the run's fork/setup accounting.
+	tmpl            monitor.TemplateID
+	forkServed      int
+	launchCycles    uint64
+	recycleCycles   uint64
+	forkCycles      uint64
+	firstComputeSum uint64
+	firstComputeN   int
 
 	// Egress enforcement state (cfg.Egress != nil only): the I8 ledger the
 	// monitor sweeps, typed denials drained back to the sandboxes, denials
@@ -397,9 +454,15 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.SLO) > 0 {
 		s.sloEng = slo.NewEngine(cfg.SLO, cfg.SLOWindow)
 	}
+	if cfg.ForkPool && !cfg.Cold {
+		if err := s.buildTemplate(); err != nil {
+			return nil, fmt.Errorf("serve: fork template: %w", err)
+		}
+	}
 	for i := 0; i < cfg.Tenants; i++ {
 		sl := &slot{idx: i, owner: mem.OwnerTaskBase + mem.Owner(1+i), tenant: i}
-		c, err := s.launchContainer(sl)
+		sl.turnStart = w.M.Clock.Now()
+		c, err := s.launchWorker(sl)
 		if err != nil {
 			return nil, fmt.Errorf("serve: slot %d launch: %w", i, err)
 		}
@@ -410,6 +473,91 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// launchWorker instantiates a slot's worker: a copy-on-write fork of the
+// template when the pool has one, a cold container launch otherwise (or
+// when the fork is denied).
+func (s *Server) launchWorker(sl *slot) (*sandbox.Container, error) {
+	if s.tmpl != 0 {
+		if c, err := s.launchForked(sl); err == nil {
+			return c, nil
+		}
+	}
+	sl.forked = false
+	return s.launchContainer(sl)
+}
+
+// buildTemplate boots one throwaway worker to the brink of serving — LibOS
+// boot, confined declarations, model attachment — then freezes it into the
+// snapshot template every slot is forked from. The boot is driven here,
+// before any slot exists, so its one-time cost never lands in a session
+// window.
+func (s *Server) buildTemplate() error {
+	ready := false
+	spec := s.workerSpec("serve-template", mem.OwnerTaskBase+mem.Owner(1+s.cfg.Tenants), nil)
+	spec.Main = func(c *sandbox.Container, os *libos.OS) {
+		// The template worker never serves: it exists to run the boot
+		// sequence the forks will skip, then parks until the snapshot
+		// retires it.
+		ready = true
+		for {
+			os.Env.YieldCPU()
+		}
+	}
+	c, err := sandbox.Launch(s.w.K, spec)
+	if err != nil {
+		return err
+	}
+	for i := 0; !ready; i++ {
+		if i > 4096 || !s.w.K.StepPid(c.Task.Pid) {
+			if berr := c.BootErr(); berr != nil {
+				return berr
+			}
+			return fmt.Errorf("template worker never reached quiescence")
+		}
+	}
+	tid, err := s.w.K.SnapshotSandbox(c.Task, "serve-worker")
+	if err != nil {
+		return err
+	}
+	// The snapshot retired the sandbox and its task; the empty address
+	// space is all that is left of the boot carcass.
+	_ = s.w.Mon.EMCDestroyAS(s.w.Core(), c.Task.P.AS.ASID)
+	s.tmpl = tid
+	return nil
+}
+
+// launchForked instantiates a slot's worker by forking the template: same
+// spec as a cold launch, but the address space adopts the template's
+// confined image copy-on-write and the LibOS adopts the already-declared
+// layout instead of re-booting.
+func (s *Server) launchForked(sl *slot) (*sandbox.Container, error) {
+	start := s.w.M.Clock.Now()
+	c, err := sandbox.Fork(s.w.K, s.tmpl, s.workerSpec(fmt.Sprintf("serve-%d", sl.idx), sl.owner, sl))
+	if err != nil {
+		return nil, err
+	}
+	s.forkCycles += s.w.M.Clock.Now() - start
+	sl.forked = true
+	return c, nil
+}
+
+// Template exposes the fork template's identity (0 when ForkPool is off).
+func (s *Server) Template() monitor.TemplateID { return s.tmpl }
+
+// ReleaseTemplate destroys the fork template after a run has drained (its
+// frames are zeroed and returned to the allocator). Refused by the monitor
+// while any fork is still live.
+func (s *Server) ReleaseTemplate() error {
+	if s.tmpl == 0 {
+		return nil
+	}
+	if err := s.w.K.DestroyTemplate(s.tmpl); err != nil {
+		return err
+	}
+	s.tmpl = 0
+	return nil
+}
+
 // World exposes the underlying platform (tests, bench wiring).
 func (s *Server) World() *harness.World { return s.w }
 
@@ -418,11 +566,25 @@ func (s *Server) World() *harness.World { return s.w }
 // its own — it polls for the next tenant's input forever and is stepped
 // one scheduling slice at a time by the server (StepPid round-robin).
 func (s *Server) launchContainer(sl *slot) (*sandbox.Container, error) {
+	start := s.w.M.Clock.Now()
+	c, err := sandbox.Launch(s.w.K, s.workerSpec(fmt.Sprintf("serve-%d", sl.idx), sl.owner, sl))
+	if err == nil {
+		s.launchCycles += s.w.M.Clock.Now() - start
+	}
+	return c, err
+}
+
+// workerSpec builds the serving worker's sandbox spec. The Main body is
+// identical for cold-booted and forked workers: allocation is a pure
+// userspace cursor, so a forked worker replaying it from the adopted heap
+// base lands on the exact buffer addresses the template's layout holds.
+// sl, when non-nil, receives the first-compute timestamp each session.
+func (s *Server) workerSpec(name string, owner mem.Owner, sl *slot) sandbox.Spec {
 	maxMsg := s.cfg.InputBytes
 	winLen := len(s.win)
-	spec := sandbox.Spec{
-		Name:        fmt.Sprintf("serve-%d", sl.idx),
-		Owner:       sl.owner,
+	return sandbox.Spec{
+		Name:        name,
+		Owner:       owner,
 		BudgetPages: s.cfg.HeapPages + 16,
 		LibOS:       libos.Config{HeapPages: s.cfg.HeapPages, MaxThreads: 1},
 		Commons:     []sandbox.CommonRef{{Name: CommonName}},
@@ -453,6 +615,12 @@ func (s *Server) launchContainer(sl *slot) (*sandbox.Container, error) {
 					e.YieldCPU()
 					continue
 				}
+				// First compute step on this session's request: close the
+				// slot's turnaround-to-first-compute window (clock read,
+				// charges nothing).
+				if sl != nil && sl.computeAt == 0 {
+					sl.computeAt = s.w.M.Clock.Now()
+				}
 				// Bind this tenant to the shared model: read the window
 				// through the common mapping (demand-faulted, sealed RO).
 				e.ReadMem(modelVA, win)
@@ -468,7 +636,6 @@ func (s *Server) launchContainer(sl *slot) (*sandbox.Container, error) {
 			}
 		},
 	}
-	return sandbox.Launch(s.w.K, spec)
 }
 
 // admit binds the slot to its current tenant: fresh session plumbing,
@@ -497,6 +664,7 @@ func (s *Server) admit(sl *slot) {
 	sl.lastErr = nil
 	sl.request = s.requestFor(sl.tenant)
 	sl.start = s.w.M.Clock.Now()
+	sl.computeAt = 0
 	sl.svcSent = false
 	sl.svc = nil
 	sl.policy = nil
@@ -852,13 +1020,23 @@ func (s *Server) finish(sl *slot, msg []byte) {
 		metrics.KV("outcome", "ok"), metrics.KV("tenant", tenant))
 	s.w.Met.Observe(metrics.FamilySessionCycles, cycles, metrics.KV("tenant", tenant))
 	s.endSessionSpan(sl)
+	var firstCompute uint64
+	if sl.computeAt > sl.turnStart {
+		firstCompute = sl.computeAt - sl.turnStart
+		s.firstComputeSum += firstCompute
+		s.firstComputeN++
+	}
 	s.results = append(s.results, SessionResult{
 		Tenant: sl.tenant, Slot: sl.idx, Sandbox: int(sl.c.ID),
-		Warm: sl.warm, Cycles: cycles, ReplyBytes: len(msg),
+		Warm: sl.warm, Forked: sl.forked, Cycles: cycles,
+		FirstCompute: firstCompute, ReplyBytes: len(msg),
 	})
 	s.completed++
 	if sl.warm {
 		s.warmServed++
+	}
+	if sl.forked {
+		s.forkServed++
 	}
 	s.turnover(sl, true)
 }
@@ -908,7 +1086,7 @@ func (s *Server) fail(sl *slot, err error) {
 		metrics.KV("outcome", "fail"), metrics.KV("tenant", metrics.TenantLabelOf(sl.tenant)))
 	s.results = append(s.results, SessionResult{
 		Tenant: sl.tenant, Slot: sl.idx, Sandbox: int(sl.c.ID),
-		Warm: sl.warm, Cycles: cycles, Err: err.Error(),
+		Warm: sl.warm, Forked: sl.forked, Cycles: cycles, Err: err.Error(),
 	})
 	s.failed++
 	s.turnover(sl, false)
@@ -971,8 +1149,14 @@ func (s *Server) retireEgress(sl *slot) {
 }
 
 // turnover retires the finished session and prepares the slot for its next
-// tenant: warm recycle after a clean completion, cold relaunch otherwise.
+// tenant: warm recycle after a clean completion, a fresh fork in ForkPool
+// mode (forked carcasses are destroyed, not recycled), cold relaunch
+// otherwise.
 func (s *Server) turnover(sl *slot, clean bool) {
+	// Open the next session's turnaround-to-first-compute window: everything
+	// from here to the worker's first compute step is setup the next tenant
+	// waits behind.
+	sl.turnStart = s.w.M.Clock.Now()
 	s.retireEgress(sl)
 	// The retiring tenant owns the teardown/recycle work (scrub, shootdowns,
 	// destroy-AS) — it is the cost of *their* confidentiality cleanup.
@@ -1005,9 +1189,13 @@ func (s *Server) turnover(sl *slot, clean bool) {
 	// resume the old computation and deliver the previous tenant's reply
 	// bytes over the new tenant's channel. The monitor independently
 	// refuses to recycle a non-quiescent sandbox; a denied recycle falls
-	// through to the cold path here as well.
-	if clean && !s.cfg.Cold && workerAlive && !info.Destroyed {
+	// through to the cold path here as well. Forked workers never recycle:
+	// their frames are CoW-shared with the template (the monitor refuses),
+	// so the fork pool turns over by destroy + re-fork below.
+	if clean && !s.cfg.Cold && !sl.forked && workerAlive && !info.Destroyed {
+		rs := s.w.M.Clock.Now()
 		if newID, err := s.w.K.RecycleSandbox(sl.c.Task); err == nil {
+			s.recycleCycles += s.w.M.Clock.Now() - rs
 			sl.c.ID = newID
 			sl.warm = true
 			sl.tenant = next
@@ -1015,7 +1203,9 @@ func (s *Server) turnover(sl *slot, clean bool) {
 			return
 		}
 	}
-	// Cold path: tear the carcass down completely and rebuild.
+	// Teardown: destroy the carcass completely. For a forked worker this
+	// releases its CoW claim — private broken pages are freed, shared frames
+	// drop their refcount back toward the template's baseline.
 	asid := sl.c.Task.P.AS.ASID
 	if workerAlive {
 		s.w.K.KillTask(sl.c.Task, 0, "serve: cold teardown")
@@ -1023,12 +1213,13 @@ func (s *Server) turnover(sl *slot, clean bool) {
 		_ = s.w.Mon.EMCSandboxEnd(s.w.Core(), sl.c.ID)
 	}
 	_ = s.w.Mon.EMCDestroyAS(s.w.Core(), asid)
-	// Cold relaunch is the incoming tenant's setup cost — and the incoming
+	// Relaunch (a fresh fork when the pool has a template, a cold boot
+	// otherwise) is the incoming tenant's setup cost — and the incoming
 	// session's causal prologue: pre-allocate its root so the launch
 	// segment parents into the tree admit() will adopt.
 	sl.pendingRoot = s.w.Rec.NewSpanUnder(0)
 	s.setPhase(sl, next, metrics.PhaseLaunch)
-	c, err := s.launchContainer(sl)
+	c, err := s.launchWorker(sl)
 	if err != nil {
 		// Irrecoverable slot: fail its remaining tenants typed, no hangs.
 		for t := next; t < s.cfg.Sessions; t += s.cfg.Tenants {
@@ -1043,7 +1234,9 @@ func (s *Server) turnover(sl *slot, clean bool) {
 	}
 	sl.c = c
 	sl.warm = false
-	s.relaunches++
+	if !sl.forked {
+		s.relaunches++
+	}
 	sl.tenant = next
 	s.admit(sl)
 }
@@ -1057,15 +1250,29 @@ func (s *Server) report() *Report {
 	rep := &Report{
 		Tenants: s.cfg.Tenants, VCPUs: s.cfg.VCPUs, Sessions: s.cfg.Sessions,
 		Completed: s.completed, Failed: s.failed,
-		WarmSessions: s.warmServed, ColdSessions: s.completed - s.warmServed,
-		Relaunches:  s.relaunches,
-		TotalCycles: total,
-		Results:     s.results,
+		WarmSessions: s.warmServed,
+		ColdSessions: s.completed - s.warmServed - s.forkServed,
+		Relaunches:   s.relaunches,
+		TotalCycles:  total,
+		LaunchCycles: s.launchCycles, RecycleCycles: s.recycleCycles,
+		ForkCycles:   s.forkCycles,
+		ForkSessions: s.forkServed,
+		Results:      s.results,
+	}
+	if s.firstComputeN > 0 {
+		rep.FirstComputeCycles = s.firstComputeSum / uint64(s.firstComputeN)
 	}
 	if s.w.Mon != nil {
 		rep.Recycles = s.w.Mon.Stats.SandboxRecycles
 		rep.SandboxKills = s.w.Mon.Stats.SandboxKills
 		rep.ChannelRetrans = s.w.Mon.ChannelStats().Retransmits
+		rep.Forks = s.w.Mon.Stats.SandboxForks
+		rep.CowBreaks = s.w.Mon.Stats.CowBreaks
+		if s.tmpl != 0 {
+			if ti, ok := s.w.Mon.TemplateInfo(s.tmpl); ok {
+				rep.TemplatePages = ti.Pages
+			}
+		}
 	}
 	if s.ledger != nil {
 		rep.EgressAllowed, rep.EgressDenied = s.ledger.Counts()

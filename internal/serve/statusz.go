@@ -193,9 +193,14 @@ func (st *Status) Handler() http.Handler {
 func (st *Status) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "erebor-serve status\n")
 	if rep := st.Report; rep != nil {
-		fmt.Fprintf(w, "sessions: %d completed, %d failed (%d warm, %d cold) on %d slots / %d vcpus\n",
-			rep.Completed, rep.Failed, rep.WarmSessions, rep.ColdSessions, rep.Tenants, rep.VCPUs)
+		fmt.Fprintf(w, "sessions: %d completed, %d failed (%d warm, %d forked, %d cold) on %d slots / %d vcpus\n",
+			rep.Completed, rep.Failed, rep.WarmSessions, rep.ForkSessions, rep.ColdSessions,
+			rep.Tenants, rep.VCPUs)
 		fmt.Fprintf(w, "cycles: %d total, %d/session\n", rep.TotalCycles, rep.CyclesPerSession)
+		if rep.ForkSessions > 0 {
+			fmt.Fprintf(w, "fork pool: %d forks from a %d-page template, %d CoW breaks, %d cycles to first compute\n",
+				rep.Forks, rep.TemplatePages, rep.CowBreaks, rep.FirstComputeCycles)
+		}
 	}
 	if st.Healthy {
 		fmt.Fprintf(w, "watchdog: healthy (%d sweeps, %d injected events)\n", st.Sweeps, len(st.Events))

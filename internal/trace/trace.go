@@ -89,6 +89,15 @@ const (
 	// (span, nested under its EMC gate span so critical-path analysis
 	// attributes it to the session). Appended after PR 7's kinds.
 	KindRingDrain
+	// KindSandboxSnapshot is a sandbox frozen into a fork template (instant,
+	// label "snapshot <sb>->template <t>"). Appended after PR 8's kinds.
+	KindSandboxSnapshot
+	// KindSandboxFork is a copy-on-write instantiation from a template
+	// (instant, label "fork template <t>-><sb>").
+	KindSandboxFork
+	// KindCowBreak is a first-write page copy on a forked sandbox (instant,
+	// label "cow-break va=<va>").
+	KindCowBreak
 	numKinds
 )
 
@@ -115,6 +124,9 @@ var kindNames = [numKinds]string{
 	KindEgress:          "egress",
 	KindPhase:           "phase",
 	KindRingDrain:       "ring-drain",
+	KindSandboxSnapshot: "sandbox-snapshot",
+	KindSandboxFork:     "sandbox-fork",
+	KindCowBreak:        "cow-break",
 }
 
 // String names the kind (stable; used by both exporters).
