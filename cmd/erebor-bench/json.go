@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// BenchMetric is one scalar bench result. Better names the improvement
+// direction the regression gate enforces: "lower" (cycle counts), "higher"
+// (throughput), or "exact" (invariants — any drift fails).
+type BenchMetric struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Better string  `json:"better"`
+}
+
+// BenchResult is one experiment's machine-readable outcome — what
+// erebor-bench -json emits and what the committed BENCH_<exp>.json
+// baselines hold. Every value derives from the deterministic virtual clock
+// and counters, so identical (seed, scale, vcpus) reproduce identical
+// files; any diff is a real behavior change, not noise.
+type BenchResult struct {
+	Experiment string        `json:"experiment"`
+	Scale      int           `json:"scale"`
+	VCPUs      int           `json:"vcpus"`
+	Metrics    []BenchMetric `json:"metrics"`
+}
+
+// collector accumulates metrics while the selected experiment runs (nil
+// unless -json/-baseline is armed).
+var collector *BenchResult
+
+// record appends one metric to the active collection; a no-op in plain text
+// runs so the benches can call it unconditionally.
+func record(name string, value float64, better string) {
+	if collector != nil {
+		collector.Metrics = append(collector.Metrics, BenchMetric{Name: name, Value: value, Better: better})
+	}
+}
+
+// writeBenchJSON emits the collected result ("-" for stdout).
+func writeBenchJSON(res *BenchResult, path string) error {
+	var f *os.File
+	if path == "-" {
+		f = os.Stdout
+	} else {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// compareBaseline gates the current result against a committed baseline:
+// "lower" metrics may not grow past tolerance, "higher" metrics may not
+// shrink past it, "exact" metrics may not move at all, and the metric set
+// itself may not drift (a renamed or vanished metric is a gate failure, not
+// a silent pass). Returns the failure lines (empty = gate passes) and the
+// improvement notes worth refreshing the baseline for.
+func compareBaseline(cur *BenchResult, basePath string, tol float64) (failures, notes []string, err error) {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var base BenchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", basePath, err)
+	}
+	curByName := make(map[string]BenchMetric, len(cur.Metrics))
+	for _, m := range cur.Metrics {
+		curByName[m.Name] = m
+	}
+	for _, bm := range base.Metrics {
+		cm, ok := curByName[bm.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("metric %q in baseline but missing from this run", bm.Name))
+			continue
+		}
+		delete(curByName, bm.Name)
+		switch bm.Better {
+		case "exact":
+			if cm.Value != bm.Value {
+				failures = append(failures, fmt.Sprintf("%s: %v != baseline %v (exact metric)", bm.Name, cm.Value, bm.Value))
+			}
+		case "lower":
+			if cm.Value > bm.Value*(1+tol) {
+				failures = append(failures, fmt.Sprintf("%s: %v regressed past baseline %v (+%.2f%% > %.2f%% tolerance)",
+					bm.Name, cm.Value, bm.Value, pct(cm.Value, bm.Value), tol*100))
+			} else if cm.Value < bm.Value*(1-tol) {
+				notes = append(notes, fmt.Sprintf("%s: improved %v -> %v (refresh the baseline to lock it in)",
+					bm.Name, bm.Value, cm.Value))
+			}
+		case "higher":
+			if cm.Value < bm.Value*(1-tol) {
+				failures = append(failures, fmt.Sprintf("%s: %v regressed past baseline %v (%.2f%% < -%.2f%% tolerance)",
+					bm.Name, cm.Value, bm.Value, pct(cm.Value, bm.Value), tol*100))
+			} else if cm.Value > bm.Value*(1+tol) {
+				notes = append(notes, fmt.Sprintf("%s: improved %v -> %v (refresh the baseline to lock it in)",
+					bm.Name, bm.Value, cm.Value))
+			}
+		default:
+			failures = append(failures, fmt.Sprintf("%s: baseline has unknown direction %q", bm.Name, bm.Better))
+		}
+	}
+	var extra []string
+	for name := range curByName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		failures = append(failures, fmt.Sprintf("metric %q produced by this run but absent from the baseline (refresh it)", name))
+	}
+	return failures, notes, nil
+}
+
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return (cur/base - 1) * 100
+}

@@ -47,7 +47,18 @@ func main() {
 	vcpus := flag.Int("vcpus", 1, "simulated vCPUs for the serve fleet-size sweep (the vCPU sweep always runs P∈{1,2,4})")
 	flag.BoolVar(&traceBench, "trace", false,
 		"attach the flight recorder to scenario runs and print p50/p99 span summaries as JSON")
+	jsonPath := flag.String("json", "", "write the experiment's machine-readable result (BenchResult JSON) to this file (- for stdout; needs a single -exp)")
+	baselinePath := flag.String("baseline", "", "compare the result against this committed BENCH_<exp>.json and exit 3 on any regression (needs a single -exp)")
+	tolerance := flag.Float64("tolerance", 0.05, "relative regression tolerance for the -baseline gate")
 	flag.Parse()
+
+	if *jsonPath != "" || *baselinePath != "" {
+		if *exp == "all" {
+			fmt.Fprintf(os.Stderr, "erebor-bench: -json/-baseline need a single -exp (baselines are per experiment)\n")
+			os.Exit(1)
+		}
+		collector = &BenchResult{Experiment: *exp, Scale: *scale, VCPUs: *vcpus}
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -93,6 +104,34 @@ func main() {
 		if err := printTraceSummaries(sets); err != nil {
 			fmt.Fprintf(os.Stderr, "trace summaries: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	if collector != nil {
+		if *jsonPath != "" {
+			if err := writeBenchJSON(collector, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "erebor-bench: -json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *baselinePath != "" {
+			failures, notes, err := compareBaseline(collector, *baselinePath, *tolerance)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erebor-bench: -baseline: %v\n", err)
+				os.Exit(1)
+			}
+			for _, n := range notes {
+				fmt.Printf("baseline note: %s\n", n)
+			}
+			if len(failures) > 0 {
+				fmt.Fprintf(os.Stderr, "erebor-bench: %s regressed against %s:\n", *exp, *baselinePath)
+				for _, f := range failures {
+					fmt.Fprintf(os.Stderr, "  %s\n", f)
+				}
+				fmt.Fprintf(os.Stderr, "attribute cycle regressions with: erebor-prof -exp <workload> -flame new.folded, then erebor-prof -diff base.folded new.folded\n")
+				os.Exit(3)
+			}
+			fmt.Printf("baseline gate: %s within %.1f%% of %s\n", *exp, *tolerance*100, *baselinePath)
 		}
 	}
 }
@@ -299,6 +338,8 @@ func serveBench(scale, vcpus int) error {
 			}
 			fmt.Printf("%-8d %-5s %10d %14d %12.1f %9d\n",
 				n, mode, rep.Completed, rep.CyclesPerSession, rep.SessionsPerSec, rep.Recycles)
+			record(fmt.Sprintf("serve/n=%d/%s/cycles_per_session", n, mode), float64(rep.CyclesPerSession), "lower")
+			record(fmt.Sprintf("serve/n=%d/%s/completed", n, mode), float64(rep.Completed), "exact")
 		}
 	}
 	return serveVCPUSweep(scale)
@@ -348,6 +389,9 @@ func phasesBench(scale, vcpus int) error {
 	}
 	fmt.Printf("\nconservation: %d attributed == %d elapsed; sessions %d ok, %d failed; watchdog %d sweeps, healthy\n",
 		attributed, elapsed, rep.Completed, rep.Failed, s.World().Mon.WatchdogSweeps())
+	record("phases/attributed_cycles", float64(attributed), "lower")
+	record("phases/completed", float64(rep.Completed), "exact")
+	record("phases/failed", float64(rep.Failed), "exact")
 	return nil
 }
 
@@ -394,6 +438,9 @@ func egressBench(scale, vcpus int) error {
 		}
 		fmt.Printf("%-10.2f %9d %9d %9d %9d %8s\n",
 			rate, rep.Completed, rep.EgressAllowed, rep.EgressDenied, exfil, "clean")
+		record(fmt.Sprintf("egress/rate=%.2f/allowed", rate), float64(rep.EgressAllowed), "exact")
+		record(fmt.Sprintf("egress/rate=%.2f/denied", rate), float64(rep.EgressDenied), "exact")
+		record(fmt.Sprintf("egress/rate=%.2f/exfil", rate), float64(exfil), "exact")
 	}
 	return nil
 }
@@ -415,6 +462,9 @@ func pagefaultBench(vcpus int) error {
 		fmt.Printf("%-12s %12d %9.1f %10.0f %12d %8.1f %7d %10.2f\n",
 			r.Mode, r.CyclesPerOp, r.EMCPerOp, r.EMCPerSecond,
 			r.Drains, r.MeanDepth, r.IPIsSent, r.IPIsPerDrain)
+		record("pagefault/"+r.Mode+"/cycles_per_op", float64(r.CyclesPerOp), "lower")
+		record("pagefault/"+r.Mode+"/emcs", float64(r.EMCs), "lower")
+		record("pagefault/"+r.Mode+"/ipis_sent", float64(r.IPIsSent), "lower")
 	}
 	sync, ring := rows[1], rows[2]
 	fmt.Printf("ring effect: %d -> %d cycles/op (%.2fx), %d -> %d gate crossings\n",
@@ -442,6 +492,10 @@ func forkBench(scale, vcpus int) error {
 		fmt.Printf("%-6s %16d %14d %14d %9d %7d %10d %10d\n",
 			r.Mode, r.FirstComputeCycles, r.SetupCycles, r.CyclesPerSession,
 			r.Completed, r.Forks, r.CowBreaks, r.TemplatePages)
+		record("fork/"+r.Mode+"/first_compute_cycles", float64(r.FirstComputeCycles), "lower")
+		record("fork/"+r.Mode+"/setup_cycles", float64(r.SetupCycles), "lower")
+		record("fork/"+r.Mode+"/cycles_per_session", float64(r.CyclesPerSession), "lower")
+		record("fork/"+r.Mode+"/completed", float64(r.Completed), "exact")
 	}
 	cold, warm, fork := rows[0], rows[1], rows[2]
 	fmt.Printf("fork effect: cold %d -> warm %d -> fork %d cycles to first compute (%.2fx vs warm, %.2fx vs cold)\n",
@@ -475,6 +529,7 @@ func serveVCPUSweep(scale int) error {
 		perSession = append(perSession, rep.CyclesPerSession)
 		fmt.Printf("%-8d %-6d %10d %14d %12.1f\n",
 			tenants, p, rep.Completed, rep.CyclesPerSession, rep.SessionsPerSec)
+		record(fmt.Sprintf("serve/sweep/vcpus=%d/cycles_per_session", p), float64(rep.CyclesPerSession), "lower")
 	}
 	if last, first := perSession[len(perSession)-1], perSession[0]; last >= first {
 		return fmt.Errorf("serve vCPU sweep: P=4 cycles/session (%d) not below P=1 (%d)", last, first)

@@ -13,6 +13,7 @@ import (
 	"crypto/sha512"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 
 	"github.com/asterisc-release/erebor-go/internal/tdx"
@@ -30,13 +31,35 @@ type QuotingKey struct {
 	priv *ecdsa.PrivateKey
 }
 
-// NewQuotingKey generates a fresh P-384 quoting key.
-func NewQuotingKey() (*QuotingKey, error) {
-	k, err := ecdsa.GenerateKey(elliptic.P384(), rand.Reader)
-	if err != nil {
+// NewQuotingKey generates a fresh P-384 quoting key from the OS CSPRNG.
+func NewQuotingKey() (*QuotingKey, error) { return NewQuotingKeyRand(nil) }
+
+// NewQuotingKeyRand generates a P-384 quoting key from r (nil = OS CSPRNG).
+// The scalar is derived from the bytes read — not via ecdsa.GenerateKey,
+// whose byte consumption from the reader is deliberately randomized by the
+// standard library — so a deterministic reader yields a deterministic key
+// (how seeded chaos runs replay identical handshake frames byte for byte).
+func NewQuotingKeyRand(r io.Reader) (*QuotingKey, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	curve := elliptic.P384()
+	// 48 scalar bytes plus 24 extra before the mod reduction, so the bias
+	// against any particular scalar is ~2^-192 (irrelevant at both of this
+	// key's jobs: real entropy or a replayable simulation stream).
+	buf := make([]byte, 72)
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("attest: generating quoting key: %w", err)
 	}
-	return &QuotingKey{priv: k}, nil
+	nMinus1 := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	d := new(big.Int).SetBytes(buf)
+	d.Mod(d, nMinus1)
+	d.Add(d, big.NewInt(1)) // d in [1, N-1]
+	x, y := curve.ScalarBaseMult(d.FillBytes(make([]byte, 48)))
+	return &QuotingKey{priv: &ecdsa.PrivateKey{
+		D:         d,
+		PublicKey: ecdsa.PublicKey{Curve: curve, X: x, Y: y},
+	}}, nil
 }
 
 // Public returns the verification key a client would obtain from the
@@ -56,24 +79,66 @@ func reportDigest(r *tdx.Report) []byte {
 // Sign turns a valid TDREPORT into a quote. Reports not produced by the
 // TDX module (Valid()==false, i.e. forged structs) are refused — the
 // hardware would never sign them.
+//
+// The nonce is derived RFC 6979-style from the private key and the digest,
+// so the same (key, report) always yields the same signature bytes. No RNG
+// in the signing path means no nonce-reuse risk — and quote bytes become a
+// pure function of the quoting key, which is what lets seeded chaos runs
+// corrupt handshake frames identically across processes.
 func (q *QuotingKey) Sign(r *tdx.Report) (*Quote, error) {
 	if r == nil || !r.Valid() {
 		return nil, errors.New("attest: refusing to sign a report not produced by the TDX module")
 	}
-	rr, ss, err := ecdsa.Sign(rand.Reader, q.priv, reportDigest(r))
-	if err != nil {
-		return nil, fmt.Errorf("attest: signing report: %w", err)
+	digest := reportDigest(r)
+	curve := q.priv.Curve
+	N := curve.Params().N
+	width := (curve.Params().BitSize + 7) / 8
+	nMinus1 := new(big.Int).Sub(N, big.NewInt(1))
+	z := new(big.Int).SetBytes(digest) // len(digest) == width: no truncation
+	var rr, ss *big.Int
+	for ctr := uint64(0); ; ctr++ {
+		k := deriveNonce(q.priv.D.FillBytes(make([]byte, width)), digest, ctr)
+		k.Mod(k, nMinus1)
+		k.Add(k, big.NewInt(1)) // k in [1, N-1]
+		x, _ := curve.ScalarBaseMult(k.FillBytes(make([]byte, width)))
+		rr = new(big.Int).Mod(x, N)
+		if rr.Sign() == 0 {
+			continue
+		}
+		kinv := new(big.Int).ModInverse(k, N)
+		ss = new(big.Int).Mul(rr, q.priv.D)
+		ss.Add(ss, z)
+		ss.Mul(ss, kinv)
+		ss.Mod(ss, N)
+		if ss.Sign() != 0 {
+			break
+		}
 	}
 	// Fixed-width serialization: big.Int.Bytes() strips leading zeros, which
 	// would make quote (and thus handshake frame) lengths vary run to run.
 	// Deterministic frame lengths are what keep seeded fault-injection
 	// schedules aligned across replays, so pad to the curve width.
-	width := (q.priv.Curve.Params().BitSize + 7) / 8
 	return &Quote{
 		Report: *r,
 		SigR:   rr.FillBytes(make([]byte, width)),
 		SigS:   ss.FillBytes(make([]byte, width)),
 	}, nil
+}
+
+// deriveNonce hashes the private scalar, the message digest and a retry
+// counter into an ECDSA nonce candidate (the SHA-384 analogue of RFC 6979's
+// HMAC construction, enough for a simulated quoting enclave).
+func deriveNonce(priv, digest []byte, ctr uint64) *big.Int {
+	h := sha512.New384()
+	h.Write([]byte("attest-deterministic-nonce"))
+	h.Write(priv)
+	h.Write(digest)
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(ctr >> (56 - 8*i))
+	}
+	h.Write(b[:])
+	return new(big.Int).SetBytes(h.Sum(nil))
 }
 
 // Verify checks the quote signature against pub and, if expectedMRTD is

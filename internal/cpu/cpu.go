@@ -145,11 +145,33 @@ func (i *IDT) Set(v uint8, h Handler) { i.handlers[v] = h }
 // Get returns the handler for vector v (nil if unset).
 func (i *IDT) Get(v uint8) Handler { return i.handlers[v] }
 
+// Profiler is the hook surface a cycle profiler attaches to the machine
+// (internal/prof provides one; declared here to avoid a package cycle).
+// Enter/Exit maintain an ambient frame stack describing *what mechanism* is
+// executing; Observe sees every Charge, so the profiler attributes each
+// virtual cycle to the frame stack live at the moment it was charged.
+// Implementations must never charge the clock themselves.
+type Profiler interface {
+	Enter(frame string)
+	Exit()
+	Observe(n uint64)
+}
+
 // Clock is the machine's virtual cycle counter.
-type Clock struct{ cycles atomic.Uint64 }
+type Clock struct {
+	cycles atomic.Uint64
+	// sink observes every Charge (profiling hook). Charge is the only way
+	// the clock advances, so a sink sees every virtual cycle exactly once.
+	sink Profiler
+}
 
 // Charge advances the clock by n cycles.
-func (c *Clock) Charge(n uint64) { c.cycles.Add(n) }
+func (c *Clock) Charge(n uint64) {
+	c.cycles.Add(n)
+	if c.sink != nil {
+		c.sink.Observe(n)
+	}
+}
 
 // Now returns the current cycle count.
 func (c *Clock) Now() uint64 { return c.cycles.Load() }
@@ -200,6 +222,31 @@ type Machine struct {
 	// (seed, P) because TLB contents are.
 	IPIsSent    uint64
 	IPIsSkipped uint64
+
+	// Prof is the attached cycle profiler (nil when not profiling). Set via
+	// AttachProfiler; every layer pushes frames through ProfEnter/ProfExit.
+	Prof Profiler
+}
+
+// AttachProfiler wires a profiler into the machine: frames via Prof, cycle
+// observation via the clock's charge sink. Passing nil detaches.
+func (m *Machine) AttachProfiler(p Profiler) {
+	m.Prof = p
+	m.Clock.sink = p
+}
+
+// ProfEnter pushes a profiler frame; no-op when no profiler is attached.
+func (m *Machine) ProfEnter(frame string) {
+	if m.Prof != nil {
+		m.Prof.Enter(frame)
+	}
+}
+
+// ProfExit pops the innermost profiler frame; no-op without a profiler.
+func (m *Machine) ProfExit() {
+	if m.Prof != nil {
+		m.Prof.Exit()
+	}
 }
 
 // NewMachine creates a machine with ncores cores sharing phys.
@@ -225,6 +272,8 @@ const ShootdownDetail = "tlb-shootdown"
 // already knows their TLBs are clean of the invalidated translations.
 // Returns the number of IPIs sent.
 func (m *Machine) shootdownIPIs(initiator *Core, need []bool) int {
+	m.ProfEnter("cpu/shootdown/ipi")
+	defer m.ProfExit()
 	sent := 0
 	for i, c := range m.Cores {
 		if c == initiator || c.idt == nil {
@@ -263,7 +312,9 @@ func (m *Machine) Shootdown(initiator *Core, root mem.Frame, vas ...paging.Addr)
 	if len(vas) == 0 {
 		return
 	}
+	m.ProfEnter("cpu/shootdown/invlpg")
 	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
+	m.ProfExit()
 	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(vas))
 	need := make([]bool, len(m.Cores))
 	for i, c := range m.Cores {
@@ -295,7 +346,9 @@ func (m *Machine) ShootdownBatch(initiator *Core, pairs []ShootdownPair) int {
 	if len(pairs) == 0 {
 		return 0
 	}
+	m.ProfEnter("cpu/shootdown/invlpg")
 	m.Clock.Charge(costs.TLBInvlPg * uint64(len(pairs)))
+	m.ProfExit()
 	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(pairs))
 	need := make([]bool, len(m.Cores))
 	for i, c := range m.Cores {
@@ -314,7 +367,9 @@ func (m *Machine) ShootdownBatch(initiator *Core, pairs []ShootdownPair) int {
 // when an address space is destroyed or a sandbox is recycled.
 func (m *Machine) ShootdownRoot(initiator *Core, root mem.Frame) {
 	m.checkShootdownInitiator(initiator)
+	m.ProfEnter("cpu/shootdown/flush")
 	m.Clock.Charge(costs.TLBFlushAS)
+	m.ProfExit()
 	m.ShootdownCycles += costs.TLBFlushAS
 	need := make([]bool, len(m.Cores))
 	for i, c := range m.Cores {
@@ -334,7 +389,9 @@ func (m *Machine) ShootdownVA(initiator *Core, vas ...paging.Addr) {
 	if len(vas) == 0 {
 		return
 	}
+	m.ProfEnter("cpu/shootdown/invlpg")
 	m.Clock.Charge(costs.TLBInvlPg * uint64(len(vas)))
+	m.ProfExit()
 	m.ShootdownCycles += costs.TLBInvlPg * uint64(len(vas))
 	need := make([]bool, len(m.Cores))
 	for i, c := range m.Cores {
@@ -627,10 +684,14 @@ func (c *Core) Access(v paging.Addr, kind paging.AccessKind) (paging.PTE, *Trap)
 	root := c.CR3Frame()
 	pte, hit := c.tlb.Lookup(root, v)
 	if hit {
+		c.Machine.ProfEnter("cpu/tlb-hit")
 		c.Machine.Clock.Charge(costs.TLBHit)
+		c.Machine.ProfExit()
 		c.TLBHits++
 	} else {
+		c.Machine.ProfEnter("cpu/page-walk")
 		c.Machine.Clock.Charge(costs.PageWalk)
+		c.Machine.ProfExit()
 		c.TLBMisses++
 		var f *paging.Fault
 		pte, _, f = c.Tables().Walk(v)
@@ -688,7 +749,9 @@ func (c *Core) span(v paging.Addr, n int, kind paging.AccessKind, fn func(pa mem
 		if err := fn(pa, off, chunk); err != nil {
 			return &Trap{Vector: VecGP, Detail: err.Error()}
 		}
+		c.Machine.ProfEnter("cpu/copy")
 		c.Machine.Clock.Charge(costs.Copy(chunk))
+		c.Machine.ProfExit()
 		v += paging.Addr(chunk)
 		off += chunk
 		n -= chunk
@@ -714,14 +777,20 @@ func (c *Core) Deliver(t *Trap) {
 		panic("cpu: trap delivery recursion")
 	}
 	c.Machine.TrapCounts[t.Vector].Add(1)
+	// The delivery frame wraps the handler too, so handler work (page-fault
+	// service, shootdown absorption, syscall bodies) nests causally under
+	// the trap class that invoked it.
 	switch {
 	case t.Vector == VecSyscall:
 		// The syscall fast path (syscall/sysret) is cheaper than an IDT
 		// transition; entry/exit split reproduces Table 3's empty syscall.
+		c.Machine.ProfEnter("cpu/deliver/syscall")
 		c.Machine.Clock.Charge(costs.SyscallEntry)
 	case t.Vector < 32:
+		c.Machine.ProfEnter("cpu/deliver/exception")
 		c.Machine.Clock.Charge(costs.ExceptionDelivery)
 	default:
+		c.Machine.ProfEnter("cpu/deliver/interrupt")
 		c.Machine.Clock.Charge(costs.InterruptDelivery)
 	}
 	prevRing := c.Ring
@@ -732,5 +801,6 @@ func (c *Core) Deliver(t *Trap) {
 	if t.Vector == VecSyscall {
 		c.Machine.Clock.Charge(costs.SyscallExit)
 	}
+	c.Machine.ProfExit()
 	c.deliverDepth--
 }

@@ -1,0 +1,66 @@
+// Package entropy provides the handshake entropy source for simulated
+// worlds: the OS CSPRNG by default, or a seeded deterministic stream when a
+// run must replay byte-for-byte across processes.
+//
+// Frame content normally never feeds back into control flow — record
+// ciphertext either authenticates or it does not, regardless of the key
+// bytes underneath — so fresh crypto randomness does not break the
+// simulator's cycle determinism. Wire chaos breaks that property: a corrupt
+// fault flips one bit at a seeded position, and for plaintext handshake
+// frames (JSON with base64-encoded key material) whether the flipped byte
+// still decodes depends on the random character under it. Two processes
+// with identical fault schedules then disagree about whether one corrupted
+// hello parses, and the runs diverge. Pinning handshake entropy to the
+// fault-plan seed makes the whole run — fault effects included — a pure
+// function of its configuration.
+package entropy
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// Source is a deterministic byte stream: a SHA-256 counter generator keyed
+// by the seed. It is not a CSPRNG and must never back production key
+// generation; it exists so simulated handshakes replay identically.
+type Source struct {
+	mu  sync.Mutex
+	key [32]byte
+	ctr uint64
+	buf []byte // unconsumed tail of the current block
+}
+
+// New derives a Source from seed. Equal seeds yield equal streams.
+func New(seed int64) *Source {
+	h := sha256.New()
+	h.Write([]byte("erebor-handshake-entropy"))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	s := &Source{}
+	copy(s.key[:], h.Sum(nil))
+	return s
+}
+
+// Read fills p from the stream. It never fails and always fills p
+// completely, so it satisfies both io.Reader and io.ReadFull callers.
+func (s *Source) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(p)
+	for len(p) > 0 {
+		if len(s.buf) == 0 {
+			h := sha256.New()
+			h.Write(s.key[:])
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], s.ctr)
+			s.ctr++
+			h.Write(b[:])
+			s.buf = h.Sum(nil)
+		}
+		c := copy(p, s.buf)
+		p, s.buf = p[c:], s.buf[c:]
+	}
+	return n, nil
+}

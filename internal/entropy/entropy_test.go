@@ -1,0 +1,44 @@
+package entropy
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSameSeedSameStream(t *testing.T) {
+	a, b := New(7), New(7)
+	ba, bb := make([]byte, 257), make([]byte, 257)
+	a.Read(ba)
+	b.Read(bb)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("equal seeds produced different streams")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	ba, bb := make([]byte, 64), make([]byte, 64)
+	a.Read(ba)
+	b.Read(bb)
+	if bytes.Equal(ba, bb) {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+func TestReadSizeIndependent(t *testing.T) {
+	// Byte i of the stream must not depend on how reads are chunked.
+	a, b := New(3), New(3)
+	var whole [100]byte
+	a.Read(whole[:])
+	var pieces [100]byte
+	for i := 0; i < 100; i += 7 {
+		end := i + 7
+		if end > 100 {
+			end = 100
+		}
+		b.Read(pieces[i:end])
+	}
+	if whole != pieces {
+		t.Fatal("stream depends on read chunking")
+	}
+}

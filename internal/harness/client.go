@@ -5,6 +5,7 @@ import (
 	"crypto/ecdsa"
 	"errors"
 	"fmt"
+	"io"
 
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/metrics"
@@ -34,6 +35,10 @@ type Client struct {
 	// with the ambient tenant (both optional, wired by the harness).
 	Met  *metrics.Registry
 	Attr *metrics.Attr
+
+	// Rand, when non-nil, replaces the OS CSPRNG for the client's ephemeral
+	// handshake key and nonce (wired from World.Entropy on seeded worlds).
+	Rand io.Reader
 }
 
 // ExpectedMRTD recomputes the boot measurement a client expects: firmware
@@ -54,7 +59,7 @@ func NewClient(tr secchan.Transport, quotingPub *ecdsa.PublicKey, expectedMRTD [
 
 // Start sends the client hello.
 func (cl *Client) Start() error {
-	hello, priv, err := secchan.NewClientHello()
+	hello, priv, err := secchan.NewClientHelloRand(cl.Rand)
 	if err != nil {
 		return err
 	}
@@ -175,6 +180,7 @@ func newSession(w *World, inj *faultinject.Injector, queueCap int) *Session {
 	cl := NewClient(clientTr, w.QK.Public(), ExpectedMRTD(w.Mon.MonitorImage()))
 	cl.Rec = w.Rec
 	cl.Met, cl.Attr = w.Met, w.Attr
+	cl.Rand = w.Entropy
 	if inj != nil && inj.Rec == nil {
 		inj.Rec = w.Rec
 	}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The profiled pagefault run conserves (checked inside ProfilePagefault)
+// and the ring profile shifts gate-crossing cycles into ring-drain stacks.
+func TestProfilePagefaultRingAttribution(t *testing.T) {
+	sync, syncCycles, err := ProfilePagefault(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, ringCycles, err := ProfilePagefault(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ringCycles >= syncCycles {
+		t.Fatalf("ring run (%d cycles) did not beat sync (%d)", ringCycles, syncCycles)
+	}
+	sum := func(stacks map[string]uint64, substr string) uint64 {
+		var n uint64
+		for s, c := range stacks {
+			if strings.Contains(s, substr) {
+				n += c
+			}
+		}
+		return n
+	}
+	syncGates := sum(sync.Stacks(), "monitor/gate/entry") + sum(sync.Stacks(), "monitor/gate/exit")
+	ringGates := sum(ring.Stacks(), "monitor/gate/entry") + sum(ring.Stacks(), "monitor/gate/exit")
+	if ringGates >= syncGates {
+		t.Fatalf("ring gate-crossing cycles (%d) did not shrink below sync (%d)", ringGates, syncGates)
+	}
+	if drains := sum(ring.Stacks(), "monitor/ring/drain"); drains == 0 {
+		t.Fatal("ring profile has no ring-drain stacks")
+	}
+	if sum(sync.Stacks(), "monitor/ring/drain") != 0 {
+		t.Fatal("sync profile has ring-drain stacks")
+	}
+}

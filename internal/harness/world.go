@@ -5,6 +5,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/asterisc-release/erebor-go/internal/attest"
 	"github.com/asterisc-release/erebor-go/internal/cpu"
@@ -43,6 +44,11 @@ type World struct {
 	// it at record time. Always non-nil; Tenant is NoTenant outside serving.
 	Attr *metrics.Attr
 
+	// Entropy is the handshake entropy source every key in this world draws
+	// from (nil = OS CSPRNG). Seeded worlds replay handshake bytes — and so
+	// the effect of content-dependent wire faults — across processes.
+	Entropy io.Reader
+
 	bootCycles uint64
 }
 
@@ -65,6 +71,12 @@ type WorldConfig struct {
 	Trace bool
 	// TraceCapacity bounds the recorder's event ring (0 = default).
 	TraceCapacity int
+	// Entropy, when non-nil, replaces the OS CSPRNG for all handshake key
+	// material (quoting key, client and server ephemeral shares). Chaos
+	// runs seed it from the fault plan so corrupt/truncate faults — whose
+	// observable effect depends on the random bytes they mutate — replay
+	// byte-for-byte across processes.
+	Entropy io.Reader
 }
 
 // firmware is the measured boot firmware blob (OVMF stand-in).
@@ -91,7 +103,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	module.MeasureBoot("firmware", firmware)
 
 	w := &World{Phys: phys, M: m, TDX: module, Host: host, Mode: cfg.Mode,
-		Met: metrics.New(), Attr: metrics.NewAttr()}
+		Met: metrics.New(), Attr: metrics.NewAttr(), Entropy: cfg.Entropy}
 	if cfg.Trace {
 		// The recorder reads the machine clock but never charges it: a
 		// traced world and an untraced world run the same workload to the
@@ -104,7 +116,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 
 	switch cfg.Mode {
 	case kernel.ModeErebor:
-		qk, err := attest.NewQuotingKey()
+		qk, err := attest.NewQuotingKeyRand(cfg.Entropy)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +128,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			return nil, fmt.Errorf("harness: monitor boot: %w", err)
 		}
 		w.Mon = mon
+		mon.Entropy = cfg.Entropy
 		mon.Rec = w.Rec
 		// Same wiring point as the recorder: before LoadKernel/kernel.New,
 		// so boot-time EMCs land in the shared registry (the histogram/Stats

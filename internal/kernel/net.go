@@ -5,6 +5,7 @@ import (
 
 	"github.com/asterisc-release/erebor-go/internal/costs"
 	"github.com/asterisc-release/erebor-go/internal/mem"
+	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/tdx"
 	"github.com/asterisc-release/erebor-go/internal/trace"
@@ -16,6 +17,10 @@ import (
 // which is exactly why Erebor's channel encrypts end-to-end above this.
 func (k *Kernel) NetSend(buf []byte) error {
 	c := k.core()
+	// The secure channel's wire costs surface here: staging copy, GHCI
+	// round trip, NIC serialization.
+	k.M.ProfEnter("kernel/net/tx")
+	defer k.M.ProfExit()
 	need := (len(buf) + mem.PageSize - 1) / mem.PageSize
 	if need == 0 {
 		need = 1
@@ -47,6 +52,10 @@ func (k *Kernel) NetSend(buf []byte) error {
 	ret, err := k.priv.VMCall(c, tdx.VMCallNetTx, []uint64{uint64(len(buf))}, k.sharedIO, buf)
 	// NIC serialization / client-side receive processing.
 	k.M.Clock.Charge(costs.Wire(len(buf)))
+	if h, ok := hostOf(k.TDX); ok {
+		k.Met.SetMax(metrics.FamilyHighWater, uint64(len(h.NetOut)),
+			metrics.KV("resource", metrics.ResourceNICQueue))
+	}
 	if err != nil {
 		return err
 	}
@@ -62,6 +71,12 @@ func (k *Kernel) NetSend(buf []byte) error {
 // NetRecv pulls one frame from the host NIC, or nil when none is queued.
 func (k *Kernel) NetRecv() ([]byte, error) {
 	c := k.core()
+	k.M.ProfEnter("kernel/net/rx")
+	defer k.M.ProfExit()
+	if h, ok := hostOf(k.TDX); ok {
+		k.Met.SetMax(metrics.FamilyHighWater, uint64(len(h.NetIn)),
+			metrics.KV("resource", metrics.ResourceNICQueue))
+	}
 	ret, err := k.priv.VMCall(c, tdx.VMCallNetRx, nil, nil, nil)
 	if err != nil {
 		return nil, err
@@ -73,6 +88,16 @@ func (k *Kernel) NetRecv() ([]byte, error) {
 	k.M.Clock.Charge(costs.Copy(len(data)))
 	k.Rec.Emit(trace.KindNetRx, trace.TrackKernel, "")
 	return data, nil
+}
+
+// hostOf extracts the concrete host VMM (for NIC queue-depth watermarks);
+// custom HostHandler implementations simply go unmetered.
+func hostOf(m *tdx.Module) (*tdx.Host, bool) {
+	if m == nil {
+		return nil, false
+	}
+	h, ok := m.Host.(*tdx.Host)
+	return h, ok
 }
 
 // NetTransport adapts the kernel's GHCI networking into a

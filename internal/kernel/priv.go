@@ -363,7 +363,9 @@ func (ep *ereborPriv) RingEnqueue(c *cpu.Core, as *AddrSpace, req monitor.RingRe
 		}
 	}
 	// One enqueue: write the request into the shared ring, bump the head.
+	ep.k.M.ProfEnter("kernel/ring/submit")
 	ep.k.M.Clock.Charge(costs.EreborRingSubmit)
+	ep.k.M.ProfExit()
 	if !as.ring.Push(req) {
 		return fmt.Errorf("kernel: submission ring full after drain")
 	}

@@ -239,6 +239,10 @@ func (k *Kernel) stepPidOn(pid Pid, c *cpu.Core) bool {
 func (k *Kernel) dispatch(t *Task, c *cpu.Core) {
 	k.curCore = c
 	defer func() { k.curCore = nil }()
+	// Profiler frame for the whole slice: context switch, syscalls, faults
+	// and user compute all nest under kernel/dispatch.
+	k.M.ProfEnter("kernel/dispatch")
+	defer k.M.ProfExit()
 	dispStart := k.M.Clock.Now()
 	// Open span: syscalls, faults and EMC gates inside the slice parent
 	// into the dispatch, which itself parents into the serving loop's
@@ -456,6 +460,8 @@ func (k *Kernel) handlePageFault(c *cpu.Core, tr *cpu.Trap, cur *Task) {
 	if cur == nil {
 		panic("kernel: page fault with no current task: " + tr.Error())
 	}
+	k.M.ProfEnter("kernel/page-fault")
+	defer k.M.ProfExit()
 	k.Stats.PageFaults++
 	va := paging.PageBase(tr.Fault.Addr)
 	var vma *VMA
@@ -576,7 +582,11 @@ type Env struct {
 // Charge burns n cycles of user compute, yielding to the scheduler at
 // quantum boundaries.
 func (e *Env) Charge(n uint64) {
+	// The frame closes before the quantum check: a preemption yield must
+	// not suspend the task goroutine with a profiler frame still pushed.
+	e.K.M.ProfEnter("user/compute")
 	e.K.M.Clock.Charge(n)
+	e.K.M.ProfExit()
 	e.checkSignals()
 	if e.K.M.Clock.Now() >= e.K.sliceEnd {
 		e.y.Yield(evPreempt{})

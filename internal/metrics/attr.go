@@ -80,6 +80,19 @@ const (
 	// (copy + re-key restoring the single-mapping invariant), labeled
 	// {template}.
 	FamilyCowBreaks = "erebor_cow_breaks"
+	// FamilyHighWater is the high-watermark gauge for bounded resources,
+	// labeled {resource}: the maximum occupancy ever observed (written via
+	// Registry.SetMax). Resources: emc-ring-depth, proxy-queue, nic-queue,
+	// trace-ring.
+	FamilyHighWater = "erebor_highwater"
+)
+
+// FamilyHighWater resource label values.
+const (
+	ResourceEMCRingDepth = "emc-ring-depth"
+	ResourceProxyQueue   = "proxy-queue"
+	ResourceNICQueue     = "nic-queue"
+	ResourceTraceRing    = "trace-ring"
 )
 
 // Session phases used in FamilyTenantPhaseCycles labels. The serving loop

@@ -1,0 +1,23 @@
+package metrics
+
+import "testing"
+
+// SetMax keeps the maximum across observations — the high-watermark
+// semantics the bounded-resource gauges rely on.
+func TestSetMaxKeepsMaximum(t *testing.T) {
+	r := New()
+	r.SetMax(FamilyHighWater, 3, KV("resource", ResourceEMCRingDepth))
+	r.SetMax(FamilyHighWater, 9, KV("resource", ResourceEMCRingDepth))
+	r.SetMax(FamilyHighWater, 5, KV("resource", ResourceEMCRingDepth))
+	if v := r.Value(FamilyHighWater, KV("resource", ResourceEMCRingDepth)); v != 9 {
+		t.Fatalf("high watermark = %d, want 9", v)
+	}
+	// Distinct resources are independent series.
+	r.SetMax(FamilyHighWater, 2, KV("resource", ResourceTraceRing))
+	if v := r.Value(FamilyHighWater, KV("resource", ResourceTraceRing)); v != 2 {
+		t.Fatalf("trace-ring watermark = %d, want 2", v)
+	}
+	// Nil registry stays a no-op.
+	var nilReg *Registry
+	nilReg.SetMax(FamilyHighWater, 1, KV("resource", ResourceNICQueue))
+}

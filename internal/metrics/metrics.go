@@ -192,6 +192,22 @@ func (r *Registry) Set(name string, v uint64, labels ...Label) {
 	r.mu.Unlock()
 }
 
+// SetMax raises a gauge series to v if v exceeds its current level — the
+// high-watermark idiom for bounded resources (ring depth, queue occupancy,
+// trace-ring fill). Lower observations leave the gauge untouched, so the
+// exported level is the maximum ever seen.
+func (r *Registry) SetMax(name string, v uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s := r.getSeries(name, Gauge, labels)
+	if v > s.value {
+		s.value = v
+	}
+	r.mu.Unlock()
+}
+
 // Observe adds one observation to a histogram series.
 func (r *Registry) Observe(name string, v uint64, labels ...Label) {
 	if r == nil {

@@ -73,7 +73,7 @@ func (mon *Monitor) AcceptSession(c *cpu.Core, id SandboxID, tr secchan.Transpor
 	if err != nil {
 		return err
 	}
-	sh, keys, err := secchan.ServerHandshake(hello, quoteIssuer{mon, c})
+	sh, keys, err := secchan.ServerHandshakeRand(mon.Entropy, hello, quoteIssuer{mon, c})
 	if err != nil {
 		return err
 	}

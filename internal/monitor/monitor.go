@@ -12,6 +12,7 @@ package monitor
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/asterisc-release/erebor-go/internal/attest"
 	"github.com/asterisc-release/erebor-go/internal/cet"
@@ -230,6 +231,13 @@ type Monitor struct {
 	// frame recorded as having crossed the proxy is re-checked against its
 	// tenant's registered policy.
 	Egress *egress.Ledger
+
+	// Entropy, when non-nil, replaces the OS CSPRNG for handshake key
+	// material (the server's ephemeral X25519 share). Chaos runs pin it to
+	// the fault-plan seed so content-dependent wire faults — a bit flipped
+	// in a plaintext hello either breaks its encoding or not, depending on
+	// the key bytes under it — replay identically across processes.
+	Entropy io.Reader
 
 	// nextModuleVA places dynamically loaded kernel code.
 	nextModuleVA uint64

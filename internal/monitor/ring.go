@@ -127,8 +127,10 @@ func (mon *Monitor) EMCRingDrain(c *cpu.Core, ring *SubmitRing) error {
 		defer func() {
 			mon.Rec.EndSpan(span, trace.KindRingDrain, trace.TrackMonitor, "ring-drain")
 		}()
+		mon.M.ProfEnter("monitor/ring/drain")
 		mon.M.Clock.Charge(costs.EreborRingDrainBase +
 			costs.EreborRingDrainEntry*uint64(ring.Len()))
+		mon.M.ProfExit()
 		as, ok := mon.addrSpaces[ring.asid]
 		if !ok {
 			mon.Met.Inc(metrics.FamilyEMCRingDrains, metrics.KV("outcome", "rejected"))
@@ -241,7 +243,9 @@ func (mon *Monitor) EMCRingDrain(c *cpu.Core, ring *SubmitRing) error {
 						u.va, restoreErr)
 				} else {
 					mon.Stats.PTEWrites++
+					mon.M.ProfEnter("monitor/pte-write")
 					mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+					mon.M.ProfExit()
 				}
 				if u.hadFrame {
 					as.userFrames[u.va] = u.prevF
@@ -255,7 +259,9 @@ func (mon *Monitor) EMCRingDrain(c *cpu.Core, ring *SubmitRing) error {
 				}
 				mon.freePTP(f)
 				mon.Stats.PTEWrites++ // the cleared parent entry
+				mon.M.ProfEnter("monitor/pte-write")
 				mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+				mon.M.ProfExit()
 				return true
 			}
 			_ = as.tables.Prune(failedVA, release)
@@ -330,7 +336,9 @@ func (mon *Monitor) EMCRingDrain(c *cpu.Core, ring *SubmitRing) error {
 				}
 			}
 			mon.Stats.PTEWrites++
+			mon.M.ProfEnter("monitor/pte-write")
 			mon.M.Clock.Charge(costs.EreborPTEWriteBody)
+			mon.M.ProfExit()
 			opCount[r.Op]++
 			installed = append(installed, u)
 		}
@@ -346,6 +354,8 @@ func (mon *Monitor) EMCRingDrain(c *cpu.Core, ring *SubmitRing) error {
 		ring.Reset()
 
 		mon.Met.Observe(metrics.FamilyEMCRingDepth, depth)
+		mon.Met.SetMax(metrics.FamilyHighWater, depth,
+			metrics.KV("resource", metrics.ResourceEMCRingDepth))
 		mon.Met.Inc(metrics.FamilyEMCRingDrains, metrics.KV("outcome", "committed"))
 		for op, n := range opCount {
 			if n > 0 {

@@ -1,0 +1,142 @@
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseFolded reads folded-stack text ("stack cycles" lines, as written by
+// WriteFolded) back into a stack→cycles map. Duplicate stacks accumulate.
+func ParseFolded(r io.Reader) (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("prof: folded line %d: no count field: %q", lineNo, line)
+		}
+		n, err := strconv.ParseUint(line[i+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("prof: folded line %d: bad count: %w", lineNo, err)
+		}
+		out[line[:i]] += n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prof: reading folded profile: %w", err)
+	}
+	return out, nil
+}
+
+// Top returns the k hottest stacks (all of them when k <= 0), sorted by
+// cycles descending with the stack string as the deterministic tiebreak.
+func Top(stacks map[string]uint64, k int) []Sample {
+	out := make([]Sample, 0, len(stacks))
+	for s, n := range stacks {
+		out = append(out, Sample{Stack: s, Cycles: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Stack < out[j].Stack
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// WriteTop renders a top-k table with per-stack shares of the total.
+func WriteTop(w io.Writer, stacks map[string]uint64, k int) error {
+	var total uint64
+	for _, n := range stacks {
+		total += n
+	}
+	if _, err := fmt.Fprintf(w, "%12s %7s  %s\n", "CYCLES", "SHARE", "STACK"); err != nil {
+		return err
+	}
+	for _, s := range Top(stacks, k) {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Cycles) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%12d %6.2f%%  %s\n", s.Cycles, share, s.Stack); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%12d %6.2f%%  TOTAL (%d stacks)\n", total, 100.0, len(stacks))
+	return err
+}
+
+// DiffRow is one stack's cycle delta between two profiles.
+type DiffRow struct {
+	Stack string
+	Base  uint64
+	New   uint64
+	Delta int64 // New - Base; negative means the new run got cheaper
+}
+
+// Diff compares two stack→cycles maps. Rows cover every stack present in
+// either profile, sorted by delta ascending (biggest win first) with the
+// stack string as tiebreak; zero-delta rows are dropped.
+func Diff(base, new map[string]uint64) []DiffRow {
+	seen := make(map[string]bool, len(base)+len(new))
+	rows := make([]DiffRow, 0, len(base)+len(new))
+	add := func(stack string) {
+		if seen[stack] {
+			return
+		}
+		seen[stack] = true
+		b, n := base[stack], new[stack]
+		if b == n {
+			return
+		}
+		rows = append(rows, DiffRow{Stack: stack, Base: b, New: n, Delta: int64(n) - int64(b)})
+	}
+	for s := range base {
+		add(s)
+	}
+	for s := range new {
+		add(s)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Delta != rows[j].Delta {
+			return rows[i].Delta < rows[j].Delta
+		}
+		return rows[i].Stack < rows[j].Stack
+	})
+	return rows
+}
+
+// WriteDiff renders a per-stack delta table plus the profile-level totals.
+func WriteDiff(w io.Writer, base, new map[string]uint64) error {
+	var baseTotal, newTotal uint64
+	for _, n := range base {
+		baseTotal += n
+	}
+	for _, n := range new {
+		newTotal += n
+	}
+	if _, err := fmt.Fprintf(w, "%12s %12s %12s  %s\n", "BASE", "NEW", "DELTA", "STACK"); err != nil {
+		return err
+	}
+	for _, r := range Diff(base, new) {
+		if _, err := fmt.Fprintf(w, "%12d %12d %+12d  %s\n", r.Base, r.New, r.Delta, r.Stack); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%12d %12d %+12d  TOTAL\n",
+		baseTotal, newTotal, int64(newTotal)-int64(baseTotal))
+	return err
+}

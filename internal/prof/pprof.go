@@ -1,0 +1,148 @@
+package prof
+
+import (
+	"io"
+	"strings"
+)
+
+// WritePprof writes the profile as an uncompressed pprof protobuf
+// (github.com/google/pprof/proto/profile.proto), consumable by
+// `go tool pprof`. The encoding is hand-rolled — the simulation takes no
+// external dependencies — and deterministic: string, function and location
+// IDs are assigned in first-encounter order over the sorted sample list,
+// and no timestamp fields are emitted.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	return writePprofSamples(w, p.Samples())
+}
+
+func writePprofSamples(w io.Writer, samples []Sample) error {
+	var (
+		strTab  = []string{""} // index 0 must be the empty string
+		strIdx  = map[string]int64{"": 0}
+		funcs   []string // function/location id i+1 names strTab entry funcs[i]
+		funcIdx = map[string]uint64{}
+	)
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strTab))
+		strTab = append(strTab, s)
+		strIdx[s] = i
+		return i
+	}
+	frameID := func(name string) uint64 {
+		if id, ok := funcIdx[name]; ok {
+			return id
+		}
+		intern(name)
+		id := uint64(len(funcs) + 1)
+		funcs = append(funcs, name)
+		funcIdx[name] = id
+		return id
+	}
+
+	cyclesIdx := intern("cycles")
+
+	// Resolve every sample's stack into leaf-first location IDs (pprof
+	// convention: location_id[0] is the leaf). Folded stacks are root-first.
+	type encSample struct {
+		locs  []uint64
+		value int64
+	}
+	encoded := make([]encSample, 0, len(samples))
+	for _, s := range samples {
+		frames := strings.Split(s.Stack, ";")
+		locs := make([]uint64, 0, len(frames))
+		for i := len(frames) - 1; i >= 0; i-- {
+			locs = append(locs, frameID(frames[i]))
+		}
+		encoded = append(encoded, encSample{locs: locs, value: int64(s.Cycles)})
+	}
+
+	var b buf
+
+	// sample_type (field 1): one ValueType{type: "cycles", unit: "cycles"}.
+	var vt buf
+	vt.varintField(1, uint64(cyclesIdx))
+	vt.varintField(2, uint64(cyclesIdx))
+	b.bytesField(1, vt.data)
+
+	// sample (field 2).
+	for _, s := range encoded {
+		var sb buf
+		var packed buf
+		for _, id := range s.locs {
+			packed.varint(id)
+		}
+		sb.bytesField(1, packed.data) // location_id, packed repeated
+		var vals buf
+		vals.varint(uint64(s.value))
+		sb.bytesField(2, vals.data) // value, packed repeated
+		b.bytesField(2, sb.data)
+	}
+
+	// location (field 4): one synthetic location per frame name, a single
+	// line pointing at the function of the same id.
+	for i := range funcs {
+		id := uint64(i + 1)
+		var line buf
+		line.varintField(1, id) // Line.function_id
+		var loc buf
+		loc.varintField(1, id)       // Location.id
+		loc.bytesField(4, line.data) // Location.line
+		b.bytesField(4, loc.data)
+	}
+
+	// function (field 5).
+	for i, name := range funcs {
+		id := uint64(i + 1)
+		var fn buf
+		fn.varintField(1, id)                   // Function.id
+		fn.varintField(2, uint64(strIdx[name])) // Function.name
+		fn.varintField(3, uint64(strIdx[name])) // Function.system_name
+		b.bytesField(5, fn.data)
+	}
+
+	// string_table (field 6): emitted last so interning above is complete;
+	// field order within a protobuf message is free, and pprof's reader
+	// (like any conformant decoder) accepts it.
+	for _, s := range strTab {
+		b.stringField(6, s)
+	}
+
+	_, err := w.Write(b.data)
+	return err
+}
+
+// buf is a minimal protobuf wire-format builder.
+type buf struct{ data []byte }
+
+func (b *buf) varint(v uint64) {
+	for v >= 0x80 {
+		b.data = append(b.data, byte(v)|0x80)
+		v >>= 7
+	}
+	b.data = append(b.data, byte(v))
+}
+
+func (b *buf) tag(field int, wire int) { b.varint(uint64(field)<<3 | uint64(wire)) }
+
+// varintField emits a varint-typed field.
+func (b *buf) varintField(field int, v uint64) {
+	b.tag(field, 0)
+	b.varint(v)
+}
+
+// bytesField emits a length-delimited field (embedded message or packed).
+func (b *buf) bytesField(field int, data []byte) {
+	b.tag(field, 2)
+	b.varint(uint64(len(data)))
+	b.data = append(b.data, data...)
+}
+
+func (b *buf) stringField(field int, s string) {
+	b.tag(field, 2)
+	b.varint(uint64(len(s)))
+	b.data = append(b.data, s...)
+}

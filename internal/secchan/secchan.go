@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 
 	"github.com/asterisc-release/erebor-go/internal/attest"
 	"github.com/asterisc-release/erebor-go/internal/egress"
@@ -105,6 +106,8 @@ type pipeQueue struct {
 	frames [][]byte
 	cap    int
 	drops  uint64
+	// maxLen is the occupancy high watermark (bounded-resource telemetry).
+	maxLen int
 }
 
 func (q *pipeQueue) push(f []byte) error {
@@ -113,6 +116,9 @@ func (q *pipeQueue) push(f []byte) error {
 		return ErrQueueFull
 	}
 	q.frames = append(q.frames, f)
+	if len(q.frames) > q.maxLen {
+		q.maxLen = len(q.frames)
+	}
 	return nil
 }
 
@@ -161,6 +167,16 @@ func (p *MemPipe) Recv() ([]byte, error) { return p.in.pop() }
 // Drops reports frames discarded at this pipe pair's bounded queues (both
 // directions).
 func (p *MemPipe) Drops() uint64 { return p.in.drops + p.out.drops }
+
+// HighWater reports the maximum queue occupancy this pipe pair ever
+// reached, across both directions (the proxy-queue watermark gauge).
+func (p *MemPipe) HighWater() uint64 {
+	hw := p.in.maxLen
+	if p.out.maxLen > hw {
+		hw = p.out.maxLen
+	}
+	return uint64(hw)
+}
 
 // DefaultDenialQueueCap bounds a lane's denial-frame queue. Deliberately
 // small: denials are an error signal, not a data path, and a sandbox
@@ -306,7 +322,28 @@ func (p *Proxy) PumpOnce() bool {
 		p.Seen = append(p.Seen, f)
 		p.egress(f)
 	}
+	p.noteQueueDepth()
 	return moved
+}
+
+// noteQueueDepth publishes the lane's bounded-queue high watermark. Only
+// bare MemPipe transports expose occupancy; a fault-injection wrapper on
+// the untrusted hop simply goes unmetered (the inner hop never wraps).
+func (p *Proxy) noteQueueDepth() {
+	if p.Met == nil {
+		return
+	}
+	var hw uint64
+	if mp, ok := p.Outer.(*MemPipe); ok {
+		hw = mp.HighWater()
+	}
+	if mp, ok := p.Inner.(*MemPipe); ok {
+		if w := mp.HighWater(); w > hw {
+			hw = w
+		}
+	}
+	p.Met.SetMax(metrics.FamilyHighWater, hw,
+		metrics.KV("resource", metrics.ResourceProxyQueue))
 }
 
 // egress applies the proxy-edge fault schedule and the egress policy to one
@@ -588,17 +625,43 @@ type ServerHello struct {
 }
 
 // NewClientHello generates the client's opening message and its ephemeral
-// private key.
+// private key from the OS CSPRNG.
 func NewClientHello() (*ClientHello, *ecdh.PrivateKey, error) {
-	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	return NewClientHelloRand(nil)
+}
+
+// NewClientHelloRand is NewClientHello drawing key material from r
+// (nil = OS CSPRNG). A seeded deterministic reader makes the hello bytes —
+// and therefore the effect of content-dependent wire faults on them — a
+// pure function of the seed.
+func NewClientHelloRand(r io.Reader) (*ClientHello, *ecdh.PrivateKey, error) {
+	priv, err := x25519From(r)
 	if err != nil {
 		return nil, nil, fmt.Errorf("secchan: client key: %w", err)
 	}
 	nonce := make([]byte, 32)
-	if _, err := rand.Read(nonce); err != nil {
+	if _, err := io.ReadFull(orOS(r), nonce); err != nil {
 		return nil, nil, err
 	}
 	return &ClientHello{Nonce: nonce, ClientPub: priv.PublicKey().Bytes()}, priv, nil
+}
+
+func orOS(r io.Reader) io.Reader {
+	if r == nil {
+		return rand.Reader
+	}
+	return r
+}
+
+// x25519From derives an X25519 private key from 32 reader bytes. The
+// explicit read (rather than ecdh.GenerateKey) keeps the reader's byte
+// consumption fixed, so deterministic readers yield deterministic keys.
+func x25519From(r io.Reader) (*ecdh.PrivateKey, error) {
+	b := make([]byte, 32)
+	if _, err := io.ReadFull(orOS(r), b); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(b)
 }
 
 // ReportIssuer obtains a quoted report binding reportData; only Erebor's
@@ -608,9 +671,16 @@ type ReportIssuer interface {
 }
 
 // ServerHandshake runs the monitor side: given the client hello and an
-// issuer, produce the server hello and the two direction keys.
+// issuer, produce the server hello and the two direction keys. Key material
+// comes from the OS CSPRNG.
 func ServerHandshake(hello *ClientHello, issuer ReportIssuer) (*ServerHello, Keys, error) {
-	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	return ServerHandshakeRand(nil, hello, issuer)
+}
+
+// ServerHandshakeRand is ServerHandshake drawing the ephemeral server key
+// from r (nil = OS CSPRNG).
+func ServerHandshakeRand(r io.Reader, hello *ClientHello, issuer ReportIssuer) (*ServerHello, Keys, error) {
+	priv, err := x25519From(r)
 	if err != nil {
 		return nil, Keys{}, fmt.Errorf("secchan: server key: %w", err)
 	}

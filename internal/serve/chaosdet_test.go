@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/asterisc-release/erebor-go/internal/faultinject"
+)
+
+// Two chaos runs with the same Config must be byte-identical — report and
+// folded profile alike. This only holds because chaos runs pin handshake
+// entropy to the fault-plan seed: corrupt/truncate faults mutate plaintext
+// handshake frames, and whether the mutated base64 still decodes depends on
+// the random key byte under the flip. With OS entropy this test diverges on
+// a large fraction of runs; with seeded entropy it can never diverge.
+func TestServeChaosByteDeterminism(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		plan := faultinject.Uniform(7, 0.05)
+		s, err := New(Config{Tenants: 16, Sessions: 32, Seed: 7, VCPUs: 2,
+			Chaos: &plan, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := s.Profiler().CheckConservation(s.World().Met); len(bad) != 0 {
+			t.Fatalf("profiled chaos run does not conserve: %v", bad)
+		}
+		var folded bytes.Buffer
+		if err := s.Profiler().WriteFolded(&folded); err != nil {
+			t.Fatal(err)
+		}
+		return rep.JSON(), folded.Bytes()
+	}
+	rep1, prof1 := run()
+	rep2, prof2 := run()
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatalf("chaos runs produced different reports:\nA: %s\nB: %s", rep1, rep2)
+	}
+	if len(prof1) == 0 || !bytes.Equal(prof1, prof2) {
+		t.Fatal("chaos runs produced empty or differing folded profiles")
+	}
+}

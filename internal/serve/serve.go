@@ -9,11 +9,13 @@
 // order, each tick performs a bounded amount of work, all waiting is
 // virtual-clock backoff, and tenant requests derive from the configured
 // seed. Two runs with the same Config produce byte-identical Reports and
-// trace exports. Chaos (a seeded fault plan on the untrusted client<->proxy
-// hop, shared by every session) keeps every session bounded — complete or
-// fail typed, never hang — and the fault schedule itself is seeded; exact
-// byte-equality across chaos runs is limited only by the real handshake
-// crypto (fresh keys per run), whose bytes corrupt/truncate faults mutate.
+// trace exports — chaos runs included. Chaos (a seeded fault plan on the
+// untrusted client<->proxy hop, shared by every session) keeps every
+// session bounded — complete or fail typed, never hang — and because
+// corrupt/truncate faults mutate handshake frames whose decode outcome
+// depends on the bytes under the flip, chaos runs additionally pin the
+// handshake entropy (client/server ephemeral keys, quoting key) to the
+// fault-plan seed, making fault effects a pure function of the Config too.
 package serve
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"github.com/asterisc-release/erebor-go/internal/costs"
 	"github.com/asterisc-release/erebor-go/internal/egress"
+	"github.com/asterisc-release/erebor-go/internal/entropy"
 	"github.com/asterisc-release/erebor-go/internal/faultinject"
 	"github.com/asterisc-release/erebor-go/internal/harness"
 	"github.com/asterisc-release/erebor-go/internal/kernel"
@@ -33,6 +36,7 @@ import (
 	"github.com/asterisc-release/erebor-go/internal/mem"
 	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/prof"
 	"github.com/asterisc-release/erebor-go/internal/sandbox"
 	"github.com/asterisc-release/erebor-go/internal/secchan"
 	"github.com/asterisc-release/erebor-go/internal/slo"
@@ -129,6 +133,12 @@ type Config struct {
 	// at most one IPI per remote core per drain. Same (Seed, VCPUs, Ring),
 	// same bytes.
 	RingMMU bool
+	// Profile attaches the cycle-exact profiler: every virtual cycle charged
+	// during Run lands in exactly one (tenant, phase, mechanism-stack)
+	// bucket, conserving against the per-(tenant, phase) metrics exactly.
+	// Profiling never charges the clock, so a profiled run is
+	// cycle-identical (and report-byte-identical) to a bare run.
+	Profile bool
 }
 
 // Stock egress destinations the serving path models per session.
@@ -396,6 +406,11 @@ type Server struct {
 	sloEng  *slo.Engine
 	sloNext uint64
 
+	// Cycle profiler (cfg.Profile only): attached to the machine at New,
+	// recording between Run's attribution-window edges so stack totals
+	// conserve exactly against FamilyTenantPhaseCycles.
+	prof *prof.Profiler
+
 	// Hook, when non-nil, runs at the top of every round (before the fleet
 	// pump). Tests use it to tamper with machine state mid-serve — e.g.
 	// InjectAuditViolation — and assert the watchdog catches it.
@@ -409,10 +424,19 @@ const maxBackoff = uint64(1) << 32
 // sandbox per slot.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	w, err := harness.NewWorld(harness.WorldConfig{
+	wcfg := harness.WorldConfig{
 		Mode: kernel.ModeErebor, MemMB: cfg.MemMB, VCPUs: cfg.VCPUs,
 		Trace: cfg.Trace, TraceCapacity: cfg.TraceCapacity,
-	})
+	}
+	if cfg.Chaos != nil {
+		// Corrupt/truncate faults mutate handshake frames, and whether the
+		// mutated bytes still decode depends on the key material under
+		// them. Pinning handshake entropy to the fault-plan seed makes the
+		// whole chaos run — fault effects included — byte-deterministic
+		// across processes (the profiler-determinism CI gate relies on it).
+		wcfg.Entropy = entropy.New(cfg.Chaos.Seed)
+	}
+	w, err := harness.NewWorld(wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("serve: world boot: %w", err)
 	}
@@ -431,6 +455,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, pol: cfg.Retry, w: w, model: model, win: model[:winLen],
 		coreLoad: make([]uint64, cfg.VCPUs), attrTenant: metrics.NoTenant}
+	if cfg.Profile {
+		// Attached now so frame pushes stay balanced through template/slot
+		// construction; recording only runs between Run's window edges.
+		s.prof = prof.New(w.Attr)
+		w.M.AttachProfiler(s.prof)
+	}
 	if cfg.Watchdog {
 		w.Mon.EnableWatchdog(cfg.WatchdogEvery)
 	}
@@ -560,6 +590,9 @@ func (s *Server) ReleaseTemplate() error {
 
 // World exposes the underlying platform (tests, bench wiring).
 func (s *Server) World() *harness.World { return s.w }
+
+// Profiler exposes the cycle profiler (nil unless Config.Profile).
+func (s *Server) Profiler() *prof.Profiler { return s.prof }
 
 // launchContainer cold-starts a slot's worker sandbox: LibOS boot, model
 // attachment, and the persistent request loop. The worker never exits on
@@ -805,6 +838,10 @@ func (s *Server) Run() (*Report, error) {
 		w := s.sloEng.Window()
 		s.sloNext = (clock.Now()/w + 1) * w
 	}
+	// The recording window opens with the attribution cursor and closes at
+	// its park, so profiler stack totals and FamilyTenantPhaseCycles count
+	// exactly the same Charge calls.
+	s.prof.Start()
 	s.setPhase(nil, metrics.NoTenant, metrics.PhaseFleet)
 	for round := 0; ; round++ {
 		if s.Hook != nil {
@@ -881,6 +918,7 @@ func (s *Server) Run() (*Report, error) {
 	// Park the cursor: the trailing fleet span flushes and attribution goes
 	// inert, so per-tenant phase cycles sum exactly to Run()'s elapsed total.
 	s.setPhase(nil, metrics.NoTenant, "")
+	s.prof.Stop()
 	if s.sloEng != nil {
 		s.sloEng.Final(s.w.Met, s.w.M.Clock.Now())
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/asterisc-release/erebor-go/internal/metrics"
 	"github.com/asterisc-release/erebor-go/internal/monitor"
+	"github.com/asterisc-release/erebor-go/internal/prof"
 	"github.com/asterisc-release/erebor-go/internal/slo"
 )
 
@@ -48,6 +50,20 @@ type Status struct {
 	// was ever exhausted — which also fails /healthz.
 	SLO          []slo.Result
 	SLOExhausted bool
+	// HighWater is the bounded-resource high-watermark table (the
+	// erebor_highwater gauges), sorted by resource name.
+	HighWater []HighWaterRow
+	// HotStacks is the top-K hottest profiler stacks and ProfTotal the
+	// cycles attributed across all stacks (both empty unless the run was
+	// profiled via Config.Profile).
+	HotStacks []prof.Sample
+	ProfTotal uint64
+}
+
+// HighWaterRow is one bounded resource's maximum observed occupancy.
+type HighWaterRow struct {
+	Resource string
+	Value    uint64
 }
 
 // PhaseLatencyRow is one phase's session-latency digest.
@@ -80,6 +96,13 @@ type EgressDecisionRow struct {
 // Status captures the server's introspection snapshot. Call after Run; rep
 // may be nil when the run failed before producing a report.
 func (s *Server) Status(rep *Report) *Status {
+	// The flight recorder's ring fill is only knowable here (it recycles
+	// slots in place); publish its watermark before freezing the export so
+	// the gauge appears in /metrics alongside the queue-depth watermarks.
+	if s.w.Rec.Enabled() {
+		s.w.Met.SetMax(metrics.FamilyHighWater, uint64(s.w.Rec.HighWater()),
+			metrics.KV("resource", metrics.ResourceTraceRing))
+	}
 	var buf bytes.Buffer
 	_ = s.w.Met.ExportOpenMetrics(&buf)
 	st := &Status{
@@ -132,6 +155,22 @@ func (s *Server) Status(rep *Report) *Status {
 		st.SLO = s.sloEng.Latest()
 		st.SLOExhausted = s.sloEng.Exhausted()
 	}
+	for _, sv := range s.w.Met.Series(metrics.FamilyHighWater) {
+		var res string
+		for _, l := range sv.Labels {
+			if l.Key == "resource" {
+				res = l.Value
+			}
+		}
+		st.HighWater = append(st.HighWater, HighWaterRow{Resource: res, Value: sv.Value})
+	}
+	sort.Slice(st.HighWater, func(i, j int) bool {
+		return st.HighWater[i].Resource < st.HighWater[j].Resource
+	})
+	if s.prof.Enabled() {
+		st.HotStacks = prof.Top(s.prof.Stacks(), 10)
+		st.ProfTotal = s.prof.Total()
+	}
 	return st
 }
 
@@ -168,17 +207,18 @@ func (st *Status) Handler() http.Handler {
 		_, _ = w.Write(st.Metrics)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Failures carry a machine-readable JSON body naming the cause, so a
+		// fleet controller can route on it without scraping text; the healthy
+		// path stays the stable plain-text "ok" line.
+		if !st.Healthy || st.SLOExhausted {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(st.healthzFailure())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if !st.Healthy {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, "unhealthy: %d non-injected invariant violations\n", st.NonInjected)
-			return
-		}
-		if st.SLOExhausted {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, "unhealthy: SLO error budget exhausted\n")
-			return
-		}
 		fmt.Fprintf(w, "ok: %d sweeps, 0 non-injected violations\n", st.Sweeps)
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +226,56 @@ func (st *Status) Handler() http.Handler {
 		st.WriteText(w)
 	})
 	return mux
+}
+
+// HealthzFailure is the machine-readable /healthz 503 body: the top-level
+// cause plus enough structure (violation codes, exhausted objectives,
+// watchdog sweep state) for a controller to route on without text scraping.
+// Status is always "unhealthy" on this path.
+type HealthzFailure struct {
+	Status string `json:"status"`
+	// Cause is "invariant-violations" or "slo-budget-exhausted"; when both
+	// hold, the watchdog verdict wins (it is the stronger signal).
+	Cause string `json:"cause"`
+	// Watchdog sweep state at snapshot time.
+	Sweeps      uint64 `json:"sweeps"`
+	NonInjected uint64 `json:"non_injected_violations"`
+	// ViolationCodes are the distinct non-injected watchdog violation codes,
+	// sorted (empty when the cause is SLO exhaustion alone).
+	ViolationCodes []string `json:"violation_codes,omitempty"`
+	// ExhaustedSLOs names every objective whose error budget is exhausted in
+	// the latest evaluation batch.
+	ExhaustedSLOs []string `json:"exhausted_slos,omitempty"`
+}
+
+// healthzFailure builds the 503 body; call only when unhealthy.
+func (st *Status) healthzFailure() HealthzFailure {
+	f := HealthzFailure{
+		Status:      "unhealthy",
+		Cause:       "slo-budget-exhausted",
+		Sweeps:      st.Sweeps,
+		NonInjected: st.NonInjected,
+	}
+	if !st.Healthy {
+		f.Cause = "invariant-violations"
+		codes := map[string]bool{}
+		for _, ev := range st.Events {
+			if ev.Severity != "injected" {
+				codes[ev.Code] = true
+			}
+		}
+		for c := range codes {
+			f.ViolationCodes = append(f.ViolationCodes, c)
+		}
+		sort.Strings(f.ViolationCodes)
+	}
+	for _, r := range st.SLO {
+		if r.Exhausted {
+			f.ExhaustedSLOs = append(f.ExhaustedSLOs, r.Name)
+		}
+	}
+	sort.Strings(f.ExhaustedSLOs)
+	return f
 }
 
 // WriteText renders the status page: run headline, watchdog verdict, and the
@@ -223,6 +313,23 @@ func (st *Status) WriteText(w io.Writer) {
 	if st.TraceDropped > 0 {
 		fmt.Fprintf(w, "trace: %d events dropped (ring overflow) — span forests from this run are partial\n",
 			st.TraceDropped)
+	}
+	if len(st.HighWater) > 0 {
+		fmt.Fprintf(w, "\nbounded-resource high watermarks:\n")
+		for _, hw := range st.HighWater {
+			fmt.Fprintf(w, "  %-16s %12d\n", hw.Resource, hw.Value)
+		}
+	}
+	if len(st.HotStacks) > 0 {
+		fmt.Fprintf(w, "\nhot stacks (top %d of %d profiled cycles):\n", len(st.HotStacks), st.ProfTotal)
+		fmt.Fprintf(w, "%12s %7s  %s\n", "CYCLES", "SHARE", "STACK")
+		for _, hs := range st.HotStacks {
+			share := 0.0
+			if st.ProfTotal > 0 {
+				share = 100 * float64(hs.Cycles) / float64(st.ProfTotal)
+			}
+			fmt.Fprintf(w, "%12d %6.2f%%  %s\n", hs.Cycles, share, hs.Stack)
+		}
 	}
 	if len(st.PhaseLatency) > 0 {
 		fmt.Fprintf(w, "\nphase latency (cycles/session):\n")

@@ -357,6 +357,11 @@ func (r *Recorder) Len() int {
 	return r.n
 }
 
+// HighWater reports the ring's fill high watermark. Retention only grows
+// (wraparound recycles slots in place), so the retained-event count doubles
+// as the maximum fill ever reached; Reset clears it with everything else.
+func (r *Recorder) HighWater() int { return r.Len() }
+
 // Dropped reports exactly how many events the ring discarded to wraparound.
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {
